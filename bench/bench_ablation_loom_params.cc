@@ -1,0 +1,138 @@
+// Ablation of Loom's tunables — the design choices DESIGN.md calls out:
+//
+//   * chunk size: the indexing granularity (§4.2). Smaller chunks = finer
+//     skipping but more summaries to write and scan; larger chunks = cheaper
+//     index maintenance but coarser filtering.
+//   * timestamp marker period: denser markers = tighter raw-scan starting
+//     points at more write-path entries.
+//   * in-memory block size: the staging/flush unit of the hybrid log (§4.1).
+//
+// Each row reports single-thread ingest throughput, index storage overhead
+// (index bytes per record), and the latency of a selective indexed scan.
+
+#include <string>
+
+#include "src/benchutil/table.h"
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/core/loom.h"
+#include "src/workload/records.h"
+
+namespace loom {
+namespace {
+
+constexpr uint64_t kRecords = 1'000'000;
+
+struct RowResult {
+  double ingest_rate = 0;
+  double index_bytes_per_record = 0;
+  double scan_ms = 0;
+  uint64_t rows = 0;
+};
+
+RowResult RunConfig(const std::string& dir, size_t chunk_size, uint32_t marker_period,
+                    size_t block_size) {
+  ManualClock clock(1);
+  LoomOptions opts;
+  opts.dir = dir;
+  opts.chunk_size = chunk_size;
+  opts.ts_marker_period = marker_period;
+  opts.record_block_size = block_size;
+  opts.clock = &clock;
+  auto loom = Loom::Open(opts);
+  RowResult result;
+  if (!loom.ok()) {
+    return result;
+  }
+  Loom* l = loom->get();
+  (void)l->DefineSource(1);
+  auto spec = HistogramSpec::Exponential(1.0, 2.0, 24).value();
+  auto idx = l->DefineIndex(
+      1,
+      [](std::span<const uint8_t> p) -> std::optional<double> {
+        if (p.size() < sizeof(double)) {
+          return std::nullopt;
+        }
+        double v;
+        std::memcpy(&v, p.data(), sizeof(v));
+        return v;
+      },
+      spec);
+
+  Rng rng(1);
+  std::vector<uint8_t> payload(48, 0);
+  WallTimer ingest_timer;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    clock.AdvanceNanos(200);  // 5M records/s virtual arrival rate
+    const double v = rng.NextLogNormal(50.0, 0.8);
+    std::memcpy(payload.data(), &v, sizeof(v));
+    (void)l->Push(1, payload);
+  }
+  const double ingest_seconds = ingest_timer.Seconds();
+  result.ingest_rate = static_cast<double>(kRecords) / ingest_seconds;
+
+  LoomStats stats = l->stats();
+  result.index_bytes_per_record =
+      static_cast<double>(stats.chunk_index_log.bytes_appended +
+                          stats.ts_index_log.bytes_appended) /
+      static_cast<double>(kRecords);
+
+  // Selective scan: the top-permille latency tail over the middle half of
+  // the capture.
+  const TimestampNanos t_hi = clock.NowNanos();
+  const TimeRange window{t_hi / 4, 3 * (t_hi / 4)};
+  WallTimer scan_timer;
+  (void)l->IndexedScan(1, idx.value(), window, {800.0, 1e12}, [&](const RecordView&) {
+    ++result.rows;
+    return true;
+  });
+  result.scan_ms = scan_timer.Seconds() * 1e3;
+  return result;
+}
+
+}  // namespace
+}  // namespace loom
+
+int main() {
+  using namespace loom;
+  PrintBanner("Ablation", "Loom tunables: chunk size, marker period, block size",
+              "chunk size trades index overhead against skipping precision; marker period "
+              "trades timestamp-index size against scan start accuracy; block size has "
+              "little effect beyond a floor (staging is a memcpy either way)");
+
+  TempDir dir;
+  int cell = 0;
+
+  {
+    TablePrinter table({"chunk size", "ingest rate", "index B/record", "tail scan", "rows"});
+    for (size_t chunk : {size_t{4} << 10, size_t{16} << 10, size_t{64} << 10,
+                         size_t{256} << 10}) {
+      auto r = RunConfig(dir.FilePath("c" + std::to_string(cell++)), chunk, 64, 4 << 20);
+      table.AddRow({std::to_string(chunk >> 10) + " KiB", FormatRate(r.ingest_rate),
+                    FormatDouble(r.index_bytes_per_record, 2), FormatSeconds(r.scan_ms / 1e3),
+                    FormatCount(r.rows)});
+    }
+    table.Print();
+  }
+  {
+    TablePrinter table({"marker period", "ingest rate", "index B/record", "tail scan", "rows"});
+    for (uint32_t period : {16u, 64u, 256u, 1024u}) {
+      auto r = RunConfig(dir.FilePath("m" + std::to_string(cell++)), 64 << 10, period, 4 << 20);
+      table.AddRow({std::to_string(period), FormatRate(r.ingest_rate),
+                    FormatDouble(r.index_bytes_per_record, 2), FormatSeconds(r.scan_ms / 1e3),
+                    FormatCount(r.rows)});
+    }
+    table.Print();
+  }
+  {
+    TablePrinter table({"block size", "ingest rate", "index B/record", "tail scan", "rows"});
+    for (size_t block : {size_t{1} << 20, size_t{4} << 20, size_t{16} << 20}) {
+      auto r = RunConfig(dir.FilePath("b" + std::to_string(cell++)), 64 << 10, 64, block);
+      table.AddRow({std::to_string(block >> 20) + " MiB", FormatRate(r.ingest_rate),
+                    FormatDouble(r.index_bytes_per_record, 2), FormatSeconds(r.scan_ms / 1e3),
+                    FormatCount(r.rows)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Extension evaluation (§8 "Distributed Environments"): coordinator query
+// latency as the fleet grows. Each node captures the same per-node volume,
+// so total data grows with the node count; the interesting question is how
+// the two-phase global percentile and the merged aggregates scale relative
+// to a single node holding the same total volume.
+
+#include <string>
+
+#include "src/benchutil/table.h"
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/distributed/coordinator.h"
+
+namespace loom {
+namespace {
+
+constexpr uint32_t kSource = 1;
+constexpr uint64_t kRecordsPerNode = 400'000;
+
+struct Fleet {
+  std::vector<std::unique_ptr<ManualClock>> clocks;
+  std::vector<std::unique_ptr<Loom>> engines;
+  std::vector<LoomNode> nodes;
+  uint32_t index_id = 0;
+  TimestampNanos t_end = 0;
+};
+
+Fleet BuildFleet(const TempDir& dir, const HistogramSpec& spec, size_t node_count, int tag) {
+  Fleet fleet;
+  for (size_t n = 0; n < node_count; ++n) {
+    fleet.clocks.push_back(std::make_unique<ManualClock>(1));
+    LoomOptions opts;
+    opts.dir = dir.path() + "/fleet" + std::to_string(tag) + "-" + std::to_string(n);
+    opts.clock = fleet.clocks.back().get();
+    fleet.engines.push_back(Loom::Open(opts).value());
+    (void)fleet.engines.back()->DefineSource(kSource);
+    fleet.index_id = fleet.engines.back()
+                         ->DefineIndex(kSource,
+                                       [](std::span<const uint8_t> p) -> std::optional<double> {
+                                         if (p.size() < sizeof(double)) {
+                                           return std::nullopt;
+                                         }
+                                         double v;
+                                         std::memcpy(&v, p.data(), sizeof(v));
+                                         return v;
+                                       },
+                                       spec)
+                         .value();
+    fleet.nodes.push_back(LoomNode{fleet.engines.back().get(), static_cast<uint32_t>(n)});
+  }
+  std::vector<uint8_t> payload(48, 0);
+  for (size_t n = 0; n < node_count; ++n) {
+    Rng rng(1000 + n);
+    for (uint64_t i = 0; i < kRecordsPerNode; ++i) {
+      fleet.clocks[n]->AdvanceNanos(250);
+      const double v = rng.NextLogNormal(100.0, 0.8);
+      std::memcpy(payload.data(), &v, sizeof(v));
+      (void)fleet.engines[n]->Push(kSource, payload);
+    }
+    fleet.t_end = std::max(fleet.t_end, fleet.clocks[n]->NowNanos());
+  }
+  return fleet;
+}
+
+}  // namespace
+}  // namespace loom
+
+int main() {
+  using namespace loom;
+  PrintBanner("Extension", "Distributed coordinator scaling (§8, implemented future work)",
+              "global aggregates and two-phase percentiles stay interactive as nodes are "
+              "added; percentile cost ~ per-node histogram + one bin of values per node");
+
+  TempDir dir;
+  auto spec = HistogramSpec::Exponential(1.0, 2.0, 24).value();
+  TablePrinter table({"nodes", "total records", "global count", "global max", "global p99.99",
+                      "count latency", "max latency", "p99.99 latency"});
+  int tag = 0;
+  for (size_t nodes : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Fleet fleet = BuildFleet(dir, spec, nodes, tag++);
+    LoomCoordinator coordinator(fleet.nodes);
+    const TimeRange range{0, fleet.t_end};
+
+    WallTimer count_timer;
+    auto count = coordinator.Aggregate(kSource, fleet.index_id, range, AggregateMethod::kCount);
+    const double count_s = count_timer.Seconds();
+
+    WallTimer max_timer;
+    auto max = coordinator.Aggregate(kSource, fleet.index_id, range, AggregateMethod::kMax);
+    const double max_s = max_timer.Seconds();
+
+    WallTimer pct_timer;
+    auto pct = coordinator.Percentile(kSource, fleet.index_id, spec, range, 99.99);
+    const double pct_s = pct_timer.Seconds();
+
+    table.AddRow({std::to_string(nodes), FormatCount(nodes * kRecordsPerNode),
+                  FormatCount(static_cast<uint64_t>(count.value_or(0))),
+                  FormatDouble(max.value_or(0), 0) + " us",
+                  FormatDouble(pct.value_or(0), 0) + " us", FormatSeconds(count_s),
+                  FormatSeconds(max_s), FormatSeconds(pct_s)});
+  }
+  table.Print();
+  return 0;
+}

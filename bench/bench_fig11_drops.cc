@@ -1,0 +1,193 @@
+// Figure 11: end-to-end data completeness. The InfluxDB-like TSDB falls
+// behind and drops 38-93% of the offered data as phase rates climb, while
+// FishStore and Loom capture everything.
+//
+// Method: the TSDB is driven in real mode by a producer paced at offered
+// rates that preserve the paper's phase ratios, anchored so phase 1 of the
+// Redis workload modestly exceeds the engine's measured capacity (as
+// 865 k records/s exceeded InfluxDB's on the paper's testbed). Loom and
+// FishStore ingest the identical streams synchronously; they apply
+// backpressure rather than dropping, so their drop rate is structural 0% —
+// we additionally verify every record is retrievable by counting.
+
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/benchutil/table.h"
+#include "src/common/file.h"
+
+namespace loom {
+namespace {
+
+// Measures the TSDB's sustainable ingest rate (points/s) on this machine,
+// using the same paced producer pattern as the measurement runs so producer
+// and consumer share the core the same way.
+double CalibrateTsdbCapacity(const TempDir& dir) {
+  TsdbOptions opts;
+  opts.dir = dir.path() + "/calibrate";
+  opts.ingest_queue_capacity = 4096;
+  auto db = Tsdb::Open(opts);
+  if (!db.ok()) {
+    return 1e6;
+  }
+  TsdbPoint p;
+  p.series_id = 1;
+  p.blob_len = 40;
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(1500);
+  const double offered_rate = 8e6;  // far above any plausible capacity
+  uint64_t offered = 0;
+  for (auto now = Clock::now(); now < deadline; now = Clock::now()) {
+    const double elapsed =
+        std::chrono::duration_cast<std::chrono::duration<double>>(now - start).count();
+    const uint64_t quota = static_cast<uint64_t>(elapsed * offered_rate);
+    while (offered < quota) {
+      p.ts = ++offered;
+      p.value = static_cast<double>(offered & 1023);
+      (void)(*db)->TryIngest(p);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - start).count();
+  TsdbStats stats = (*db)->stats();
+  return static_cast<double>(stats.ingested) / wall;
+}
+
+struct PhaseDrop {
+  double offered_rate;
+  double drop_fraction;
+};
+
+// Drives `points` into a fresh TSDB at `offered_rate` and reports drops.
+PhaseDrop RunTsdbPhase(const TempDir& dir, const std::string& name,
+                       const std::vector<TsdbPoint>& points, double offered_rate) {
+  TsdbOptions opts;
+  opts.dir = dir.path() + "/" + name;
+  // Keep the ingest queue small relative to a phase so the measured drop
+  // fraction reflects the steady state (1 - capacity/offered), not the
+  // transient absorbed by buffering.
+  opts.ingest_queue_capacity = 4096;
+  auto db = Tsdb::Open(opts);
+  PhaseDrop result{offered_rate, 0.0};
+  if (!db.ok()) {
+    return result;
+  }
+  // Sustain the phase's offered rate for a fixed measurement window, cycling
+  // the phase's points as needed, so the drop fraction reflects the steady
+  // state rather than a short burst absorbed by queueing.
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(1200);
+  uint64_t emitted = 0;
+  for (auto now = Clock::now(); now < deadline; now = Clock::now()) {
+    const double elapsed =
+        std::chrono::duration_cast<std::chrono::duration<double>>(now - start).count();
+    const uint64_t quota = static_cast<uint64_t>(elapsed * offered_rate);
+    while (emitted < quota) {
+      (void)(*db)->TryIngest(points[emitted % points.size()]);
+      ++emitted;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  (void)(*db)->Drain();
+  TsdbStats stats = (*db)->stats();
+  result.drop_fraction =
+      stats.offered == 0 ? 0.0
+                         : static_cast<double>(stats.dropped) / static_cast<double>(stats.offered);
+  return result;
+}
+
+struct WorkloadRows {
+  std::string name;
+  std::vector<double> phase_virtual_rates;  // paper records/s per phase (total)
+  std::vector<std::vector<TsdbPoint>> phase_points;
+  Replay replay;  // full stream for Loom / FishStore
+  uint64_t total_records = 0;
+};
+
+template <typename Gen, typename Cfg>
+WorkloadRows BuildWorkload(const std::string& name, Cfg config,
+                           std::vector<double> phase_rates) {
+  Gen gen(config);
+  WorkloadRows rows;
+  rows.name = name;
+  rows.phase_virtual_rates = std::move(phase_rates);
+  rows.replay = Replay::Record(gen);
+  rows.total_records = rows.replay.events.size();
+  rows.phase_points.resize(3);
+  const TimestampNanos phase_len =
+      static_cast<TimestampNanos>(config.phase_seconds * 1e9);
+  for (const Replay::Event& e : rows.replay.events) {
+    const size_t phase = std::min<size_t>(2, (e.ts - 1) / phase_len);
+    rows.phase_points[phase].push_back(ToTsdbPoint(e.source_id, e.ts, rows.replay.PayloadOf(e)));
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace loom
+
+int main() {
+  using namespace loom;
+  PrintBanner("Figure 11", "End-to-end percentage of data dropped",
+              "InfluxDB-like TSDB drops 38-93% (rising across phases and with the heavier "
+              "RocksDB workload); FishStore and Loom drop 0%");
+
+  TempDir dir;
+  const double capacity = CalibrateTsdbCapacity(dir);
+  printf("Calibrated TSDB capacity on this host: %s\n", FormatRate(capacity).c_str());
+  // Anchor: Redis phase 1 (865k/s in the paper) offers 1.6x engine capacity,
+  // preserving all paper phase ratios.
+  const double anchor = 1.6 * capacity / 865e3;
+
+  RedisWorkloadConfig redis_cfg;
+  redis_cfg.scale = 0.02;
+  redis_cfg.phase_seconds = 10.0;
+  auto redis = BuildWorkload<RedisWorkload>("Redis", redis_cfg, {865e3, 3565e3, 7065e3});
+
+  RocksdbWorkloadConfig rocks_cfg;
+  rocks_cfg.scale = 0.008;
+  rocks_cfg.phase_seconds = 10.0;
+  auto rocksdb =
+      BuildWorkload<RocksdbWorkload>("RocksDB", rocks_cfg, {4700e3, 7900e3, 7939e3});
+
+  TablePrinter table({"workload", "phase", "paper rate", "offered (scaled)", "TSDB dropped",
+                      "FishStore dropped", "Loom dropped"});
+
+  for (auto* wl : {&redis, &rocksdb}) {
+    // Loom and FishStore ingest the complete stream; count for completeness.
+    ManualClock loom_clock(1);
+    LoomIndexes idx;
+    auto l = MakeCaseStudyLoom(dir.path() + "/loom-" + wl->name, &loom_clock, &idx,
+                               wl->name == "Redis");
+    ReplayIntoLoom(wl->replay, l.get(), &loom_clock);
+    const uint64_t loom_count = l->stats().records_ingested;
+
+    ManualClock fs_clock(1);
+    FishStorePsfs psfs;
+    auto fs = MakeCaseStudyFishStore(dir.path() + "/fs-" + wl->name, &fs_clock, &psfs,
+                                     wl->name == "Redis");
+    ReplayIntoFishStore(wl->replay, fs.get(), &fs_clock);
+    const uint64_t fs_count = fs->stats().records_ingested;
+
+    const double loom_drop =
+        1.0 - static_cast<double>(loom_count) / static_cast<double>(wl->total_records);
+    const double fs_drop =
+        1.0 - static_cast<double>(fs_count) / static_cast<double>(wl->total_records);
+
+    for (int phase = 0; phase < 3; ++phase) {
+      const double offered = wl->phase_virtual_rates[static_cast<size_t>(phase)] * anchor;
+      auto drop = RunTsdbPhase(dir, wl->name + "-p" + std::to_string(phase + 1),
+                               wl->phase_points[static_cast<size_t>(phase)], offered);
+      table.AddRow({wl->name, "P" + std::to_string(phase + 1),
+                    FormatRate(wl->phase_virtual_rates[static_cast<size_t>(phase)]),
+                    FormatRate(offered), FormatPercent(drop.drop_fraction),
+                    FormatPercent(fs_drop), FormatPercent(loom_drop)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark) for the design choices DESIGN.md calls
+// out in the hybrid log and the Loom write path:
+//   * append cost vs record size and block size (write staging),
+//   * the cost of publishing per record vs batched,
+//   * snapshot reads from memory vs the disk fallback path,
+//   * Loom Push with 0/1/3 histogram indexes (index maintenance cost).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "src/common/file.h"
+#include "src/core/loom.h"
+#include "src/hybridlog/hybrid_log.h"
+#include "src/workload/records.h"
+
+namespace loom {
+namespace {
+
+void BM_HybridLogAppend(benchmark::State& state) {
+  const size_t record_size = static_cast<size_t>(state.range(0));
+  const size_t block_size = static_cast<size_t>(state.range(1));
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = block_size;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  std::vector<uint8_t> payload(record_size, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.value()->Append(payload));
+    log.value()->Publish();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(record_size));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HybridLogAppend)
+    ->Args({48, 1 << 20})
+    ->Args({48, 16 << 20})
+    ->Args({8, 4 << 20})
+    ->Args({256, 4 << 20})
+    ->Args({1024, 4 << 20});
+
+void BM_HybridLogAppendNoPublish(benchmark::State& state) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 4 << 20;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  std::vector<uint8_t> payload(48, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.value()->Append(payload));
+  }
+  log.value()->Publish();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HybridLogAppendNoPublish);
+
+void BM_HybridLogReadInMemory(benchmark::State& state) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 4 << 20;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  std::vector<uint8_t> payload(64, 0xCD);
+  for (int i = 0; i < 1000; ++i) {
+    (void)log.value()->Append(payload);
+  }
+  log.value()->Publish();
+  std::vector<uint8_t> out(64);
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.value()->Read(addr, out));
+    addr = (addr + 64) % (1000 * 64);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HybridLogReadInMemory);
+
+void BM_HybridLogReadFromDisk(benchmark::State& state) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 64 << 10;  // small blocks: most data is flushed
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  std::vector<uint8_t> payload(64, 0xCD);
+  constexpr uint64_t kRecords = 64 << 10;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    (void)log.value()->Append(payload);
+  }
+  log.value()->Publish();
+  std::vector<uint8_t> out(64);
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.value()->Read(addr, out));
+    addr = (addr + 64) % (kRecords * 32);  // stays in the flushed prefix
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HybridLogReadFromDisk);
+
+void BM_LoomPushWithIndexes(benchmark::State& state) {
+  const int num_indexes = static_cast<int>(state.range(0));
+  TempDir dir;
+  LoomOptions opts;
+  opts.dir = dir.FilePath("loom");
+  auto l = Loom::Open(opts);
+  (void)l.value()->DefineSource(kAppSource);
+  auto hist = HistogramSpec::Exponential(1.0, 2.0, 24).value();
+  for (int i = 0; i < num_indexes; ++i) {
+    (void)l.value()->DefineIndex(
+        kAppSource, [](std::span<const uint8_t> p) { return AppLatencyUs(p); }, hist);
+  }
+  AppRecord rec;
+  rec.latency_us = 123.0;
+  std::span<const uint8_t> payload(reinterpret_cast<const uint8_t*>(&rec), sizeof(rec));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l.value()->Push(kAppSource, payload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoomPushWithIndexes)->Arg(0)->Arg(1)->Arg(3);
+
+void BM_LoomIndexedAggregateMax(benchmark::State& state) {
+  TempDir dir;
+  ManualClock clock(1);
+  LoomOptions opts;
+  opts.dir = dir.FilePath("loom");
+  opts.clock = &clock;
+  auto l = Loom::Open(opts);
+  (void)l.value()->DefineSource(kAppSource);
+  auto hist = HistogramSpec::Exponential(1.0, 2.0, 24).value();
+  auto idx = l.value()->DefineIndex(
+      kAppSource, [](std::span<const uint8_t> p) { return AppLatencyUs(p); }, hist);
+  AppRecord rec;
+  for (uint64_t i = 0; i < 200'000; ++i) {
+    clock.AdvanceNanos(1000);
+    rec.latency_us = static_cast<double>(i % 997);
+    (void)l.value()->Push(kAppSource,
+                          std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&rec),
+                                                   sizeof(rec)));
+  }
+  const TimeRange range{0, clock.NowNanos()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        l.value()->IndexedAggregate(kAppSource, idx.value(), range, AggregateMethod::kMax));
+  }
+}
+BENCHMARK(BM_LoomIndexedAggregateMax);
+
+}  // namespace
+}  // namespace loom
+
+BENCHMARK_MAIN();

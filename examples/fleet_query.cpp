@@ -1,0 +1,115 @@
+// Fleet-wide drill-down (§8 "Distributed Environments") plus long-term
+// export (§3): three hosts each capture their own request latency into a
+// local Loom; a coordinator answers global aggregates and correlations, and
+// the interesting window is archived for post-mortem retention.
+//
+//   $ ./examples/fleet_query
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/distributed/coordinator.h"
+#include "src/export/exporter.h"
+#include "src/workload/records.h"
+
+int main() {
+  using namespace loom;
+
+  constexpr int kNodes = 3;
+  constexpr uint32_t kSource = kAppSource;
+
+  TempDir dir;
+  std::vector<std::unique_ptr<ManualClock>> clocks;
+  std::vector<std::unique_ptr<Loom>> engines;
+  std::vector<LoomNode> nodes;
+  auto spec = HistogramSpec::Exponential(1.0, 2.0, 24).value();
+  uint32_t index_id = 0;
+
+  for (int n = 0; n < kNodes; ++n) {
+    clocks.push_back(std::make_unique<ManualClock>(1));
+    LoomOptions opts;
+    opts.dir = dir.FilePath("node" + std::to_string(n));
+    opts.clock = clocks.back().get();
+    engines.push_back(Loom::Open(opts).value());
+    (void)engines.back()->DefineSource(kSource);
+    index_id = engines.back()
+                   ->DefineIndex(kSource,
+                                 [](std::span<const uint8_t> p) { return AppLatencyUs(p); },
+                                 spec)
+                   .value();
+    nodes.push_back(LoomNode{engines.back().get(), static_cast<uint32_t>(n)});
+  }
+
+  // Each node captures 200k requests; node 2 develops a latency problem in
+  // the middle of the run.
+  Rng rng(99);
+  AppRecord rec;
+  const TimestampNanos step = 5'000;  // 200k requests/s per node
+  for (uint64_t i = 0; i < 200'000; ++i) {
+    for (int n = 0; n < kNodes; ++n) {
+      clocks[static_cast<size_t>(n)]->AdvanceNanos(step);
+      rec.seq = i;
+      rec.latency_us = rng.NextLogNormal(100.0, 0.5);
+      if (n == 2 && i > 80'000 && i < 120'000 && rng.NextBernoulli(0.001)) {
+        rec.latency_us = 50'000.0 + rng.NextUniform(0, 10'000);  // the incident
+      }
+      (void)engines[static_cast<size_t>(n)]->Push(
+          kSource, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&rec),
+                                            sizeof(rec)));
+    }
+  }
+  const TimestampNanos t_end = clocks[0]->NowNanos();
+  printf("fleet: %d nodes x 200k requests captured locally\n\n", kNodes);
+
+  LoomCoordinator coordinator(nodes);
+  const TimeRange all{0, t_end};
+
+  auto count = coordinator.Aggregate(kSource, index_id, all, AggregateMethod::kCount);
+  auto max = coordinator.Aggregate(kSource, index_id, all, AggregateMethod::kMax);
+  auto p9999 = coordinator.Percentile(kSource, index_id, spec, all, 99.99);
+  printf("global count  = %.0f\n", count.value_or(-1));
+  printf("global max    = %.0f us\n", max.value_or(-1));
+  printf("global p99.99 = %.0f us\n\n", p9999.value_or(-1));
+
+  // Which node is responsible for the tail? Fan the scan out and attribute.
+  std::vector<int> per_node(kNodes, 0);
+  TimestampNanos first_bad = 0;
+  TimestampNanos last_bad = 0;
+  (void)coordinator.Scan(kSource, index_id, all, {p9999.value_or(1e9), 1e12},
+                         [&](const LoomCoordinator::NodeRecord& r) {
+                           per_node[r.node_id]++;
+                           if (first_bad == 0) {
+                             first_bad = r.ts;
+                           }
+                           last_bad = r.ts;
+                           return true;
+                         });
+  for (int n = 0; n < kNodes; ++n) {
+    printf("node %d: %d requests above global p99.99\n", n, per_node[static_cast<size_t>(n)]);
+  }
+
+  // Archive the incident window from the offending node for post-mortem.
+  const TimeRange incident{first_bad > kNanosPerSecond ? first_bad - kNanosPerSecond : 0,
+                           last_bad + kNanosPerSecond};
+  const std::string archive = dir.FilePath("incident.loomexp");
+  auto stats = ExportTimeRange(*engines[2], {kSource}, incident, archive);
+  if (stats.ok()) {
+    printf("\narchived node 2's incident window: %llu records, %.1f KiB raw -> %.1f KiB "
+           "archived\n",
+           static_cast<unsigned long long>(stats->records),
+           static_cast<double>(stats->raw_bytes) / 1024.0,
+           static_cast<double>(stats->archived_bytes) / 1024.0);
+    auto reader = ArchiveReader::Open(archive);
+    uint64_t replayed = 0;
+    if (reader.ok()) {
+      (void)reader->Scan([&](uint32_t, TimestampNanos, std::span<const uint8_t>) {
+        ++replayed;
+        return true;
+      });
+    }
+    printf("archive replays %llu records\n", static_cast<unsigned long long>(replayed));
+  }
+  return 0;
+}

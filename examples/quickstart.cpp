@@ -1,0 +1,99 @@
+// Quickstart: the smallest end-to-end Loom program.
+//
+// Opens an engine, defines a source with a latency histogram index, pushes a
+// stream of records, and runs each of the three query operators (raw scan,
+// indexed scan, indexed aggregate).
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/core/loom.h"
+
+namespace {
+
+// A tiny record: one double latency value.
+struct Sample {
+  double latency_us;
+};
+
+std::optional<double> LatencyOf(std::span<const uint8_t> payload) {
+  if (payload.size() < sizeof(Sample)) {
+    return std::nullopt;
+  }
+  Sample s;
+  std::memcpy(&s, payload.data(), sizeof(s));
+  return s.latency_us;
+}
+
+}  // namespace
+
+int main() {
+  using namespace loom;
+
+  TempDir dir;  // logs live here; a real deployment passes a fixed path
+  LoomOptions options;
+  options.dir = dir.FilePath("quickstart");
+  auto loom_or = Loom::Open(options);
+  if (!loom_or.ok()) {
+    fprintf(stderr, "open failed: %s\n", loom_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Loom> loom = std::move(loom_or.value());
+
+  // 1. Define a source and a histogram index over its latency field.
+  constexpr uint32_t kSource = 1;
+  (void)loom->DefineSource(kSource);
+  auto spec = HistogramSpec::Exponential(/*lo=*/1.0, /*factor=*/2.0, /*num_bins=*/20).value();
+  uint32_t index = loom->DefineIndex(kSource, LatencyOf, spec).value();
+
+  // 2. Push 100k records (lognormal latencies with a long tail).
+  Rng rng(42);
+  Sample sample;
+  for (int i = 0; i < 100'000; ++i) {
+    sample.latency_us = rng.NextLogNormal(100.0, 0.7);
+    (void)loom->Push(kSource, std::span<const uint8_t>(
+                                  reinterpret_cast<const uint8_t*>(&sample), sizeof(sample)));
+  }
+  const TimeRange all{0, loom->Now()};
+
+  // 3a. Indexed aggregate: count, max, and the 99.9th percentile.
+  printf("count  = %.0f\n",
+         loom->IndexedAggregate(kSource, index, all, AggregateMethod::kCount).value_or(-1));
+  printf("max    = %.1f us\n",
+         loom->IndexedAggregate(kSource, index, all, AggregateMethod::kMax).value_or(-1));
+  double p999 =
+      loom->IndexedAggregate(kSource, index, all, AggregateMethod::kPercentile, 99.9)
+          .value_or(-1);
+  printf("p99.9  = %.1f us\n", p999);
+
+  // 3b. Indexed scan: fetch the outliers above the 99.9th percentile.
+  int outliers = 0;
+  (void)loom->IndexedScan(kSource, index, all, {p999, 1e12}, [&](const RecordView& r) {
+    ++outliers;
+    if (outliers <= 3) {
+      printf("  outlier @t=%llu: %.1f us\n", static_cast<unsigned long long>(r.ts),
+             LatencyOf(r.payload).value_or(0));
+    }
+    return true;
+  });
+  printf("outliers above p99.9: %d\n", outliers);
+
+  // 3c. Raw scan: the five most recent records, newest first.
+  int shown = 0;
+  (void)loom->RawScan(kSource, all, [&](const RecordView& r) {
+    printf("  recent record addr=%llu latency=%.1f us\n",
+           static_cast<unsigned long long>(r.addr), LatencyOf(r.payload).value_or(0));
+    return ++shown < 5;
+  });
+
+  LoomStats stats = loom->stats();
+  printf("ingested %llu records, %llu chunks finalized, record log %.1f MiB\n",
+         static_cast<unsigned long long>(stats.records_ingested),
+         static_cast<unsigned long long>(stats.chunks_finalized),
+         static_cast<double>(stats.record_log.bytes_appended) / (1 << 20));
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "src/benchutil/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace loom {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_sep = [&] {
+    printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) {
+        printf("-");
+      }
+      printf("+");
+    }
+    printf("\n");
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    printf("\n");
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_sep();
+  fflush(stdout);
+}
+
+void PrintBanner(const std::string& figure, const std::string& title,
+                 const std::string& expectation) {
+  printf("\n================================================================================\n");
+  printf("%s — %s\n", figure.c_str(), title.c_str());
+  printf("Paper expectation: %s\n", expectation.c_str());
+  printf("================================================================================\n");
+  fflush(stdout);
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatRate(double per_second) {
+  char buf[64];
+  if (per_second >= 1e6) {
+    snprintf(buf, sizeof(buf), "%.2fM/s", per_second / 1e6);
+  } else if (per_second >= 1e3) {
+    snprintf(buf, sizeof(buf), "%.1fk/s", per_second / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%.0f/s", per_second);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t n) {
+  char buf[64];
+  if (n >= 10'000'000) {
+    snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 10'000) {
+    snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(n) / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+std::string FormatPercent(double fraction01) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.1f%%", fraction01 * 100.0);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%.0f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace loom

@@ -1,0 +1,56 @@
+// Shared helpers for the benchmark harness binaries: wall timing and aligned
+// table printing so each bench reproduces its paper figure as readable rows.
+
+#ifndef SRC_BENCHUTIL_TABLE_H_
+#define SRC_BENCHUTIL_TABLE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loom {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Accumulates rows and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints the standard bench banner: figure id, title, and the paper's
+// qualitative expectation the run should reproduce.
+void PrintBanner(const std::string& figure, const std::string& title,
+                 const std::string& expectation);
+
+std::string FormatDouble(double v, int precision = 2);
+std::string FormatRate(double per_second);     // e.g. "4.31M/s"
+std::string FormatCount(uint64_t n);           // e.g. "1.2M"
+std::string FormatPercent(double fraction01);  // e.g. "38.2%"
+std::string FormatSeconds(double seconds);     // e.g. "1.24 s" / "830 ms"
+
+}  // namespace loom
+
+#endif  // SRC_BENCHUTIL_TABLE_H_

@@ -1,0 +1,297 @@
+#include "src/btreestore/btree_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/codec.h"
+
+namespace loom {
+
+Result<std::unique_ptr<BTreeStore>> BTreeStore::Open(const BTreeOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("BTreeOptions.dir must be set");
+  }
+  if (options.page_size < 64) {
+    return Status::InvalidArgument("page_size too small");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("create_directories " + options.dir + ": " + ec.message());
+  }
+  std::unique_ptr<BTreeStore> store(new BTreeStore(options));
+  auto file = File::CreateTruncate(options.dir + "/btree.db");
+  if (!file.ok()) {
+    return file.status();
+  }
+  store->file_ = std::move(file.value());
+  return store;
+}
+
+BTreeStore::~BTreeStore() = default;
+
+Result<uint64_t> BTreeStore::WritePage(const Page& page) {
+  std::vector<uint8_t> buf;
+  buf.reserve(options_.page_size);
+  buf.push_back(page.leaf ? 1 : 0);
+  buf.push_back(0);
+  buf.push_back(0);
+  buf.push_back(0);
+  PutU32(buf, static_cast<uint32_t>(page.keys.size()));
+  for (size_t i = 0; i < page.keys.size(); ++i) {
+    PutU64(buf, page.keys[i]);
+    if (page.leaf) {
+      PutU32(buf, static_cast<uint32_t>(page.values[i].size()));
+      buf.insert(buf.end(), page.values[i].begin(), page.values[i].end());
+    } else {
+      PutU64(buf, page.children[i]);
+    }
+  }
+  if (buf.size() > options_.page_size) {
+    return Status::Internal("page overflow during serialization");
+  }
+  buf.resize(options_.page_size, 0);
+  const uint64_t page_no = next_page_no_++;
+  Status st = file_.PWriteAll(page_no * options_.page_size, buf);
+  if (!st.ok()) {
+    return st;
+  }
+  ++pages_written_;
+  return page_no;
+}
+
+Result<BTreeStore::Page> BTreeStore::ReadPage(uint64_t page_no) const {
+  std::vector<uint8_t> buf(options_.page_size);
+  LOOM_RETURN_IF_ERROR(file_.PReadAll(page_no * options_.page_size, buf));
+  Page page;
+  page.leaf = buf[0] == 1;
+  const uint32_t n = GetU32(buf, 4);
+  size_t off = 8;
+  for (uint32_t i = 0; i < n; ++i) {
+    page.keys.push_back(GetU64(buf, off));
+    off += 8;
+    if (page.leaf) {
+      const uint32_t vlen = GetU32(buf, off);
+      off += 4;
+      page.values.emplace_back(buf.begin() + static_cast<long>(off),
+                               buf.begin() + static_cast<long>(off + vlen));
+      off += vlen;
+    } else {
+      page.children.push_back(GetU64(buf, off));
+      off += 8;
+    }
+  }
+  return page;
+}
+
+Status BTreeStore::Append(uint64_t key, std::span<const uint8_t> value) {
+  if (flushed_) {
+    return Status::FailedPrecondition("append after flush");
+  }
+  if (any_key_ && key <= last_key_) {
+    return Status::InvalidArgument("append mode requires strictly increasing keys");
+  }
+  const size_t entry = LeafEntryBytes(value.size());
+  if (entry > PageCapacity()) {
+    return Status::InvalidArgument("value too large for page");
+  }
+  if (spine_.empty()) {
+    spine_.emplace_back();
+  }
+  if (spine_[0].used_bytes + entry > PageCapacity()) {
+    // Leaf is full: persist it and register it with the parent spine level.
+    Page full = std::move(spine_[0]);
+    spine_[0] = Page{};
+    auto page_no = WritePage(full);
+    if (!page_no.ok()) {
+      return page_no.status();
+    }
+    LOOM_RETURN_IF_ERROR(InsertIntoSpine(1, full.keys.front(), page_no.value()));
+  }
+  Page& leaf = spine_[0];
+  leaf.keys.push_back(key);
+  leaf.values.emplace_back(value.begin(), value.end());
+  leaf.used_bytes += entry;
+  last_key_ = key;
+  any_key_ = true;
+  ++appends_;
+  bytes_ingested_ += 8 + value.size();
+  if (options_.appends_per_txn > 0 && ++appends_in_txn_ >= options_.appends_per_txn) {
+    appends_in_txn_ = 0;
+    return CommitTxn();
+  }
+  return Status::Ok();
+}
+
+Status BTreeStore::CommitTxn() {
+  // LMDB-style commit: the dirty rightmost-path pages are copy-on-write
+  // written to fresh locations (the previous versions become free pages),
+  // then a meta page is written and the file synced. The spine pages stay
+  // in memory and keep filling — the next commit rewrites them, which is the
+  // write amplification inherent to COW B+trees.
+  for (const Page& page : spine_) {
+    if (page.keys.empty()) {
+      continue;
+    }
+    auto page_no = WritePage(page);
+    if (!page_no.ok()) {
+      return page_no.status();
+    }
+  }
+  // Meta page recording the (shadow) root.
+  Page meta;
+  meta.leaf = false;
+  meta.keys.push_back(appends_);
+  meta.children.push_back(next_page_no_);
+  auto meta_no = WritePage(meta);
+  if (!meta_no.ok()) {
+    return meta_no.status();
+  }
+  ++commits_;
+  if (options_.sync_on_commit) {
+    return file_.Sync();
+  }
+  return Status::Ok();
+}
+
+Status BTreeStore::InsertIntoSpine(size_t level, uint64_t first_key, uint64_t child_page) {
+  if (level == spine_.size()) {
+    Page root;
+    root.leaf = false;
+    spine_.push_back(std::move(root));
+  }
+  if (spine_[level].used_bytes + InteriorEntryBytes() > PageCapacity()) {
+    Page full = std::move(spine_[level]);
+    Page fresh;
+    fresh.leaf = false;
+    spine_[level] = std::move(fresh);
+    auto page_no = WritePage(full);
+    if (!page_no.ok()) {
+      return page_no.status();
+    }
+    LOOM_RETURN_IF_ERROR(InsertIntoSpine(level + 1, full.keys.front(), page_no.value()));
+  }
+  Page& page = spine_[level];
+  page.keys.push_back(first_key);
+  page.children.push_back(child_page);
+  page.used_bytes += InteriorEntryBytes();
+  return Status::Ok();
+}
+
+Status BTreeStore::Flush() {
+  if (flushed_) {
+    return Status::Ok();
+  }
+  flushed_ = true;
+  if (spine_.empty()) {
+    return Status::Ok();
+  }
+  // Write the rightmost spine bottom-up, linking each page into its parent.
+  // InsertIntoSpine may grow the spine (root splits), so index explicitly.
+  for (size_t level = 0; level < spine_.size(); ++level) {
+    Page page = std::move(spine_[level]);
+    spine_[level] = Page{};
+    if (page.keys.empty()) {
+      continue;
+    }
+    auto page_no = WritePage(page);
+    if (!page_no.ok()) {
+      return page_no.status();
+    }
+    if (level + 1 < spine_.size()) {
+      LOOM_RETURN_IF_ERROR(InsertIntoSpine(level + 1, page.keys.front(), page_no.value()));
+    } else {
+      root_page_ = page_no.value();
+    }
+  }
+  spine_.clear();
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> BTreeStore::Get(uint64_t key) const {
+  if (!flushed_) {
+    // Search the in-memory spine leaf first (fast path for recent keys).
+    if (!spine_.empty()) {
+      const Page& leaf = spine_[0];
+      auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+      if (it != leaf.keys.end() && *it == key) {
+        return leaf.values[static_cast<size_t>(it - leaf.keys.begin())];
+      }
+      // Descend from the highest spine level through flushed children.
+      for (size_t level = spine_.size(); level-- > 1;) {
+        const Page& p = spine_[level];
+        auto cit = std::upper_bound(p.keys.begin(), p.keys.end(), key);
+        if (cit == p.keys.begin()) {
+          continue;  // key belongs to a younger (in-memory) subtree
+        }
+        // Found a flushed subtree that may contain the key.
+        const size_t idx = static_cast<size_t>(cit - p.keys.begin()) - 1;
+        // If a lower spine page starts at or before the key, the key lives in
+        // the in-memory part instead.
+        const Page& below = spine_[level - 1];
+        if (!below.keys.empty() && key >= below.keys.front()) {
+          continue;
+        }
+        uint64_t page_no = p.children[idx];
+        for (;;) {
+          auto page = ReadPage(page_no);
+          if (!page.ok()) {
+            return page.status();
+          }
+          if (page.value().leaf) {
+            const auto& keys = page.value().keys;
+            auto kit = std::lower_bound(keys.begin(), keys.end(), key);
+            if (kit != keys.end() && *kit == key) {
+              return page.value().values[static_cast<size_t>(kit - keys.begin())];
+            }
+            return Status::NotFound("key not found");
+          }
+          const auto& keys = page.value().keys;
+          auto kit = std::upper_bound(keys.begin(), keys.end(), key);
+          if (kit == keys.begin()) {
+            return Status::NotFound("key not found");
+          }
+          page_no = page.value().children[static_cast<size_t>(kit - keys.begin()) - 1];
+        }
+      }
+    }
+    return Status::NotFound("key not found");
+  }
+  if (next_page_no_ == 0) {
+    return Status::NotFound("empty tree");
+  }
+  uint64_t page_no = root_page_;
+  for (;;) {
+    auto page = ReadPage(page_no);
+    if (!page.ok()) {
+      return page.status();
+    }
+    if (page.value().leaf) {
+      const auto& keys = page.value().keys;
+      auto it = std::lower_bound(keys.begin(), keys.end(), key);
+      if (it != keys.end() && *it == key) {
+        return page.value().values[static_cast<size_t>(it - keys.begin())];
+      }
+      return Status::NotFound("key not found");
+    }
+    const auto& keys = page.value().keys;
+    auto it = std::upper_bound(keys.begin(), keys.end(), key);
+    if (it == keys.begin()) {
+      return Status::NotFound("key not found");
+    }
+    page_no = page.value().children[static_cast<size_t>(it - keys.begin()) - 1];
+  }
+}
+
+BTreeStats BTreeStore::stats() const {
+  BTreeStats s;
+  s.appends = appends_;
+  s.bytes_ingested = bytes_ingested_;
+  s.pages_written = pages_written_;
+  s.commits = commits_;
+  s.height = spine_.empty() ? 1 : spine_.size();
+  return s;
+}
+
+}  // namespace loom

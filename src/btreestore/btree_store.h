@@ -1,0 +1,112 @@
+// Persistent B+tree baseline (LMDB style) for the data-structure ingest
+// comparison (§6.3, Fig. 15).
+//
+// Following the paper's methodology, ingest uses APPEND mode — keys arrive in
+// strictly increasing order, so the tree grows along its rightmost path and
+// each page is written once when it fills (LMDB's fastest bulk-load path).
+// The per-record cost is page formatting plus parent separator maintenance;
+// page splits propagate up the (in-memory) rightmost spine. Interior and
+// filled leaf pages live in a single page file addressed by page number.
+
+#ifndef SRC_BTREESTORE_BTREE_STORE_H_
+#define SRC_BTREESTORE_BTREE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/status.h"
+
+namespace loom {
+
+struct BTreeOptions {
+  std::string dir;
+  size_t page_size = 4096;
+  // LMDB-style transactional commits: every `appends_per_txn` appends, the
+  // dirty rightmost-path pages are copy-on-write rewritten to fresh page
+  // locations, a meta page is written, and (by default) the file is synced.
+  // This is the durability work that keeps a B+tree behind a log even in
+  // APPEND mode (§6.3).
+  size_t appends_per_txn = 1000;
+  bool sync_on_commit = true;
+};
+
+struct BTreeStats {
+  uint64_t appends = 0;
+  uint64_t bytes_ingested = 0;
+  uint64_t pages_written = 0;
+  uint64_t commits = 0;
+  uint64_t height = 0;
+};
+
+class BTreeStore {
+ public:
+  static Result<std::unique_ptr<BTreeStore>> Open(const BTreeOptions& options);
+  ~BTreeStore();
+
+  BTreeStore(const BTreeStore&) = delete;
+  BTreeStore& operator=(const BTreeStore&) = delete;
+
+  // APPEND-mode insert: `key` must be strictly greater than every key
+  // appended so far. Single ingest thread.
+  Status Append(uint64_t key, std::span<const uint8_t> value);
+
+  // Point lookup walking root-to-leaf (reads flushed pages from disk, the
+  // in-memory rightmost spine otherwise).
+  Result<std::vector<uint8_t>> Get(uint64_t key) const;
+
+  // Writes the rightmost spine so the whole tree is on disk.
+  Status Flush();
+
+  BTreeStats stats() const;
+
+ private:
+  // In-memory page under construction. Leaf entries: (key, value bytes);
+  // interior entries: (first key of child subtree, child page number).
+  struct Page {
+    bool leaf = true;
+    std::vector<uint64_t> keys;
+    std::vector<std::vector<uint8_t>> values;  // leaf only
+    std::vector<uint64_t> children;            // interior only
+    size_t used_bytes = 0;
+  };
+
+  explicit BTreeStore(const BTreeOptions& options) : options_(options) {}
+
+  size_t LeafEntryBytes(size_t value_len) const { return 8 + 4 + value_len; }
+  size_t InteriorEntryBytes() const { return 8 + 8; }
+  size_t PageCapacity() const { return options_.page_size - 16; }  // header space
+
+  // Serializes and writes `page`, returning its page number.
+  Result<uint64_t> WritePage(const Page& page);
+  // Inserts (first_key, child) into spine level `level`, creating parents as
+  // needed.
+  Status InsertIntoSpine(size_t level, uint64_t first_key, uint64_t child_page);
+  Result<Page> ReadPage(uint64_t page_no) const;
+  // COW-rewrites the dirty spine + meta page and syncs (txn commit).
+  Status CommitTxn();
+
+  const BTreeOptions options_;
+  File file_;
+  uint64_t next_page_no_ = 0;
+  // spine_[0] is the active leaf, higher entries are its ancestors up to the
+  // root (spine_.back()).
+  std::vector<Page> spine_;
+  uint64_t last_key_ = 0;
+  bool any_key_ = false;
+  bool flushed_ = false;
+  uint64_t root_page_ = 0;
+
+  uint64_t appends_ = 0;
+  uint64_t bytes_ingested_ = 0;
+  uint64_t pages_written_ = 0;
+  uint64_t commits_ = 0;
+  size_t appends_in_txn_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // SRC_BTREESTORE_BTREE_STORE_H_

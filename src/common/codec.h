@@ -1,0 +1,75 @@
+// Little-endian binary encode/decode helpers.
+//
+// All on-disk and in-log structures (record headers, chunk summaries,
+// timestamp index entries) are serialized with these helpers so the layout is
+// explicit and independent of struct padding.
+
+#ifndef SRC_COMMON_CODEC_H_
+#define SRC_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace loom {
+
+inline void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutF64(std::vector<uint8_t>& buf, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(buf, bits);
+}
+
+inline uint32_t GetU32(std::span<const uint8_t> buf, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(buf[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t GetU64(std::span<const uint8_t> buf, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(buf[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+inline double GetF64(std::span<const uint8_t> buf, size_t offset) {
+  uint64_t bits = GetU64(buf, offset);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// In-place fixed-offset writers, used by the hybrid log writer which encodes
+// directly into the active block.
+inline void StoreU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+inline void StoreU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+inline uint32_t LoadU32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint64_t LoadU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+}  // namespace loom
+
+#endif  // SRC_COMMON_CODEC_H_

@@ -1,0 +1,30 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loom {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta, uint64_t seed) : n_(n), rng_(seed) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    cdf_[i] /= total;
+  }
+}
+
+uint64_t ZipfSampler::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return n_ - 1;
+  }
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace loom

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All workload generators seed explicitly so experiment runs are exactly
+// reproducible. The generator is SplitMix64 (fast, passes BigCrush for the
+// purposes of workload shaping) with helpers for the distributions the case
+// studies need (uniform, exponential, log-normal latencies, Zipf keys).
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace loom {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {
+    // Avoid the all-zero state and decorrelate small seeds.
+    Next64();
+    Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next64() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi].
+  double NextUniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Log-normal parameterized by the median and sigma of the underlying normal.
+  // Matches typical request-latency shapes (long right tail).
+  double NextLogNormal(double median, double sigma) {
+    return median * std::exp(sigma * NextGaussian());
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+      u = NextUniform(-1.0, 1.0);
+      v = NextUniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  // True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+// Zipf-distributed key sampler over [0, n). Precomputes the CDF, so
+// construction is O(n) and sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,75 @@
+// Bounded lock-free single-producer / single-consumer queue.
+//
+// The hybrid log's writer hands full blocks to its background flusher through
+// this queue (§4.1). Only one producer and one consumer thread may use an
+// instance; that constraint lets enqueue/dequeue be a pair of relaxed loads
+// plus one release/acquire each, keeping the ingest path cheap.
+
+#ifndef SRC_COMMON_SPSC_QUEUE_H_
+#define SRC_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace loom {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity must be a power of two and >= 2.
+  explicit SpscQueue(size_t capacity) : capacity_(capacity), mask_(capacity - 1) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    slots_.resize(capacity);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false if the queue is full.
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == capacity_) {
+      return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt if the queue is empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return std::nullopt;
+    }
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  // Approximate size; exact only when called from the producer or consumer.
+  size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace loom
+
+#endif  // SRC_COMMON_SPSC_QUEUE_H_

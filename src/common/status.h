@@ -1,0 +1,139 @@
+// Lightweight status / result types used across all Loom modules.
+//
+// Loom is a storage engine on the hot path of telemetry ingest, so errors are
+// reported via explicit status values instead of exceptions. `Status` carries
+// a coarse error code plus a human-readable message; `Result<T>` carries
+// either a value or a `Status`.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace loom {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kDataLoss,
+  kInternal,
+  kIoError,
+  kUnavailable,
+};
+
+// Returns a stable, human-readable name for `code` (e.g. "IO_ERROR").
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-status holder. Accessing the value of a failed result asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                         // NOLINT(google-explicit-constructor)
+      : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define LOOM_RETURN_IF_ERROR(expr)     \
+  do {                                 \
+    ::loom::Status _loom_st = (expr);  \
+    if (!_loom_st.ok()) {              \
+      return _loom_st;                 \
+    }                                  \
+  } while (0)
+
+}  // namespace loom
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,1017 @@
+#include "src/core/loom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+
+#include "src/hybridlog/cached_reader.h"
+
+namespace loom {
+
+namespace {
+
+// Window used by scan-local read caches.
+constexpr size_t kScanWindow = 64 << 10;
+
+// Forward scans of the timestamp index looking for the next chunk event are
+// bounded; past this many entries the query falls back to the chain walk.
+constexpr uint64_t kChunkEventScanCap = 8192;
+
+Clock* DefaultClock() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+size_t RoundUp(size_t value, size_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
+  LoomOptions opts = options;
+  if (opts.dir.empty()) {
+    return Status::InvalidArgument("LoomOptions.dir must be set");
+  }
+  if (opts.chunk_size < 2 * kRecordHeaderSize) {
+    return Status::InvalidArgument("chunk_size too small");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(opts.dir, ec);
+  if (ec) {
+    return Status::IoError("create_directories " + opts.dir + ": " + ec.message());
+  }
+  opts.record_block_size = RoundUp(std::max(opts.record_block_size, opts.chunk_size),
+                                   opts.chunk_size);
+  opts.ts_index_block_size =
+      RoundUp(std::max<size_t>(opts.ts_index_block_size, 1024), TimestampIndexEntry::kEncodedSize);
+  if (opts.clock == nullptr) {
+    opts.clock = DefaultClock();
+  }
+
+  HybridLogOptions rec_opts;
+  rec_opts.block_size = opts.record_block_size;
+  rec_opts.retain_bytes = opts.record_retain_bytes;
+  auto record_log = HybridLog::Create(opts.dir + "/record.log", rec_opts);
+  if (!record_log.ok()) {
+    return record_log.status();
+  }
+  HybridLogOptions chunk_opts;
+  chunk_opts.block_size = opts.chunk_index_block_size;
+  auto chunk_log = HybridLog::Create(opts.dir + "/chunk.idx", chunk_opts);
+  if (!chunk_log.ok()) {
+    return chunk_log.status();
+  }
+  HybridLogOptions ts_opts;
+  ts_opts.block_size = opts.ts_index_block_size;
+  auto ts_log = HybridLog::Create(opts.dir + "/ts.idx", ts_opts);
+  if (!ts_log.ok()) {
+    return ts_log.status();
+  }
+  return std::unique_ptr<Loom>(new Loom(opts, std::move(record_log.value()),
+                                        std::move(chunk_log.value()),
+                                        std::move(ts_log.value())));
+}
+
+Loom::Loom(const LoomOptions& options, std::unique_ptr<HybridLog> record_log,
+           std::unique_ptr<HybridLog> chunk_log, std::unique_ptr<HybridLog> ts_log)
+    : options_(options),
+      clock_(options.clock),
+      record_log_(std::move(record_log)),
+      chunk_log_(std::move(chunk_log)),
+      ts_log_(std::move(ts_log)),
+      ts_writer_(ts_log_.get()) {}
+
+Loom::~Loom() = default;
+
+// --- Schema operators ------------------------------------------------------
+
+Status Loom::DefineSource(uint32_t source_id) {
+  if (source_id == kPadSourceId) {
+    return Status::InvalidArgument("source id reserved for padding");
+  }
+  auto it = sources_.find(source_id);
+  if (it != sources_.end()) {
+    if (it->second->open) {
+      return Status::AlreadyExists("source already defined");
+    }
+    it->second->open = true;  // reopen: the record chain continues
+    return Status::Ok();
+  }
+  auto state = std::make_unique<SourceState>();
+  state->id = source_id;
+  state->open = true;
+  state->presence_slot = builder_.RegisterSlot(source_id, kPresenceIndexId, 1);
+  {
+    std::lock_guard<std::mutex> lock(schema_mu_);
+    sources_.emplace(source_id, std::move(state));
+  }
+  return Status::Ok();
+}
+
+Status Loom::CloseSource(uint32_t source_id) {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end() || !it->second->open) {
+    return Status::NotFound("source not defined");
+  }
+  SourceState& src = *it->second;
+  for (IndexState* idx : src.indexes) {
+    idx->open = false;
+    builder_.UnregisterSlot(idx->builder_slot);
+    std::lock_guard<std::mutex> lock(schema_mu_);
+    index_snapshots_.erase(idx->id);
+  }
+  src.indexes.clear();
+  src.open = false;
+  return Status::Ok();
+}
+
+Result<uint32_t> Loom::DefineIndex(uint32_t source_id, IndexFunc func, HistogramSpec spec) {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end() || !it->second->open) {
+    return Status::NotFound("source not defined");
+  }
+  if (!func) {
+    return Status::InvalidArgument("index function must be callable");
+  }
+  const uint32_t id = next_index_id_++;
+  auto state = std::make_unique<IndexState>();
+  state->id = id;
+  state->source_id = source_id;
+  state->open = true;
+  state->func = func;
+  state->spec = spec;
+  state->builder_slot =
+      builder_.RegisterSlot(source_id, id, static_cast<uint32_t>(spec.num_bins()));
+  it->second->indexes.push_back(state.get());
+  {
+    std::lock_guard<std::mutex> lock(schema_mu_);
+    index_snapshots_.emplace(id, IndexSnapshot{source_id, std::move(func), std::move(spec)});
+    indexes_.emplace(id, std::move(state));
+  }
+  return id;
+}
+
+Status Loom::CloseIndex(uint32_t index_id) {
+  auto it = indexes_.find(index_id);
+  if (it == indexes_.end() || !it->second->open) {
+    return Status::NotFound("index not defined");
+  }
+  IndexState& idx = *it->second;
+  idx.open = false;
+  builder_.UnregisterSlot(idx.builder_slot);
+  auto src_it = sources_.find(idx.source_id);
+  if (src_it != sources_.end()) {
+    auto& vec = src_it->second->indexes;
+    vec.erase(std::remove(vec.begin(), vec.end(), &idx), vec.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(schema_mu_);
+    index_snapshots_.erase(index_id);
+  }
+  return Status::Ok();
+}
+
+// --- Ingest ------------------------------------------------------------------
+
+Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end() || !it->second->open) {
+    return Status::NotFound("source not defined");
+  }
+  SourceState& src = *it->second;
+  const size_t need = kRecordHeaderSize + payload.size();
+  if (need > options_.chunk_size) {
+    return Status::InvalidArgument("record larger than chunk size");
+  }
+
+  const TimestampNanos now = clock_->NowNanos();
+
+  // Chunk accounting: pad and finalize the active chunk if the record does
+  // not fit in its remainder (§5.4).
+  const uint64_t chunk_end = active_chunk_start_ + options_.chunk_size;
+  if (record_log_->tail() + need > chunk_end) {
+    const size_t pad = static_cast<size_t>(chunk_end - record_log_->tail());
+    if (pad > 0) {
+      auto reserved = record_log_->AppendReserve(pad);
+      if (!reserved.ok()) {
+        return reserved.status();
+      }
+      std::memset(reserved.value().second, 0xFF, pad);
+    }
+    LOOM_RETURN_IF_ERROR(FinalizeChunk(now));
+    active_chunk_start_ = chunk_end;
+  }
+
+  // Append the record.
+  auto reserved = record_log_->AppendReserve(need);
+  if (!reserved.ok()) {
+    return reserved.status();
+  }
+  const uint64_t addr = reserved.value().first;
+  RecordHeader header;
+  header.source_id = source_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.ts = now;
+  header.prev_addr = src.last_record_addr;
+  header.EncodeTo(reserved.value().second);
+  if (!payload.empty()) {
+    std::memcpy(reserved.value().second + kRecordHeaderSize, payload.data(), payload.size());
+  }
+  src.last_record_addr = addr;
+  ++src.record_count;
+  ++records_ingested_;
+  bytes_ingested_ += payload.size();
+
+  // Update the active chunk summary (presence + every index on the source).
+  builder_.UpdatePresence(src.presence_slot, now);
+  for (IndexState* idx : src.indexes) {
+    builder_.NoteEvaluated(idx->builder_slot);
+    std::optional<double> value = idx->func(payload);
+    if (value.has_value()) {
+      builder_.Update(idx->builder_slot, idx->spec.BinOf(*value), *value, now);
+    }
+  }
+
+  LOOM_RETURN_IF_ERROR(MaybeWriteMarker(src, now, addr));
+  PublishAll(src);
+  return Status::Ok();
+}
+
+Status Loom::FinalizeChunk(TimestampNanos now) {
+  ChunkSummary summary =
+      builder_.Finalize(active_chunk_start_, static_cast<uint32_t>(options_.chunk_size));
+  ++chunks_finalized_;
+  if (!options_.enable_chunk_index) {
+    return Status::Ok();
+  }
+  std::vector<uint8_t> buf;
+  buf.reserve(4 + summary.EncodedSize());
+  PutU32(buf, static_cast<uint32_t>(summary.EncodedSize()));
+  summary.EncodeTo(buf);
+  auto addr = chunk_log_->Append(std::span<const uint8_t>(buf.data(), buf.size()));
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  if (options_.enable_timestamp_index) {
+    auto event = ts_writer_.AppendChunkEvent(now, addr.value());
+    if (!event.ok()) {
+      return event.status();
+    }
+    ++ts_entries_;
+  }
+  return Status::Ok();
+}
+
+Status Loom::MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t record_addr) {
+  if (!options_.enable_timestamp_index) {
+    return Status::Ok();
+  }
+  ++src.records_since_marker;
+  if (src.records_since_marker < options_.ts_marker_period && src.record_count != 1) {
+    return Status::Ok();
+  }
+  src.records_since_marker = 0;
+  auto marker = ts_writer_.AppendRecordMarker(src.id, ts, record_addr, src.last_marker_addr);
+  if (!marker.ok()) {
+    return marker.status();
+  }
+  src.last_marker_addr = marker.value();
+  ++ts_entries_;
+  return Status::Ok();
+}
+
+void Loom::PublishAll(SourceState& src) {
+  // §5.4 ordering: record log, then chunk index, then timestamp index, then
+  // the derived watermarks. Readers capture in the reverse order.
+  record_log_->Publish();
+  chunk_log_->Publish();
+  ts_log_->Publish();
+  published_indexed_tail_.store(active_chunk_start_, std::memory_order_release);
+  src.published_last_record.store(src.last_record_addr, std::memory_order_release);
+}
+
+Status Loom::Sync(uint32_t source_id) {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound("source not defined");
+  }
+  PublishAll(*it->second);
+  return Status::Ok();
+}
+
+// --- Snapshots and lookups ----------------------------------------------------
+
+Loom::Snapshot Loom::TakeSnapshot(const SourceState* src) const {
+  Snapshot snap;
+  if (src != nullptr) {
+    snap.source_tail = src->published_last_record.load(std::memory_order_acquire);
+  }
+  snap.indexed_tail = published_indexed_tail_.load(std::memory_order_acquire);
+  snap.ts_tail = ts_log_->queryable_tail();
+  snap.chunk_tail = chunk_log_->queryable_tail();
+  snap.record_tail = record_log_->queryable_tail();
+  return snap;
+}
+
+const Loom::SourceState* Loom::FindSource(uint32_t source_id) const {
+  std::lock_guard<std::mutex> lock(schema_mu_);
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+Result<Loom::IndexSnapshot> Loom::GetIndexSnapshot(uint32_t index_id) const {
+  std::lock_guard<std::mutex> lock(schema_mu_);
+  auto it = index_snapshots_.find(index_id);
+  if (it == index_snapshots_.end()) {
+    return Status::NotFound("index not defined");
+  }
+  return it->second;
+}
+
+// --- Scan helpers ---------------------------------------------------------------
+
+Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
+                             const std::function<bool(const RecordView&)>& fn) const {
+  // Data below the retention floor is gone; scan the retained suffix. Chunk
+  // alignment survives because the floor advances in block multiples and
+  // blocks are chunk-aligned.
+  from = std::max(from, record_log_->retained_floor());
+  if (from >= to) {
+    return Status::Ok();
+  }
+  CachedLogReader reader(record_log_.get(), to, kScanWindow);
+  const uint64_t chunk_size = options_.chunk_size;
+  uint64_t addr = from;
+  while (addr + kRecordHeaderSize <= to) {
+    const uint64_t chunk_end = std::min<uint64_t>(to, addr - (addr % chunk_size) + chunk_size);
+    if (chunk_end - addr < kRecordHeaderSize) {
+      addr = chunk_end;
+      continue;
+    }
+    auto peek = reader.Fetch(addr, 4);
+    if (!peek.ok()) {
+      if (peek.status().code() == StatusCode::kOutOfRange) {
+        // Retention advanced past this scan position mid-query; resume at
+        // the new floor (block-aligned, hence chunk-aligned).
+        const uint64_t new_floor = record_log_->retained_floor();
+        if (new_floor > addr) {
+          addr = new_floor;
+          continue;
+        }
+      }
+      return peek.status();
+    }
+    const uint32_t sid = LoadU32(peek.value().data());
+    if (sid == kPadSourceId) {
+      addr = addr - (addr % chunk_size) + chunk_size;
+      continue;
+    }
+    auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
+    if (!head_bytes.ok()) {
+      return head_bytes.status();
+    }
+    const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
+    if (addr + kRecordHeaderSize + header.payload_len > to) {
+      break;  // beyond the snapshot
+    }
+    auto payload = reader.Fetch(addr + kRecordHeaderSize, header.payload_len);
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    RecordView view;
+    view.source_id = header.source_id;
+    view.ts = header.ts;
+    view.addr = addr;
+    view.payload = payload.value();
+    if (!fn(view)) {
+      return Status::Ok();
+    }
+    addr += kRecordHeaderSize + header.payload_len;
+  }
+  return Status::Ok();
+}
+
+Result<ChunkSummary> Loom::ReadSummary(uint64_t addr, uint64_t chunk_tail) const {
+  uint8_t len_buf[4];
+  if (addr + 4 > chunk_tail) {
+    return Status::OutOfRange("summary past snapshot");
+  }
+  LOOM_RETURN_IF_ERROR(chunk_log_->Read(addr, std::span<uint8_t>(len_buf, 4)));
+  const uint32_t len = LoadU32(len_buf);
+  if (len == 0xFFFFFFFFu || addr + 4 + len > chunk_tail) {
+    return Status::DataLoss("corrupt chunk summary frame");
+  }
+  std::vector<uint8_t> buf(len);
+  LOOM_RETURN_IF_ERROR(chunk_log_->Read(addr + 4, std::span<uint8_t>(buf.data(), len)));
+  return ChunkSummary::Decode(std::span<const uint8_t>(buf.data(), buf.size()));
+}
+
+Status Loom::CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
+                                       std::vector<ChunkSummary>& out) const {
+  out.clear();
+  if (!options_.enable_chunk_index || snap.chunk_tail == 0) {
+    return Status::Ok();
+  }
+  // Chunks below the retention floor no longer have data; skip their
+  // summaries.
+  const uint64_t floor = record_log_->retained_floor();
+
+  if (!options_.enable_timestamp_index) {
+    // Ablation mode: no time index, so scan the whole chunk index log
+    // sequentially and filter by timestamp range (still skips record data).
+    CachedLogReader reader(chunk_log_.get(), snap.chunk_tail, kScanWindow);
+    const size_t bs = chunk_log_->block_size();
+    uint64_t addr = 0;
+    while (addr + 4 <= snap.chunk_tail) {
+      auto len_bytes = reader.Fetch(addr, 4);
+      if (!len_bytes.ok()) {
+        return len_bytes.status();
+      }
+      const uint32_t len = LoadU32(len_bytes.value().data());
+      if (len == 0xFFFFFFFFu) {
+        addr = addr - (addr % bs) + bs;  // block padding
+        continue;
+      }
+      if (addr + 4 + len > snap.chunk_tail) {
+        break;
+      }
+      auto body = reader.Fetch(addr + 4, len);
+      if (!body.ok()) {
+        return body.status();
+      }
+      auto summary = ChunkSummary::Decode(body.value());
+      if (!summary.ok()) {
+        return summary.status();
+      }
+      const ChunkSummary& s = summary.value();
+      if (s.chunk_addr >= floor && s.chunk_addr + s.chunk_len <= snap.indexed_tail &&
+          s.max_ts >= t_range.start && s.min_ts <= t_range.end) {
+        out.push_back(std::move(summary.value()));
+      }
+      addr += 4 + len;
+    }
+    return Status::Ok();
+  }
+
+  TimestampIndexReader tsr(ts_log_.get(), snap.ts_tail);
+  const uint64_t n = tsr.num_entries();
+  if (n == 0) {
+    return Status::Ok();
+  }
+
+  // Find the newest chunk event whose summary could still overlap the range:
+  // binary search to the first entry after t_range.end, then a bounded
+  // forward scan for the next chunk event (the chunk containing t_range.end
+  // is finalized after it). Chunks are time-ordered and non-overlapping, so
+  // one forward event suffices; if none is found, fall back to the last
+  // chunk event overall.
+  std::optional<TimestampIndexEntry> head;
+  auto pos = tsr.FirstEntryAfter(t_range.end);
+  if (!pos.ok()) {
+    return pos.status();
+  }
+  if (pos.value().has_value()) {
+    const uint64_t cap = std::min<uint64_t>(n, *pos.value() + kChunkEventScanCap);
+    for (uint64_t i = *pos.value(); i < cap; ++i) {
+      auto e = tsr.ReadIndex(i);
+      if (!e.ok()) {
+        return e.status();
+      }
+      if (e.value().kind == TimestampIndexEntry::Kind::kChunk) {
+        head = e.value();
+        break;
+      }
+    }
+  }
+  if (!head.has_value()) {
+    auto last = tsr.LastChunkEvent();
+    if (!last.ok()) {
+      return last.status();
+    }
+    head = last.value();
+  }
+  if (!head.has_value()) {
+    return Status::Ok();  // no chunks finalized yet
+  }
+
+  // Walk the chunk-event chain backward, collecting overlapping summaries.
+  // Chunk time ranges are ordered, so the walk stops at the first summary
+  // entirely before the range.
+  uint64_t event_addr = head->target_addr;
+  uint64_t prev_event = head->prev_addr;
+  for (;;) {
+    auto summary = ReadSummary(event_addr, snap.chunk_tail);
+    if (!summary.ok()) {
+      return summary.status();
+    }
+    const ChunkSummary& s = summary.value();
+    if (s.max_ts < t_range.start || s.chunk_addr < floor) {
+      break;  // older chunks are either out of range or dropped by retention
+    }
+    if (s.min_ts <= t_range.end && s.chunk_addr + s.chunk_len <= snap.indexed_tail) {
+      out.push_back(std::move(summary.value()));
+    }
+    if (prev_event == kNullAddr) {
+      break;
+    }
+    auto e = tsr.ReadAt(prev_event);
+    if (!e.ok()) {
+      return e.status();
+    }
+    event_addr = e.value().target_addr;
+    prev_event = e.value().prev_addr;
+  }
+  std::reverse(out.begin(), out.end());
+  return Status::Ok();
+}
+
+// --- Query operators -------------------------------------------------------------
+
+Status Loom::RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback& cb) const {
+  const SourceState* src = FindSource(source_id);
+  if (src == nullptr) {
+    return Status::NotFound("source not defined");
+  }
+  const Snapshot snap = TakeSnapshot(src);
+
+  uint64_t start = snap.source_tail;
+  if (options_.enable_timestamp_index && snap.ts_tail > 0) {
+    TimestampIndexReader tsr(ts_log_.get(), snap.ts_tail);
+    auto marker = tsr.FirstRecordMarkerAfter(source_id, t_range.end);
+    if (!marker.ok()) {
+      return marker.status();
+    }
+    if (marker.value().has_value()) {
+      // All records after the marker's target have ts > t_range.end, so the
+      // backward walk can start there instead of at the chain head.
+      start = marker.value()->target_addr;
+    }
+  }
+  if (start == kNullAddr) {
+    return Status::Ok();
+  }
+
+  CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow);
+  uint64_t addr = start;
+  while (addr != kNullAddr) {
+    if (addr < record_log_->retained_floor()) {
+      break;  // the chain continues into dropped (retention) territory
+    }
+    auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
+    if (!head_bytes.ok()) {
+      if (head_bytes.status().code() == StatusCode::kOutOfRange) {
+        break;  // retention advanced mid-walk: stop at the boundary
+      }
+      return head_bytes.status();
+    }
+    const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
+    if (header.ts < t_range.start) {
+      break;
+    }
+    if (header.ts <= t_range.end) {
+      auto payload = reader.Fetch(addr + kRecordHeaderSize, header.payload_len);
+      if (!payload.ok()) {
+        return payload.status();
+      }
+      RecordView view;
+      view.source_id = header.source_id;
+      view.ts = header.ts;
+      view.addr = addr;
+      view.payload = payload.value();
+      if (!cb(view)) {
+        return Status::Ok();
+      }
+    }
+    addr = header.prev_addr;
+  }
+  return Status::Ok();
+}
+
+Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                         ValueRange v_range, const RecordCallback& cb) const {
+  auto idx = GetIndexSnapshot(index_id);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  if (idx.value().source_id != source_id) {
+    return Status::InvalidArgument("index does not cover source");
+  }
+  const SourceState* src = FindSource(source_id);
+  if (src == nullptr) {
+    return Status::NotFound("source not defined");
+  }
+  const HistogramSpec& spec = idx.value().spec;
+  const IndexFunc& func = idx.value().func;
+  const Snapshot snap = TakeSnapshot(src);
+  const auto [first_bin, last_bin] = spec.BinsOverlapping(v_range.lo, v_range.hi);
+
+  bool stopped = false;
+  auto emit_matches = [&](const RecordView& view) -> bool {
+    if (view.source_id != source_id || !t_range.Contains(view.ts)) {
+      return true;
+    }
+    std::optional<double> value = func(view.payload);
+    if (!value.has_value() || !v_range.Contains(*value)) {
+      return true;
+    }
+    if (!cb(view)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  };
+
+  if (options_.enable_chunk_index) {
+    std::vector<ChunkSummary> candidates;
+    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
+    for (const ChunkSummary& s : candidates) {
+      bool has_presence = false;
+      uint64_t presence_count = 0;
+      uint64_t evaluated_count = 0;
+      bool bin_match = false;
+      TimestampNanos src_min_ts = 0;
+      TimestampNanos src_max_ts = 0;
+      for (const ChunkSummary::Entry& e : s.entries) {
+        if (e.source_id != source_id) {
+          continue;
+        }
+        if (e.index_id == kPresenceIndexId) {
+          has_presence = true;
+          presence_count = e.stats.count;
+          src_min_ts = e.stats.min_ts;
+          src_max_ts = e.stats.max_ts;
+        } else if (e.index_id == index_id) {
+          if (e.bin == kEvaluatedBin) {
+            evaluated_count = e.stats.count;
+          } else if (e.bin >= first_bin && e.bin <= last_bin) {
+            bin_match = true;
+          }
+        }
+      }
+      if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
+        continue;
+      }
+      // Chunks holding records that predate the index definition must be
+      // scanned: the bins cannot prove absence for never-evaluated records
+      // (§5.3). Records the index function merely skipped are provably
+      // non-matching and need no scan.
+      const bool has_unindexed = evaluated_count < presence_count;
+      if (!bin_match && !has_unindexed) {
+        continue;
+      }
+      const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
+      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, emit_matches));
+      if (stopped) {
+        return Status::Ok();
+      }
+    }
+    // Active (not yet summarized) region.
+    LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, emit_matches));
+    return Status::Ok();
+  }
+
+  if (options_.enable_timestamp_index && snap.ts_tail > 0) {
+    // Timestamp-index-only mode: locate the scan start by time, then scan
+    // every record in the window.
+    TimestampIndexReader tsr(ts_log_.get(), snap.ts_tail);
+    uint64_t start_addr = 0;
+    auto pos = tsr.LastEntryAtOrBefore(t_range.start == 0 ? 0 : t_range.start - 1);
+    if (!pos.ok()) {
+      return pos.status();
+    }
+    if (pos.value().has_value()) {
+      auto e = tsr.ReadIndex(*pos.value());
+      if (!e.ok()) {
+        return e.status();
+      }
+      if (e.value().kind == TimestampIndexEntry::Kind::kRecord) {
+        start_addr = e.value().target_addr;
+      }
+    }
+    bool past_range = false;
+    LOOM_RETURN_IF_ERROR(
+        ScanRecordRange(start_addr, snap.record_tail, [&](const RecordView& view) -> bool {
+          if (view.ts > t_range.end) {
+            past_range = true;
+            return false;
+          }
+          return emit_matches(view);
+        }));
+    (void)past_range;
+    return Status::Ok();
+  }
+
+  // No indexes at all: backward chain walk with filtering (newest-first).
+  return RawScan(source_id, t_range, [&](const RecordView& view) -> bool {
+    std::optional<double> value = func(view.payload);
+    if (!value.has_value() || !v_range.Contains(*value)) {
+      return true;
+    }
+    return cb(view);
+  });
+}
+
+Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
+                               TimeRange t_range, BinAccumulation* out) const {
+  const SourceState* src = FindSource(source_id);
+  if (src == nullptr) {
+    return Status::NotFound("source not defined");
+  }
+  const HistogramSpec& spec = idx.spec;
+  const IndexFunc& func = idx.func;
+  out->snap = TakeSnapshot(src);
+  const Snapshot& snap = out->snap;
+  BinStats& merged = out->merged;
+  out->bin_counts.assign(spec.num_bins(), 0);
+  std::vector<uint64_t>& bin_counts = out->bin_counts;
+  std::vector<double>& loose_values = out->loose_values;
+
+  auto scan_accumulate = [&](const RecordView& view) -> bool {
+    if (view.source_id != source_id || !t_range.Contains(view.ts)) {
+      return true;
+    }
+    std::optional<double> value = func(view.payload);
+    if (!value.has_value()) {
+      return true;
+    }
+    merged.Update(*value, view.ts);
+    bin_counts[spec.BinOf(*value)]++;
+    loose_values.push_back(*value);
+    return true;
+  };
+
+  std::vector<const ChunkSummary*>& fully_merged = out->fully_merged;
+  std::vector<ChunkSummary>& candidates = out->candidates;
+
+  if (options_.enable_chunk_index) {
+    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
+    for (const ChunkSummary& s : candidates) {
+      bool has_presence = false;
+      uint64_t presence_count = 0;
+      uint64_t evaluated_count = 0;
+      TimestampNanos src_min_ts = 0;
+      TimestampNanos src_max_ts = 0;
+      for (const ChunkSummary::Entry& e : s.entries) {
+        if (e.source_id != source_id) {
+          continue;
+        }
+        if (e.index_id == kPresenceIndexId) {
+          has_presence = true;
+          presence_count = e.stats.count;
+          src_min_ts = e.stats.min_ts;
+          src_max_ts = e.stats.max_ts;
+        } else if (e.index_id == index_id && e.bin == kEvaluatedBin) {
+          evaluated_count = e.stats.count;
+        }
+      }
+      if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
+        continue;
+      }
+      const bool fully_covered = src_min_ts >= t_range.start && src_max_ts <= t_range.end;
+      // Every source record in the chunk was seen by the index function, so
+      // the bins fully describe the chunk's indexed values (§5.3).
+      const bool all_indexed = evaluated_count == presence_count;
+      if (fully_covered && all_indexed) {
+        for (const ChunkSummary::Entry& e : s.entries) {
+          if (e.source_id == source_id && e.index_id == index_id && e.bin != kEvaluatedBin) {
+            merged.Merge(e.stats);
+            bin_counts[e.bin] += e.stats.count;
+          }
+        }
+        fully_merged.push_back(&s);
+      } else {
+        const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
+        LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, scan_accumulate));
+      }
+    }
+    LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, scan_accumulate));
+  } else {
+    // Ablation modes: aggregate by scanning, bounded by the timestamp index
+    // where available.
+    LOOM_RETURN_IF_ERROR(IndexedScan(source_id, index_id, t_range,
+                                     ValueRange{-std::numeric_limits<double>::infinity(),
+                                                std::numeric_limits<double>::infinity()},
+                                     [&](const RecordView& view) -> bool {
+                                       std::optional<double> value = func(view.payload);
+                                       if (value.has_value()) {
+                                         merged.Update(*value, view.ts);
+                                         bin_counts[spec.BinOf(*value)]++;
+                                         loose_values.push_back(*value);
+                                       }
+                                       return true;
+                                     }));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> Loom::CountRecords(uint32_t source_id, TimeRange t_range) const {
+  const SourceState* src = FindSource(source_id);
+  if (src == nullptr) {
+    return Status::NotFound("source not defined");
+  }
+  const Snapshot snap = TakeSnapshot(src);
+  uint64_t count = 0;
+  auto count_scan = [&](const RecordView& view) -> bool {
+    if (view.source_id == source_id && t_range.Contains(view.ts)) {
+      ++count;
+    }
+    return true;
+  };
+  if (!options_.enable_chunk_index) {
+    // Ablation fallback: a raw chain walk bounded by the time range.
+    Status st = RawScan(source_id, t_range, [&](const RecordView&) {
+      ++count;
+      return true;
+    });
+    if (!st.ok()) {
+      return st;
+    }
+    return count;
+  }
+  std::vector<ChunkSummary> candidates;
+  LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
+  for (const ChunkSummary& s : candidates) {
+    const ChunkSummary::Entry* presence = nullptr;
+    for (const ChunkSummary::Entry& e : s.entries) {
+      if (e.source_id == source_id && e.index_id == kPresenceIndexId) {
+        presence = &e;
+        break;
+      }
+    }
+    if (presence == nullptr || presence->stats.max_ts < t_range.start ||
+        presence->stats.min_ts > t_range.end) {
+      continue;
+    }
+    if (presence->stats.min_ts >= t_range.start && presence->stats.max_ts <= t_range.end) {
+      count += presence->stats.count;  // fully covered: summary answers
+    } else {
+      const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
+      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, count_scan));
+    }
+  }
+  LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, count_scan));
+  return count;
+}
+
+Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                               ValueRange v_range, const ValueCallback& cb) const {
+  auto idx = GetIndexSnapshot(index_id);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  const IndexFunc func = idx.value().func;
+  return IndexedScan(source_id, index_id, t_range, v_range, [&](const RecordView& r) {
+    std::optional<double> value = func(r.payload);
+    if (!value.has_value()) {
+      return true;
+    }
+    return cb(*value, r);
+  });
+}
+
+Result<std::vector<uint64_t>> Loom::IndexedHistogram(uint32_t source_id, uint32_t index_id,
+                                                     TimeRange t_range) const {
+  auto idx = GetIndexSnapshot(index_id);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  if (idx.value().source_id != source_id) {
+    return Status::InvalidArgument("index does not cover source");
+  }
+  BinAccumulation acc;
+  LOOM_RETURN_IF_ERROR(AccumulateIndexed(source_id, index_id, idx.value(), t_range, &acc));
+  return std::move(acc.bin_counts);
+}
+
+Result<double> Loom::IndexedAggregate(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                                      AggregateMethod method, double percentile) const {
+  auto idx = GetIndexSnapshot(index_id);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  if (idx.value().source_id != source_id) {
+    return Status::InvalidArgument("index does not cover source");
+  }
+  if (method == AggregateMethod::kPercentile && (percentile < 0.0 || percentile > 100.0)) {
+    return Status::InvalidArgument("percentile must be in [0, 100]");
+  }
+  const HistogramSpec& spec = idx.value().spec;
+  const IndexFunc& func = idx.value().func;
+  BinAccumulation acc;
+  LOOM_RETURN_IF_ERROR(AccumulateIndexed(source_id, index_id, idx.value(), t_range, &acc));
+  const Snapshot& snap = acc.snap;
+  BinStats& merged = acc.merged;
+  std::vector<uint64_t>& bin_counts = acc.bin_counts;
+  std::vector<double>& loose_values = acc.loose_values;
+  std::vector<const ChunkSummary*>& fully_merged = acc.fully_merged;
+
+  switch (method) {
+    case AggregateMethod::kCount:
+      return static_cast<double>(merged.count);
+    case AggregateMethod::kSum:
+      return merged.sum;
+    case AggregateMethod::kMin:
+      if (merged.count == 0) {
+        return Status::NotFound("no data in range");
+      }
+      return merged.min;
+    case AggregateMethod::kMax:
+      if (merged.count == 0) {
+        return Status::NotFound("no data in range");
+      }
+      return merged.max;
+    case AggregateMethod::kMean:
+      if (merged.count == 0) {
+        return Status::NotFound("no data in range");
+      }
+      return merged.sum / static_cast<double>(merged.count);
+    case AggregateMethod::kPercentile:
+      break;
+  }
+
+  // Holistic percentile: bins as a CDF (§4.3). Find the bin containing the
+  // requested rank, then materialize only that bin's values.
+  const uint64_t total = merged.count;
+  if (total == 0) {
+    return Status::NotFound("no data in range");
+  }
+  uint64_t rank = static_cast<uint64_t>(std::ceil(percentile / 100.0 * static_cast<double>(total)));
+  rank = std::max<uint64_t>(1, std::min(rank, total));
+  uint32_t target_bin = 0;
+  uint64_t cumulative = 0;
+  for (uint32_t b = 0; b < bin_counts.size(); ++b) {
+    if (cumulative + bin_counts[b] >= rank) {
+      target_bin = b;
+      break;
+    }
+    cumulative += bin_counts[b];
+  }
+  const uint64_t local_rank = rank - cumulative;  // 1-based within the bin
+
+  std::vector<double> bin_values;
+  bin_values.reserve(bin_counts[target_bin]);
+  for (double v : loose_values) {
+    if (spec.BinOf(v) == target_bin) {
+      bin_values.push_back(v);
+    }
+  }
+  for (const ChunkSummary* mc : fully_merged) {
+    bool has_bin = false;
+    for (const ChunkSummary::Entry& e : mc->entries) {
+      if (e.source_id == source_id && e.index_id == index_id && e.bin == target_bin) {
+        has_bin = true;
+        break;
+      }
+    }
+    if (!has_bin) {
+      continue;
+    }
+    const uint64_t end =
+        std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
+    LOOM_RETURN_IF_ERROR(
+        ScanRecordRange(mc->chunk_addr, end, [&](const RecordView& view) -> bool {
+          if (view.source_id != source_id || !t_range.Contains(view.ts)) {
+            return true;
+          }
+          std::optional<double> value = func(view.payload);
+          if (value.has_value() && spec.BinOf(*value) == target_bin) {
+            bin_values.push_back(*value);
+          }
+          return true;
+        }));
+  }
+  if (bin_values.size() < local_rank) {
+    return Status::Internal("percentile bin materialization mismatch");
+  }
+  std::nth_element(bin_values.begin(), bin_values.begin() + static_cast<long>(local_rank - 1),
+                   bin_values.end());
+  return bin_values[local_rank - 1];
+}
+
+Result<HistogramSpec> Loom::IndexSpec(uint32_t index_id) const {
+  auto idx = GetIndexSnapshot(index_id);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  return idx.value().spec;
+}
+
+LoomStats Loom::stats() const {
+  LoomStats s;
+  s.records_ingested = records_ingested_;
+  s.bytes_ingested = bytes_ingested_;
+  s.chunks_finalized = chunks_finalized_;
+  s.ts_entries = ts_entries_;
+  s.record_log = record_log_->stats();
+  s.chunk_index_log = chunk_log_->stats();
+  s.ts_index_log = ts_log_->stats();
+  return s;
+}
+
+}  // namespace loom

@@ -1,0 +1,315 @@
+// Loom: efficient capture and querying of high-frequency telemetry.
+//
+// This is the public API of the engine (Figure 9 of the paper). A monitoring
+// daemon embeds a `Loom` instance, defines sources and histogram indexes,
+// pushes records on a single ingest thread, and serves queries from any
+// number of reader threads concurrently with ingest.
+//
+// Threading contract:
+//   * Schema operators (DefineSource/CloseSource/DefineIndex/CloseIndex) and
+//     data ingest operators (Push/Sync) must be called from one thread — the
+//     ingest thread.
+//   * Query operators (RawScan/IndexedScan/IndexedAggregate) may be called
+//     from any thread, concurrently with ingest. Queries never block ingest
+//     (§4.4): they read lock-free snapshots and fall back to persistent
+//     storage when the writer recycles an in-memory block mid-copy.
+//   * Each query runs single-threaded with a constant maximum memory
+//     footprint (§3).
+//
+// Consistency (§4.5): a query observes exactly the records published before
+// its snapshot was created. Durability is bounded by the in-memory blocks:
+// data not yet flushed is lost if the process dies.
+
+#ifndef SRC_CORE_LOOM_H_
+#define SRC_CORE_LOOM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/record_format.h"
+#include "src/hybridlog/hybrid_log.h"
+#include "src/index/chunk_summary.h"
+#include "src/index/histogram.h"
+#include "src/index/timestamp_index.h"
+
+namespace loom {
+
+struct LoomOptions {
+  // Directory holding the three log files (record.log, chunk.idx, ts.idx).
+  std::string dir;
+
+  // Record log chunk size: the unit of indexing (§4.2). Paper default 64 KiB.
+  size_t chunk_size = 64 << 10;
+
+  // In-memory block sizes per hybrid log. The paper uses 64 MiB blocks; the
+  // defaults here are sized for laptop-scale runs. record_block_size is
+  // rounded up to a multiple of chunk_size, ts_block_size to a multiple of
+  // the 32-byte timestamp entry.
+  size_t record_block_size = 4 << 20;
+  size_t chunk_index_block_size = 1 << 20;
+  size_t ts_index_block_size = 1 << 20;
+
+  // A periodic timestamp index entry is written every `ts_marker_period`
+  // records per source.
+  uint32_t ts_marker_period = 64;
+
+  // Record-log retention: keep at most this many bytes of raw records on
+  // disk; older chunks are dropped and their disk space reclaimed (hole
+  // punching). 0 retains everything. Queries reaching past the retention
+  // floor return the retained suffix of the data. Index logs are small and
+  // always retained in full.
+  uint64_t record_retain_bytes = 0;
+
+  // Ablation switches (§6.4, Figure 16). Production leaves both on.
+  bool enable_chunk_index = true;
+  bool enable_timestamp_index = true;
+
+  // Timestamp source; defaults to a process-wide monotonic clock.
+  Clock* clock = nullptr;
+};
+
+struct LoomStats {
+  uint64_t records_ingested = 0;
+  uint64_t bytes_ingested = 0;  // payload bytes
+  uint64_t chunks_finalized = 0;
+  uint64_t ts_entries = 0;
+  HybridLogStats record_log;
+  HybridLogStats chunk_index_log;
+  HybridLogStats ts_index_log;
+};
+
+// Inclusive time range [start, end] in Loom-internal (arrival) timestamps.
+struct TimeRange {
+  TimestampNanos start = 0;
+  TimestampNanos end = 0;
+
+  bool Contains(TimestampNanos ts) const { return ts >= start && ts <= end; }
+};
+
+// Inclusive value range [lo, hi].
+struct ValueRange {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+};
+
+enum class AggregateMethod {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kMean,
+  kPercentile,  // requires percentile argument in [0, 100]
+};
+
+class Loom {
+ public:
+  // Extracts the indexed value from a record payload; nullopt skips the
+  // record (it is still stored and raw-scannable, just not indexed).
+  using IndexFunc = std::function<std::optional<double>(std::span<const uint8_t>)>;
+
+  // Receives matching records. Return false to stop the scan early.
+  using RecordCallback = std::function<bool(const RecordView&)>;
+
+  static Result<std::unique_ptr<Loom>> Open(const LoomOptions& options);
+  ~Loom();
+
+  Loom(const Loom&) = delete;
+  Loom& operator=(const Loom&) = delete;
+
+  // --- Schema operators (ingest thread) ----------------------------------
+
+  Status DefineSource(uint32_t source_id);
+  Status CloseSource(uint32_t source_id);
+
+  // Defines a histogram index over `source_id`. Only records pushed after
+  // the definition are indexed (§5.3); earlier records remain raw-scannable
+  // and are found by indexed operators via chunk presence entries, at scan
+  // cost. Returns the new index id.
+  Result<uint32_t> DefineIndex(uint32_t source_id, IndexFunc func, HistogramSpec spec);
+  Status CloseIndex(uint32_t index_id);
+
+  // --- Data ingest operators (ingest thread) ------------------------------
+
+  // Appends one record. The payload is opaque bytes; Loom timestamps it with
+  // the internal monotonic clock on arrival (§5.2).
+  Status Push(uint32_t source_id, std::span<const uint8_t> payload);
+
+  // Makes all records pushed so far visible to queriers. (Push already
+  // publishes each record; Sync exists for API parity and forces the
+  // publication fence.)
+  Status Sync(uint32_t source_id);
+
+  // --- Query operators (any thread) ---------------------------------------
+
+  // Scans records of `source_id` whose arrival time is in `t_range`, from
+  // most to least recent (back-pointer chain order, §4.3).
+  Status RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback& cb) const;
+
+  // Scans records of `source_id` in `t_range` whose indexed value (per
+  // `index_id`) is in `v_range`, using the chunk index to skip chunks.
+  // Records are delivered in log (oldest-first) order.
+  Status IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_range, ValueRange v_range,
+                     const RecordCallback& cb) const;
+
+  // Aggregates the indexed values of `source_id` in `t_range`. Distributive
+  // aggregates are served from chunk summaries where chunks are fully inside
+  // the range; holistic percentile uses the summary bins as a CDF and scans
+  // only chunks contributing to the target bin (§4.3).
+  Result<double> IndexedAggregate(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                                  AggregateMethod method, double percentile = 0.0) const;
+
+  // Like IndexedScan, but also delivers the extracted index value, so
+  // callers need not know the index function. Used by composed drill-down
+  // queries and the distributed coordinator's two-phase percentile (§8).
+  using ValueCallback = std::function<bool(double value, const RecordView& record)>;
+  Status IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                           ValueRange v_range, const ValueCallback& cb) const;
+
+  // Counts records of `source_id` in `t_range` using the always-maintained
+  // per-source presence statistics in chunk summaries — no user-defined
+  // index required. Falls back to scanning in ablation modes.
+  Result<uint64_t> CountRecords(uint32_t source_id, TimeRange t_range) const;
+
+  // Returns the per-bin record counts of `index_id` over `t_range` (one
+  // entry per histogram bin, including the outlier bins). Served from chunk
+  // summaries plus partial-chunk scans; this is the "histogram" query class
+  // from §3 and the building block for distributed percentile merging (§8).
+  Result<std::vector<uint64_t>> IndexedHistogram(uint32_t source_id, uint32_t index_id,
+                                                 TimeRange t_range) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  // The histogram spec of a defined index (copies; safe from any thread).
+  Result<HistogramSpec> IndexSpec(uint32_t index_id) const;
+
+  LoomStats stats() const;
+  TimestampNanos Now() const { return clock_->NowNanos(); }
+  const LoomOptions& options() const { return options_; }
+
+ private:
+  struct IndexState {
+    uint32_t id = 0;
+    uint32_t source_id = 0;
+    bool open = false;
+    IndexFunc func;
+    HistogramSpec spec = HistogramSpec::ExactMatch(0);
+    size_t builder_slot = 0;
+  };
+
+  struct SourceState {
+    uint32_t id = 0;
+    bool open = false;
+    uint64_t record_count = 0;
+    // Writer-side chain heads.
+    uint64_t last_record_addr = kNullAddr;
+    uint64_t last_marker_addr = kNullAddr;
+    uint32_t records_since_marker = 0;
+    size_t presence_slot = 0;
+    // Indexes active on this source (writer side).
+    std::vector<IndexState*> indexes;
+    // Reader-visible chain head, published after the record log watermark.
+    std::atomic<uint64_t> published_last_record{kNullAddr};
+  };
+
+  // Reader-side snapshot of an index definition.
+  struct IndexSnapshot {
+    uint32_t source_id = 0;
+    IndexFunc func;
+    HistogramSpec spec = HistogramSpec::ExactMatch(0);
+  };
+
+  // Point-in-time view used by one query (§4.4 capture order).
+  struct Snapshot {
+    uint64_t source_tail = kNullAddr;  // chain head for the queried source
+    uint64_t indexed_tail = 0;         // record log address below which chunks are summarized
+    uint64_t ts_tail = 0;
+    uint64_t chunk_tail = 0;
+    uint64_t record_tail = 0;
+  };
+
+  Loom(const LoomOptions& options, std::unique_ptr<HybridLog> record_log,
+       std::unique_ptr<HybridLog> chunk_log, std::unique_ptr<HybridLog> ts_log);
+
+  // Write-path internals (ingest thread).
+  Status FinalizeChunk(TimestampNanos now);
+  Status MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t record_addr);
+  void PublishAll(SourceState& src);
+
+  // Query internals.
+  Snapshot TakeSnapshot(const SourceState* src) const;
+  Result<IndexSnapshot> GetIndexSnapshot(uint32_t index_id) const;
+  const SourceState* FindSource(uint32_t source_id) const;
+
+  // Collects summaries of fully-indexed chunks overlapping `t_range`
+  // (oldest-first), honoring the snapshot boundary.
+  Status CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
+                                   std::vector<ChunkSummary>& out) const;
+
+  // Shared accumulation phase of IndexedAggregate / IndexedHistogram: folds
+  // chunk summaries where possible and scans partial/unindexed/active data.
+  struct BinAccumulation {
+    Snapshot snap;
+    BinStats merged;
+    std::vector<uint64_t> bin_counts;
+    // Values from records that had to be scanned (bounded: a few chunks).
+    std::vector<double> loose_values;
+    std::vector<ChunkSummary> candidates;
+    // Candidates folded purely from summary bins (percentile stage 2 rescans
+    // only these when their bins hold the target rank).
+    std::vector<const ChunkSummary*> fully_merged;
+  };
+  Status AccumulateIndexed(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
+                           TimeRange t_range, BinAccumulation* out) const;
+  Result<ChunkSummary> ReadSummary(uint64_t addr, uint64_t chunk_tail) const;
+
+  // Scans records in [from, to) of the record log, invoking `fn` for every
+  // record (all sources). `fn` returns false to stop.
+  Status ScanRecordRange(uint64_t from, uint64_t to,
+                         const std::function<bool(const RecordView&)>& fn) const;
+
+  const LoomOptions options_;
+  Clock* clock_;
+  std::unique_ptr<Clock> owned_clock_;
+
+  std::unique_ptr<HybridLog> record_log_;
+  std::unique_ptr<HybridLog> chunk_log_;
+  std::unique_ptr<HybridLog> ts_log_;
+
+  TimestampIndexWriter ts_writer_;
+  ChunkSummaryBuilder builder_;
+
+  // Writer-side registries. Sources/indexes are never destroyed while the
+  // engine lives (closed ones are marked), so readers can hold pointers.
+  std::unordered_map<uint32_t, std::unique_ptr<SourceState>> sources_;
+  std::unordered_map<uint32_t, std::unique_ptr<IndexState>> indexes_;
+  uint32_t next_index_id_ = 1;
+
+  // Reader-visible copies of index definitions, guarded by schema_mu_.
+  mutable std::mutex schema_mu_;
+  std::unordered_map<uint32_t, IndexSnapshot> index_snapshots_;
+
+  // Record log address of the active (not yet summarized) chunk's start.
+  std::atomic<uint64_t> published_indexed_tail_{0};
+
+  uint64_t active_chunk_start_ = 0;
+  uint64_t records_ingested_ = 0;
+  uint64_t bytes_ingested_ = 0;
+  uint64_t chunks_finalized_ = 0;
+  uint64_t ts_entries_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // SRC_CORE_LOOM_H_

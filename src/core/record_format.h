@@ -1,0 +1,61 @@
+// On-log record framing for the record log.
+//
+// Every record is a 24-byte header followed by the raw payload bytes:
+//   u32 source_id | u32 payload_len | u64 timestamp | u64 prev_addr
+// `prev_addr` is the back-pointer to the previous record of the same source
+// (kNullAddr for the first), forming the per-source record chain (§4.2).
+//
+// The record log is divided into fixed-size chunks; a record never spans a
+// chunk. When a record does not fit in the active chunk's remainder, the
+// remainder is filled with 0xFF bytes (a source_id of 0xFFFFFFFF therefore
+// reads as "padding: skip to the next chunk boundary").
+
+#ifndef SRC_CORE_RECORD_FORMAT_H_
+#define SRC_CORE_RECORD_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/clock.h"
+#include "src/common/codec.h"
+
+namespace loom {
+
+inline constexpr uint32_t kPadSourceId = 0xFFFFFFFFu;
+inline constexpr size_t kRecordHeaderSize = 24;
+
+struct RecordHeader {
+  uint32_t source_id = 0;
+  uint32_t payload_len = 0;
+  TimestampNanos ts = 0;
+  uint64_t prev_addr = 0;
+
+  void EncodeTo(uint8_t* dst) const {
+    StoreU32(dst, source_id);
+    StoreU32(dst + 4, payload_len);
+    StoreU64(dst + 8, ts);
+    StoreU64(dst + 16, prev_addr);
+  }
+
+  static RecordHeader Decode(const uint8_t* src) {
+    RecordHeader h;
+    h.source_id = LoadU32(src);
+    h.payload_len = LoadU32(src + 4);
+    h.ts = LoadU64(src + 8);
+    h.prev_addr = LoadU64(src + 16);
+    return h;
+  }
+};
+
+// A record as seen by query callbacks. `payload` points into a scan buffer
+// and is only valid for the duration of the callback.
+struct RecordView {
+  uint32_t source_id = 0;
+  TimestampNanos ts = 0;
+  uint64_t addr = 0;  // record log address (stable identifier)
+  std::span<const uint8_t> payload;
+};
+
+}  // namespace loom
+
+#endif  // SRC_CORE_RECORD_FORMAT_H_

@@ -1,0 +1,189 @@
+#include "src/daemon/monitoring_daemon.h"
+
+#include <chrono>
+
+namespace loom {
+
+SourceChannel::SourceChannel(uint32_t source_id, size_t capacity, size_t max_bytes)
+    : source_id_(source_id), max_bytes_(max_bytes), queue_(capacity) {}
+
+bool SourceChannel::Offer(std::span<const uint8_t> payload) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (payload.size() > max_bytes_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Slot slot;
+  slot.len = static_cast<uint32_t>(payload.size());
+  slot.bytes.assign(payload.begin(), payload.end());
+  if (!queue_.TryPush(std::move(slot))) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SourceChannel::Publish(std::span<const uint8_t> payload) {
+  while (!Offer(payload)) {
+    std::this_thread::yield();
+  }
+}
+
+DaemonSourceStats SourceChannel::stats() const {
+  DaemonSourceStats s;
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<std::unique_ptr<MonitoringDaemon>> MonitoringDaemon::Start(const DaemonOptions& options) {
+  std::unique_ptr<MonitoringDaemon> daemon(new MonitoringDaemon(options));
+  auto loom = Loom::Open(options.loom);
+  if (!loom.ok()) {
+    return loom.status();
+  }
+  daemon->loom_ = std::move(loom.value());
+  daemon->ingest_ = std::thread([raw = daemon.get()] { raw->IngestMain(); });
+  return daemon;
+}
+
+MonitoringDaemon::~MonitoringDaemon() {
+  stop_.store(true, std::memory_order_release);
+  if (ingest_.joinable()) {
+    ingest_.join();
+  }
+}
+
+Result<SourceChannel*> MonitoringDaemon::AddSource(uint32_t source_id) {
+  size_t capacity = 2;
+  while (capacity < options_.channel_capacity) {
+    capacity <<= 1;
+  }
+  std::unique_ptr<SourceChannel> channel(
+      new SourceChannel(source_id, capacity, options_.max_record_bytes));
+  SourceChannel* raw = channel.get();
+
+  // DefineSource must run on the ingest thread; enqueue and wait.
+  Result<uint32_t> define_result(0u);
+  std::atomic<bool> done{false};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PendingIndex op;
+    op.source_id = source_id;
+    op.func = nullptr;  // marks "define source"
+    op.result = &define_result;
+    op.done = &done;
+    pending_.push_back(std::move(op));
+  }
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  if (!define_result.ok()) {
+    return define_result.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channels_.push_back(std::move(channel));
+  }
+  return raw;
+}
+
+Result<uint32_t> MonitoringDaemon::AddIndex(uint32_t source_id, Loom::IndexFunc func,
+                                            HistogramSpec spec) {
+  Result<uint32_t> result(0u);
+  std::atomic<bool> done{false};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PendingIndex op;
+    op.source_id = source_id;
+    op.func = std::move(func);
+    op.spec = std::move(spec);
+    op.result = &result;
+    op.done = &done;
+    pending_.push_back(std::move(op));
+  }
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  return result;
+}
+
+void MonitoringDaemon::Flush() {
+  // Wait until every channel is drained by the ingest thread.
+  for (;;) {
+    bool empty = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& channel : channels_) {
+        if (!channel->queue_.EmptyApprox()) {
+          empty = false;
+          break;
+        }
+      }
+      if (empty && pending_.empty()) {
+        return;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void MonitoringDaemon::IngestMain() {
+  size_t rr = 0;  // round-robin cursor over channels
+  for (;;) {
+    // 1. Run pending schema ops.
+    std::vector<PendingIndex> ops;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ops.swap(pending_);
+    }
+    for (PendingIndex& op : ops) {
+      if (!op.func) {
+        Status st = loom_->DefineSource(op.source_id);
+        *op.result = st.ok() ? Result<uint32_t>(op.source_id) : Result<uint32_t>(st);
+      } else {
+        *op.result = loom_->DefineIndex(op.source_id, std::move(op.func), std::move(op.spec));
+      }
+      op.done->store(true, std::memory_order_release);
+    }
+
+    // 2. Drain channels round-robin in bounded batches.
+    size_t channel_count;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      channel_count = channels_.size();
+    }
+    uint64_t drained = 0;
+    for (size_t i = 0; i < channel_count; ++i) {
+      SourceChannel* channel;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        channel = channels_[(rr + i) % channel_count].get();
+      }
+      for (int batch = 0; batch < 128; ++batch) {
+        auto slot = channel->queue_.TryPop();
+        if (!slot.has_value()) {
+          break;
+        }
+        Status st = loom_->Push(channel->source_id(),
+                                std::span<const uint8_t>(slot->bytes.data(), slot->len));
+        if (st.ok()) {
+          records_ingested_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++drained;
+      }
+    }
+    rr = channel_count == 0 ? 0 : (rr + 1) % channel_count;
+
+    if (drained == 0) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+}  // namespace loom

@@ -1,0 +1,137 @@
+// Monitoring daemon: the deployment shape from §3 / Figure 4.
+//
+// Loom's engine requires a single ingest thread. Real collectors (the
+// OpenTelemetry Collector, FluentD) receive telemetry from many concurrent
+// sources, so this daemon provides the multi-producer front door: each
+// registered source gets its own bounded SPSC channel, and one internal
+// ingest thread drains the channels into the Loom engine in arrival order.
+// Queries pass straight through to the engine (they are already
+// any-thread-safe and never block ingest).
+//
+// Backpressure policy: Offer() never blocks the producing source. If a
+// source's channel is full, the daemon either drops the record (counted) or
+// the caller can use Publish() which spins — matching the paper's position
+// that probe effect (blocking the instrumented application) is worse than
+// visible, counted drops at the collector boundary.
+
+#ifndef SRC_DAEMON_MONITORING_DAEMON_H_
+#define SRC_DAEMON_MONITORING_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/spsc_queue.h"
+#include "src/common/status.h"
+#include "src/core/loom.h"
+
+namespace loom {
+
+struct DaemonOptions {
+  LoomOptions loom;
+  // Per-source channel capacity (records). Rounded up to a power of two.
+  size_t channel_capacity = 1 << 14;
+  // Largest record accepted through a channel.
+  size_t max_record_bytes = 4096;
+};
+
+struct DaemonSourceStats {
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t dropped = 0;
+};
+
+// A handle a telemetry source uses to push records into the daemon from its
+// own thread. One handle per source; a handle must be used by one thread.
+class SourceChannel {
+ public:
+  // Non-blocking: false means the channel was full and the record was
+  // dropped (counted).
+  bool Offer(std::span<const uint8_t> payload);
+
+  // Blocking variant: spins until the record is accepted. Use only where
+  // data completeness matters more than producer latency.
+  void Publish(std::span<const uint8_t> payload);
+
+  uint32_t source_id() const { return source_id_; }
+  DaemonSourceStats stats() const;
+
+ private:
+  friend class MonitoringDaemon;
+
+  struct Slot {
+    uint32_t len = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  SourceChannel(uint32_t source_id, size_t capacity, size_t max_bytes);
+
+  uint32_t source_id_;
+  size_t max_bytes_;
+  SpscQueue<Slot> queue_;
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+class MonitoringDaemon {
+ public:
+  static Result<std::unique_ptr<MonitoringDaemon>> Start(const DaemonOptions& options);
+  ~MonitoringDaemon();
+
+  MonitoringDaemon(const MonitoringDaemon&) = delete;
+  MonitoringDaemon& operator=(const MonitoringDaemon&) = delete;
+
+  // Registers a source with the engine and returns its channel. Safe to call
+  // from any thread; the channel itself is single-producer.
+  Result<SourceChannel*> AddSource(uint32_t source_id);
+
+  // Defines an index on a source (forwarded to the engine on the ingest
+  // thread's schedule; effective for records ingested afterwards).
+  Result<uint32_t> AddIndex(uint32_t source_id, Loom::IndexFunc func, HistogramSpec spec);
+
+  // Drains all channels and publishes, so tests and shutdown see everything.
+  void Flush();
+
+  // The underlying engine, for queries (RawScan / IndexedScan /
+  // IndexedAggregate are safe from any thread).
+  Loom* engine() { return loom_.get(); }
+
+  uint64_t records_ingested() const { return records_ingested_.load(std::memory_order_relaxed); }
+
+ private:
+  explicit MonitoringDaemon(const DaemonOptions& options) : options_(options) {}
+
+  void IngestMain();
+
+  DaemonOptions options_;
+  std::unique_ptr<Loom> loom_;
+  std::thread ingest_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> records_ingested_{0};
+
+  // Channel list: mutated under mu_ by AddSource; the ingest thread snapshots
+  // the vector size (channels are never removed or reallocated).
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SourceChannel>> channels_;
+
+  // Pending schema ops executed on the ingest thread (DefineIndex must run
+  // there per the engine's threading contract).
+  struct PendingIndex {
+    uint32_t source_id;
+    Loom::IndexFunc func;
+    HistogramSpec spec = HistogramSpec::ExactMatch(0);
+    Result<uint32_t>* result;
+    std::atomic<bool>* done;
+  };
+  std::vector<PendingIndex> pending_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_DAEMON_MONITORING_DAEMON_H_

@@ -1,0 +1,87 @@
+// Distributed Loom coordinator (§8 "Distributed Environments").
+//
+// Modern incidents span machines; the paper sketches a coordinator that
+// contacts the Loom instance on each relevant host, lets each node compute
+// intermediate results locally, and merges them. This module implements that
+// design over in-process engine instances (the node boundary is the `Loom*`
+// API; a network transport would marshal the same calls):
+//
+//   * distributive aggregates (count/sum/min/max/mean) merge per-node
+//     partial aggregates;
+//   * holistic percentiles run the two-phase protocol: (1) fetch per-node
+//     histogram bin counts and merge them into a global CDF, (2) fetch only
+//     the values of the bin containing the global rank from each node;
+//   * scans merge per-node results into a single timestamp-ordered stream;
+//   * cross-node correlation finds anchor events on one node and windows
+//     around them on every node.
+//
+// All nodes must share the index definition (same histogram spec) for the
+// merged bins to be comparable; the coordinator validates bin counts.
+
+#ifndef SRC_DISTRIBUTED_COORDINATOR_H_
+#define SRC_DISTRIBUTED_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/loom.h"
+
+namespace loom {
+
+// A query-addressable node: an engine plus the ids under which the queried
+// source/index were defined on that node (ids may differ per node).
+struct LoomNode {
+  Loom* engine = nullptr;
+  uint32_t node_id = 0;
+};
+
+class LoomCoordinator {
+ public:
+  explicit LoomCoordinator(std::vector<LoomNode> nodes) : nodes_(std::move(nodes)) {}
+
+  // A record observed on a specific node.
+  struct NodeRecord {
+    uint32_t node_id = 0;
+    uint32_t source_id = 0;
+    TimestampNanos ts = 0;
+    std::vector<uint8_t> payload;
+  };
+  using NodeRecordCallback = std::function<bool(const NodeRecord&)>;
+
+  // Distributive aggregate across all nodes.
+  Result<double> Aggregate(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                           AggregateMethod method) const;
+
+  // Global percentile via the two-phase bin-count merge. `spec` must be the
+  // histogram spec shared by the index on every node.
+  Result<double> Percentile(uint32_t source_id, uint32_t index_id, const HistogramSpec& spec,
+                            TimeRange t_range, double percentile) const;
+
+  // Merged per-bin counts across all nodes.
+  Result<std::vector<uint64_t>> Histogram(uint32_t source_id, uint32_t index_id,
+                                          TimeRange t_range) const;
+
+  // Indexed scan on every node, merged into one timestamp-ordered stream.
+  Status Scan(uint32_t source_id, uint32_t index_id, TimeRange t_range, ValueRange v_range,
+              const NodeRecordCallback& cb) const;
+
+  // Cross-node correlation: for each anchor record matching
+  // (anchor_source, anchor_index, anchor_range) on any node, deliver all
+  // records of `target_source` within +/- `window` of the anchor timestamp
+  // from every node. Timestamps are assumed loosely synchronized across
+  // nodes (the paper's over-approximated-window strategy, §5.2).
+  Status Correlate(uint32_t anchor_source, uint32_t anchor_index, TimeRange t_range,
+                   ValueRange anchor_values, uint32_t target_source, TimestampNanos window,
+                   const std::function<bool(const NodeRecord& anchor,
+                                            const NodeRecord& correlated)>& cb) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  std::vector<LoomNode> nodes_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_DISTRIBUTED_COORDINATOR_H_

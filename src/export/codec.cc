@@ -1,0 +1,98 @@
+#include "src/export/codec.h"
+
+namespace loom {
+
+void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+Result<uint64_t> GetVarint(std::span<const uint8_t> data, size_t* offset) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*offset < data.size() && shift < 64) {
+    const uint8_t byte = data[*offset];
+    ++*offset;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+  return Status::DataLoss("truncated varint");
+}
+
+namespace {
+
+constexpr uint8_t kLiteralOp = 0x00;
+constexpr uint8_t kRepeatOp = 0x01;
+constexpr size_t kMinRepeatRun = 4;
+
+}  // namespace
+
+void RleCompress(std::span<const uint8_t> input, std::vector<uint8_t>& out) {
+  size_t i = 0;
+  size_t literal_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end > literal_start) {
+      out.push_back(kLiteralOp);
+      PutVarint(out, end - literal_start);
+      out.insert(out.end(), input.begin() + static_cast<long>(literal_start),
+                 input.begin() + static_cast<long>(end));
+    }
+  };
+  while (i < input.size()) {
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i]) {
+      ++run;
+    }
+    if (run >= kMinRepeatRun) {
+      flush_literals(i);
+      out.push_back(kRepeatOp);
+      PutVarint(out, run);
+      out.push_back(input[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(input.size());
+}
+
+Status RleDecompress(std::span<const uint8_t> input, std::vector<uint8_t>& out,
+                     size_t max_output) {
+  size_t offset = 0;
+  while (offset < input.size()) {
+    const uint8_t op = input[offset++];
+    auto len = GetVarint(input, &offset);
+    if (!len.ok()) {
+      return len.status();
+    }
+    if (len.value() > max_output || out.size() + len.value() > max_output) {
+      return Status::DataLoss("RLE run exceeds output bound");
+    }
+    if (op == kLiteralOp) {
+      if (offset + len.value() > input.size()) {
+        return Status::DataLoss("truncated literal run");
+      }
+      out.insert(out.end(), input.begin() + static_cast<long>(offset),
+                 input.begin() + static_cast<long>(offset + len.value()));
+      offset += len.value();
+    } else if (op == kRepeatOp) {
+      if (offset >= input.size()) {
+        return Status::DataLoss("truncated repeat run");
+      }
+      out.insert(out.end(), len.value(), input[offset]);
+      ++offset;
+    } else {
+      return Status::DataLoss("unknown RLE op");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace loom

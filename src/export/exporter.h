@@ -1,0 +1,66 @@
+// Bulk export of captured telemetry for long-term retention (§3 "Managing
+// Historical Data").
+//
+// Loom is designed for ad hoc analysis of recent data; once an engineer has
+// identified the range of interest, they copy it out in bulk — outside the
+// ingest critical path — into a compressed archive for post-mortem storage
+// (the paper suggests HDFS/Kafka as destinations; the archive here is a
+// self-contained file).
+//
+// Archive layout:
+//   "LOOMEXP1" magic (8 bytes)
+//   blocks until EOF, each:
+//     u32 record_count | u32 raw_len | u32 compressed_len | RLE payload
+//   Block payload (before RLE), columnar:
+//     varint zigzag-delta timestamps (vs previous record, first vs 0)
+//     varint source ids
+//     varint payload lengths
+//     raw payload bytes, concatenated
+//
+// Timestamps are Loom arrival timestamps; records appear in arrival order.
+
+#ifndef SRC_EXPORT_EXPORTER_H_
+#define SRC_EXPORT_EXPORTER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/loom.h"
+
+namespace loom {
+
+struct ExportStats {
+  uint64_t records = 0;
+  uint64_t raw_bytes = 0;       // timestamps + ids + lengths + payloads
+  uint64_t archived_bytes = 0;  // bytes written to the archive file
+};
+
+// Copies all records of `sources` with arrival time in `t_range` from the
+// engine into an archive at `path`. Runs on the caller's thread using the
+// normal snapshot read path, so ingest continues undisturbed.
+Result<ExportStats> ExportTimeRange(const Loom& engine, const std::vector<uint32_t>& sources,
+                                    TimeRange t_range, const std::string& path);
+
+// Streams an archive back out, in the order it was written.
+class ArchiveReader {
+ public:
+  using RecordCallback =
+      std::function<bool(uint32_t source_id, TimestampNanos ts, std::span<const uint8_t>)>;
+
+  static Result<ArchiveReader> Open(const std::string& path);
+
+  // Scans the whole archive. Returns DataLoss on corruption.
+  Status Scan(const RecordCallback& cb) const;
+
+ private:
+  explicit ArchiveReader(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_EXPORT_EXPORTER_H_

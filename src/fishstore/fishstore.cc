@@ -1,0 +1,260 @@
+#include "src/fishstore/fishstore.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/codec.h"
+#include "src/hybridlog/cached_reader.h"
+
+namespace loom {
+
+namespace {
+
+// Record layout: fixed header, then n_slots chain slots, then payload.
+//   u32 source_id | u32 payload_len | u64 ts | u32 n_slots | u32 reserved
+//   n_slots x { u32 psf_id | u32 reserved | u64 prev_addr }
+constexpr size_t kFixedHeader = 24;
+constexpr size_t kSlotSize = 16;
+constexpr uint32_t kPadMarker = 0xFFFFFFFFu;
+constexpr size_t kScanWindow = 64 << 10;
+
+Clock* DefaultClock() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FishStore>> FishStore::Open(const FishStoreOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("FishStoreOptions.dir must be set");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("create_directories " + options.dir + ": " + ec.message());
+  }
+  HybridLogOptions log_opts;
+  log_opts.block_size = options.block_size;
+  auto log = HybridLog::Create(options.dir + "/fishstore.log", log_opts);
+  if (!log.ok()) {
+    return log.status();
+  }
+  return std::unique_ptr<FishStore>(new FishStore(options, std::move(log.value())));
+}
+
+FishStore::FishStore(const FishStoreOptions& options, std::unique_ptr<HybridLog> log)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : DefaultClock()),
+      log_(std::move(log)) {}
+
+FishStore::~FishStore() = default;
+
+Result<uint32_t> FishStore::RegisterPsf(PsfFunc func) {
+  if (!func) {
+    return Status::InvalidArgument("psf must be callable");
+  }
+  PsfState state;
+  state.id = next_psf_id_++;
+  state.open = true;
+  state.func = std::move(func);
+  psfs_.push_back(std::move(state));
+  return psfs_.back().id;
+}
+
+Status FishStore::DeregisterPsf(uint32_t psf_id) {
+  for (PsfState& psf : psfs_) {
+    if (psf.id == psf_id && psf.open) {
+      psf.open = false;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("psf not registered");
+}
+
+Status FishStore::Push(uint32_t source_id, std::span<const uint8_t> payload) {
+  if (source_id == kPadMarker) {
+    return Status::InvalidArgument("source id reserved");
+  }
+  const TimestampNanos now = clock_->NowNanos();
+
+  // Subset hashing: evaluate every installed PSF on the ingest path. This is
+  // the FishStore cost model the paper measures — more PSFs, more per-record
+  // CPU (Fig. 14).
+  struct Match {
+    uint32_t psf_id;
+    uint64_t value;
+    uint64_t prev;
+  };
+  // Bounded small; reuse of a static buffer avoids per-push allocation.
+  thread_local std::vector<Match> matches;
+  matches.clear();
+  for (const PsfState& psf : psfs_) {
+    if (!psf.open) {
+      continue;
+    }
+    ++psf_evaluations_;
+    std::optional<uint64_t> value = psf.func(source_id, payload);
+    if (value.has_value()) {
+      matches.push_back(Match{psf.id, *value, kNullAddr});
+    }
+  }
+
+  const size_t need = kFixedHeader + matches.size() * kSlotSize + payload.size();
+  auto reserved = log_->AppendReserve(need);
+  if (!reserved.ok()) {
+    return reserved.status();
+  }
+  const uint64_t addr = reserved.value().first;
+  uint8_t* dst = reserved.value().second;
+
+  // Resolve chain heads and point them at this record.
+  {
+    std::lock_guard<std::mutex> lock(heads_mu_);
+    for (Match& m : matches) {
+      ChainKey key{m.psf_id, m.value};
+      auto [it, inserted] = chain_heads_.try_emplace(key, addr);
+      if (!inserted) {
+        m.prev = it->second;
+        it->second = addr;
+      }
+    }
+  }
+
+  StoreU32(dst, source_id);
+  StoreU32(dst + 4, static_cast<uint32_t>(payload.size()));
+  StoreU64(dst + 8, now);
+  StoreU32(dst + 16, static_cast<uint32_t>(matches.size()));
+  StoreU32(dst + 20, 0);
+  size_t off = kFixedHeader;
+  for (const Match& m : matches) {
+    StoreU32(dst + off, m.psf_id);
+    StoreU32(dst + off + 4, 0);
+    StoreU64(dst + off + 8, m.prev);
+    off += kSlotSize;
+  }
+  if (!payload.empty()) {
+    std::memcpy(dst + off, payload.data(), payload.size());
+  }
+  log_->Publish();
+  ++records_ingested_;
+  bytes_ingested_ += payload.size();
+  return Status::Ok();
+}
+
+void FishStore::Sync() { log_->Publish(); }
+
+Status FishStore::FullScan(const RecordCallback& cb) const {
+  const uint64_t tail = log_->queryable_tail();
+  CachedLogReader reader(log_.get(), tail, kScanWindow);
+  const size_t bs = log_->block_size();
+  uint64_t addr = 0;
+  while (addr + kFixedHeader <= tail) {
+    // Records never span blocks; a position too close to the block end can
+    // only hold padding.
+    const uint64_t block_end = addr - (addr % bs) + bs;
+    if (block_end - addr < kFixedHeader) {
+      addr = block_end;
+      continue;
+    }
+    auto peek = reader.Fetch(addr, 4);
+    if (!peek.ok()) {
+      return peek.status();
+    }
+    if (LoadU32(peek.value().data()) == kPadMarker) {
+      addr = addr - (addr % bs) + bs;  // block padding
+      continue;
+    }
+    auto head = reader.Fetch(addr, kFixedHeader);
+    if (!head.ok()) {
+      return head.status();
+    }
+    const uint8_t* h = head.value().data();
+    const uint32_t source_id = LoadU32(h);
+    const uint32_t payload_len = LoadU32(h + 4);
+    const TimestampNanos ts = LoadU64(h + 8);
+    const uint32_t n_slots = LoadU32(h + 16);
+    const size_t total = kFixedHeader + n_slots * kSlotSize + payload_len;
+    if (addr + total > tail) {
+      break;
+    }
+    auto payload = reader.Fetch(addr + kFixedHeader + n_slots * kSlotSize, payload_len);
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    Record rec;
+    rec.source_id = source_id;
+    rec.ts = ts;
+    rec.addr = addr;
+    rec.payload = payload.value();
+    if (!cb(rec)) {
+      return Status::Ok();
+    }
+    addr += total;
+  }
+  return Status::Ok();
+}
+
+Status FishStore::PsfScan(uint32_t psf_id, uint64_t value, const RecordCallback& cb) const {
+  uint64_t addr = kNullAddr;
+  {
+    std::lock_guard<std::mutex> lock(heads_mu_);
+    auto it = chain_heads_.find(ChainKey{psf_id, value});
+    if (it != chain_heads_.end()) {
+      addr = it->second;
+    }
+  }
+  const uint64_t tail = log_->queryable_tail();
+  CachedLogReader reader(log_.get(), tail, kScanWindow);
+  while (addr != kNullAddr && addr + kFixedHeader <= tail) {
+    auto head = reader.Fetch(addr, kFixedHeader);
+    if (!head.ok()) {
+      return head.status();
+    }
+    const uint8_t* h = head.value().data();
+    const uint32_t source_id = LoadU32(h);
+    const uint32_t payload_len = LoadU32(h + 4);
+    const TimestampNanos ts = LoadU64(h + 8);
+    const uint32_t n_slots = LoadU32(h + 16);
+    auto slots = reader.Fetch(addr + kFixedHeader, n_slots * kSlotSize);
+    if (!slots.ok()) {
+      return slots.status();
+    }
+    uint64_t prev = kNullAddr;
+    for (uint32_t i = 0; i < n_slots; ++i) {
+      if (LoadU32(slots.value().data() + i * kSlotSize) == psf_id) {
+        prev = LoadU64(slots.value().data() + i * kSlotSize + 8);
+        break;
+      }
+    }
+    auto payload = reader.Fetch(addr + kFixedHeader + n_slots * kSlotSize, payload_len);
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    Record rec;
+    rec.source_id = source_id;
+    rec.ts = ts;
+    rec.addr = addr;
+    rec.payload = payload.value();
+    if (!cb(rec)) {
+      return Status::Ok();
+    }
+    addr = prev;
+  }
+  return Status::Ok();
+}
+
+FishStoreStats FishStore::stats() const {
+  FishStoreStats s;
+  s.records_ingested = records_ingested_;
+  s.bytes_ingested = bytes_ingested_;
+  s.psf_evaluations = psf_evaluations_;
+  {
+    std::lock_guard<std::mutex> lock(heads_mu_);
+    s.chain_heads = chain_heads_.size();
+  }
+  s.log = log_->stats();
+  return s;
+}
+
+}  // namespace loom

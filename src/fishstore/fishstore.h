@@ -1,0 +1,132 @@
+// FishStore-style baseline: a shared append-only log with predicated subset
+// function (PSF) indexing (Xie et al., SIGMOD 2019; §2.3/§6 of the Loom
+// paper).
+//
+// A PSF maps each ingested record to an optional property value; records with
+// the same (psf, value) pair are linked into a hash chain of back-pointers
+// embedded in the record headers ("subset hashing"). PSF chains make
+// exact-match retrieval fast, but:
+//   * PSFs are evaluated on the ingest path (per-record CPU cost that grows
+//     with the number of installed PSFs — the probe-effect driver in Fig. 14);
+//   * there is no time index, so time-bounded queries must either walk a PSF
+//     chain from its head (cost grows with lookback, Fig. 17) or scan the
+//     whole interleaved log (Fig. 12/13).
+//
+// This reimplementation keeps exactly those properties on top of the same
+// hybrid-log storage substrate Loom uses, so data-structure differences (not
+// file formats) drive the comparison.
+
+#ifndef SRC_FISHSTORE_FISHSTORE_H_
+#define SRC_FISHSTORE_FISHSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/hybridlog/hybrid_log.h"
+
+namespace loom {
+
+struct FishStoreOptions {
+  std::string dir;
+  size_t block_size = 4 << 20;
+  Clock* clock = nullptr;  // defaults to a process-wide monotonic clock
+};
+
+struct FishStoreStats {
+  uint64_t records_ingested = 0;
+  uint64_t bytes_ingested = 0;
+  uint64_t psf_evaluations = 0;
+  uint64_t chain_heads = 0;
+  HybridLogStats log;
+};
+
+class FishStore {
+ public:
+  // Returns the property value for a record, or nullopt if the record is not
+  // part of this PSF's subset.
+  using PsfFunc = std::function<std::optional<uint64_t>(uint32_t source_id,
+                                                        std::span<const uint8_t> payload)>;
+
+  struct Record {
+    uint32_t source_id = 0;
+    TimestampNanos ts = 0;  // arrival time (carried in the record, not indexed)
+    uint64_t addr = 0;
+    std::span<const uint8_t> payload;
+  };
+
+  using RecordCallback = std::function<bool(const Record&)>;
+
+  static Result<std::unique_ptr<FishStore>> Open(const FishStoreOptions& options);
+  ~FishStore();
+
+  FishStore(const FishStore&) = delete;
+  FishStore& operator=(const FishStore&) = delete;
+
+  // Installs a PSF; applies to records ingested afterwards. Ingest thread.
+  Result<uint32_t> RegisterPsf(PsfFunc func);
+  Status DeregisterPsf(uint32_t psf_id);
+
+  // Appends one record, evaluating all installed PSFs (ingest thread).
+  Status Push(uint32_t source_id, std::span<const uint8_t> payload);
+
+  // Makes pushed records visible to scans.
+  void Sync();
+
+  // Scans the full interleaved log oldest-first. This is the only way to
+  // answer queries no PSF anticipated (any thread).
+  Status FullScan(const RecordCallback& cb) const;
+
+  // Walks the (psf, value) chain newest-first (any thread).
+  Status PsfScan(uint32_t psf_id, uint64_t value, const RecordCallback& cb) const;
+
+  FishStoreStats stats() const;
+
+ private:
+  struct PsfState {
+    uint32_t id = 0;
+    bool open = false;
+    PsfFunc func;
+  };
+
+  FishStore(const FishStoreOptions& options, std::unique_ptr<HybridLog> log);
+
+  const FishStoreOptions options_;
+  Clock* clock_;
+  std::unique_ptr<HybridLog> log_;
+
+  std::vector<PsfState> psfs_;  // ingest thread only
+  uint32_t next_psf_id_ = 1;
+
+  struct ChainKey {
+    uint32_t psf_id;
+    uint64_t value;
+    bool operator==(const ChainKey& o) const { return psf_id == o.psf_id && value == o.value; }
+  };
+  struct ChainKeyHash {
+    size_t operator()(const ChainKey& k) const {
+      uint64_t h = k.value * 0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(k.psf_id) << 32);
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+
+  // Chain heads: written by ingest, read by queries.
+  mutable std::mutex heads_mu_;
+  std::unordered_map<ChainKey, uint64_t, ChainKeyHash> chain_heads_;
+
+  uint64_t records_ingested_ = 0;
+  uint64_t bytes_ingested_ = 0;
+  uint64_t psf_evaluations_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // SRC_FISHSTORE_FISHSTORE_H_

@@ -1,0 +1,35 @@
+#include "src/hybridlog/cached_reader.h"
+
+#include <algorithm>
+
+namespace loom {
+
+Result<std::span<const uint8_t>> CachedLogReader::Fetch(uint64_t addr, size_t len) {
+  if (addr + len > limit_) {
+    return Status::OutOfRange("fetch past snapshot tail");
+  }
+  if (buf_len_ != 0 && addr >= buf_addr_ && addr + len <= buf_addr_ + buf_len_) {
+    return std::span<const uint8_t>(buf_.data() + (addr - buf_addr_), len);
+  }
+  // Load the aligned window containing `addr`; extend if the request spans
+  // window boundaries (records never span chunks, but callers may use
+  // windows smaller than a chunk). The window must not dip below the
+  // retention floor, where reads fail.
+  uint64_t start = addr - (addr % window_);
+  const uint64_t floor = log_->retained_floor();
+  if (start < floor) {
+    start = std::min(floor, addr);
+  }
+  uint64_t end = std::min<uint64_t>(limit_, std::max<uint64_t>(start + window_, addr + len));
+  buf_.resize(static_cast<size_t>(end - start));
+  Status st = log_->Read(start, std::span<uint8_t>(buf_.data(), buf_.size()));
+  if (!st.ok()) {
+    buf_len_ = 0;
+    return st;
+  }
+  buf_addr_ = start;
+  buf_len_ = buf_.size();
+  return std::span<const uint8_t>(buf_.data() + (addr - buf_addr_), len);
+}
+
+}  // namespace loom

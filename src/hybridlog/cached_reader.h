@@ -1,0 +1,46 @@
+// Chunk-granular read cache for query scans.
+//
+// Query operators walk record chains and scan chunks; both access patterns
+// are spatially local. This helper reads the hybrid log in aligned windows
+// and serves repeated nearby reads from its single buffer, so a chain walk
+// costs roughly one log read per window instead of two per record. The
+// buffer is scan-local (one per operator invocation), keeping query memory
+// bounded and constant as §3 requires.
+
+#ifndef SRC_HYBRIDLOG_CACHED_READER_H_
+#define SRC_HYBRIDLOG_CACHED_READER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hybridlog/hybrid_log.h"
+
+namespace loom {
+
+class CachedLogReader {
+ public:
+  // `limit` is the snapshot tail: reads never go at or beyond it.
+  // `window` must be a power-of-two-free positive size; reads are aligned to
+  // multiples of it.
+  CachedLogReader(const HybridLog* log, uint64_t limit, size_t window)
+      : log_(log), limit_(limit), window_(window) {}
+
+  // Returns a view of [addr, addr+len) valid until the next Fetch call.
+  Result<std::span<const uint8_t>> Fetch(uint64_t addr, size_t len);
+
+  uint64_t limit() const { return limit_; }
+
+ private:
+  const HybridLog* log_;
+  uint64_t limit_;
+  size_t window_;
+  std::vector<uint8_t> buf_;
+  uint64_t buf_addr_ = 0;
+  size_t buf_len_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // SRC_HYBRIDLOG_CACHED_READER_H_

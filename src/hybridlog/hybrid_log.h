@@ -1,0 +1,178 @@
+// Hybrid log: an append-only log spanning main memory and persistent storage.
+//
+// This is the storage substrate from §4.1 of the paper. A single writer
+// appends into a fixed-size in-memory block; when the block fills, it is
+// handed to a background flusher thread over an SPSC queue and the writer
+// switches to the next block (double buffering by default). Every byte has a
+// stable 64-bit address equal to its physical offset in the backing file, so
+// record lookup is O(1) and the whole log can be read back from disk after the
+// in-memory blocks are recycled.
+//
+// Concurrency model (§4.4 / §5.5):
+//   * Exactly one writer thread calls Append/Publish/Close.
+//   * Any number of reader threads call Read concurrently with the writer.
+//   * Readers never block the writer. In-memory reads are validated with a
+//     per-slot version (seqlock style): if the block was recycled during the
+//     copy, the reader falls back to the persisted file, which is guaranteed
+//     to contain the block by the time its slot version changes.
+//   * Readers may only read below the published watermark (`queryable_tail`),
+//     which the writer advances with Publish() (a release store).
+//
+// Appends never span blocks: if a record does not fit in the active block's
+// remainder, the remainder is filled with 0xFF padding and the append lands at
+// the start of the next block. Callers that scan ranges sequentially skip
+// padding via their own framing (see record/index codecs).
+
+#ifndef SRC_HYBRIDLOG_HYBRID_LOG_H_
+#define SRC_HYBRIDLOG_HYBRID_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/spsc_queue.h"
+#include "src/common/status.h"
+
+namespace loom {
+
+// Address value meaning "no such address" (end of a back-pointer chain).
+inline constexpr uint64_t kNullAddr = ~0ULL;
+
+struct HybridLogOptions {
+  // Size of each in-memory staging block. The paper uses 64 MiB; tests use
+  // much smaller blocks to exercise flush/recycle paths cheaply.
+  size_t block_size = 1 << 20;
+  // Number of in-memory blocks (>= 2). Two gives the paper's double buffering.
+  size_t num_blocks = 2;
+  // fdatasync after each block flush. Off by default (§4.5: durability is
+  // bounded by the in-memory blocks by design).
+  bool sync_on_flush = false;
+  // Retention: keep at most this many bytes of log addressable; older data
+  // is dropped (the file range is hole-punched where the filesystem supports
+  // it, so disk space is reclaimed). 0 = retain everything. Retention is
+  // applied at block granularity after flushes.
+  uint64_t retain_bytes = 0;
+};
+
+struct HybridLogStats {
+  uint64_t bytes_appended = 0;
+  uint64_t appends = 0;
+  uint64_t pad_bytes = 0;
+  uint64_t blocks_flushed = 0;
+  // Nanoseconds the writer spent waiting for the flusher to free a block.
+  uint64_t writer_stall_nanos = 0;
+  // Reads that lost the seqlock race and retried from disk.
+  uint64_t snapshot_fallbacks = 0;
+  uint64_t disk_reads = 0;
+  uint64_t memory_reads = 0;
+};
+
+class HybridLog {
+ public:
+  // The byte value used to pad block remainders. Framing layers treat a
+  // leading 0xFFFFFFFF length/id as "skip to the next block boundary".
+  static constexpr uint8_t kPadByte = 0xFF;
+
+  static Result<std::unique_ptr<HybridLog>> Create(const std::string& file_path,
+                                                   const HybridLogOptions& options);
+
+  ~HybridLog();
+
+  HybridLog(const HybridLog&) = delete;
+  HybridLog& operator=(const HybridLog&) = delete;
+
+  // --- Writer-thread API -----------------------------------------------
+
+  // Appends `data` (size must be in (0, block_size]) and returns its address.
+  // Cheap in the common case: a bounds check and a memcpy into the block.
+  Result<uint64_t> Append(std::span<const uint8_t> data);
+
+  // Reserves `len` bytes and returns a pointer the caller fills in before the
+  // next Publish(). Avoids a staging copy for encoders that write in place.
+  Result<std::pair<uint64_t, uint8_t*>> AppendReserve(size_t len);
+
+  // Makes everything appended so far visible to readers.
+  void Publish();
+
+  // Total bytes appended (including padding). Writer thread only.
+  uint64_t tail() const { return tail_; }
+
+  // Flushes the active block's published prefix to disk and stops the
+  // flusher. Called automatically by the destructor. After Close() all
+  // published data is readable from disk; Append must not be called again.
+  Status Close();
+
+  // --- Any-thread API ----------------------------------------------------
+
+  // Highest address readers may read (exclusive).
+  uint64_t queryable_tail() const { return queryable_tail_.load(std::memory_order_acquire); }
+
+  // Reads out.size() bytes at `addr`, from memory snapshots where possible
+  // and from the backing file otherwise. The range may span blocks. Fails
+  // with OutOfRange if it extends past queryable_tail().
+  Status Read(uint64_t addr, std::span<uint8_t> out) const;
+
+  // Bytes durably handed to the backing file.
+  uint64_t flushed_tail() const { return flushed_bytes_.load(std::memory_order_acquire); }
+
+  // Lowest readable address. 0 unless retention dropped older data; reads
+  // below this fail with OutOfRange.
+  uint64_t retained_floor() const { return retained_floor_.load(std::memory_order_acquire); }
+
+  HybridLogStats stats() const;
+
+  size_t block_size() const { return options_.block_size; }
+  // Fraction of the published log currently resident in memory.
+  double MemoryResidentFraction() const;
+
+ private:
+  HybridLog(File file, const HybridLogOptions& options);
+
+  void FlusherMain();
+  // Ensures the slot for `block_no` is free to be (re)used by the writer.
+  void RecycleSlot(uint64_t block_no);
+  // Hands the current active block to the flusher and activates `block_no`.
+  void RotateTo(uint64_t block_no);
+  Status ReadWithinBlock(uint64_t addr, std::span<uint8_t> out) const;
+
+  const HybridLogOptions options_;
+  File file_;
+
+  // Block slot `i` holds block number slot_version_[i]; readers use the
+  // version to detect recycles (seqlock validation).
+  std::vector<std::unique_ptr<uint8_t[]>> slots_;
+  std::unique_ptr<std::atomic<uint64_t>[]> slot_version_;
+
+  // Writer-local state.
+  uint64_t tail_ = 0;            // next append address
+  uint64_t active_block_ = 0;    // block number being written
+  bool closed_ = false;
+
+  std::atomic<uint64_t> queryable_tail_{0};
+  std::atomic<uint64_t> flushed_bytes_{0};
+  std::atomic<uint64_t> flushed_block_count_{0};
+  std::atomic<uint64_t> retained_floor_{0};
+
+  // Flush pipeline: block numbers travel writer -> flusher; kStopSentinel
+  // terminates the flusher.
+  static constexpr uint64_t kStopSentinel = ~0ULL;
+  SpscQueue<uint64_t> flush_queue_;
+  std::thread flusher_;
+
+  // Stats. Writer-owned counters are plain; reader-side are atomic.
+  uint64_t appends_ = 0;
+  uint64_t pad_bytes_ = 0;
+  uint64_t writer_stall_nanos_ = 0;
+  mutable std::atomic<uint64_t> snapshot_fallbacks_{0};
+  mutable std::atomic<uint64_t> disk_reads_{0};
+  mutable std::atomic<uint64_t> memory_reads_{0};
+};
+
+}  // namespace loom
+
+#endif  // SRC_HYBRIDLOG_HYBRID_LOG_H_

@@ -1,0 +1,89 @@
+#include "src/index/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loom {
+
+Result<HistogramSpec> HistogramSpec::Create(std::vector<double> edges) {
+  if (edges.size() < 2) {
+    return Status::InvalidArgument("histogram needs at least 2 edges (1 user bin)");
+  }
+  for (size_t i = 1; i < edges.size(); ++i) {
+    if (!(edges[i - 1] < edges[i])) {
+      return Status::InvalidArgument("histogram edges must be strictly increasing");
+    }
+  }
+  if (!std::isfinite(edges.front()) || !std::isfinite(edges.back())) {
+    return Status::InvalidArgument("histogram edges must be finite");
+  }
+  return HistogramSpec(std::move(edges));
+}
+
+Result<HistogramSpec> HistogramSpec::Uniform(double lo, double hi, size_t num_bins) {
+  if (!(lo < hi) || num_bins == 0) {
+    return Status::InvalidArgument("uniform histogram needs lo < hi and num_bins > 0");
+  }
+  std::vector<double> edges;
+  edges.reserve(num_bins + 1);
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (size_t i = 0; i <= num_bins; ++i) {
+    edges.push_back(lo + width * static_cast<double>(i));
+  }
+  edges.back() = hi;  // avoid accumulated rounding on the top edge
+  return Create(std::move(edges));
+}
+
+Result<HistogramSpec> HistogramSpec::Exponential(double lo, double factor, size_t num_bins) {
+  if (!(lo > 0.0) || !(factor > 1.0) || num_bins == 0) {
+    return Status::InvalidArgument("exponential histogram needs lo > 0, factor > 1, bins > 0");
+  }
+  std::vector<double> edges;
+  edges.reserve(num_bins + 1);
+  double edge = lo;
+  for (size_t i = 0; i <= num_bins; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return Create(std::move(edges));
+}
+
+HistogramSpec HistogramSpec::ExactMatch(double value) {
+  const double next = std::nextafter(value, std::numeric_limits<double>::infinity());
+  auto spec = Create({value, next});
+  return std::move(spec.value());
+}
+
+uint32_t HistogramSpec::BinOf(double value) const {
+  if (value < edges_.front()) {
+    return 0;
+  }
+  if (value >= edges_.back()) {
+    return static_cast<uint32_t>(num_bins() - 1);
+  }
+  // First edge greater than value; value is in the user bin below it.
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<uint32_t>(it - edges_.begin());
+}
+
+double HistogramSpec::BinLo(uint32_t bin) const {
+  if (bin == 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return edges_[bin - 1];
+}
+
+double HistogramSpec::BinHi(uint32_t bin) const {
+  if (bin >= num_bins() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return edges_[bin];
+}
+
+std::pair<uint32_t, uint32_t> HistogramSpec::BinsOverlapping(double lo, double hi) const {
+  const uint32_t first = BinOf(lo);
+  const uint32_t last = BinOf(hi);
+  return {first, last};
+}
+
+}  // namespace loom

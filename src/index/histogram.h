@@ -1,0 +1,63 @@
+// Histogram index specification (§4.2).
+//
+// A monitoring daemon defines a value index for a source by supplying bin
+// edges. Values in [edges[i], edges[i+1]) fall into user bin i+1; Loom adds an
+// underflow bin 0 (value < edges.front()) and an overflow bin n+1
+// (value >= edges.back()) because observability queries care about outliers.
+//
+// The same abstraction serves value-range queries, aggregates, percentiles
+// (bins as a CDF), and exact-match indexes (a single-bin histogram).
+
+#ifndef SRC_INDEX_HISTOGRAM_H_
+#define SRC_INDEX_HISTOGRAM_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace loom {
+
+class HistogramSpec {
+ public:
+  // `edges` must be strictly increasing with at least 2 entries (1 user bin).
+  static Result<HistogramSpec> Create(std::vector<double> edges);
+
+  // `num_bins` equal-width user bins over [lo, hi).
+  static Result<HistogramSpec> Uniform(double lo, double hi, size_t num_bins);
+
+  // Exponentially growing bins: [lo, lo*factor), [lo*factor, lo*factor^2)...
+  // Natural for latency distributions.
+  static Result<HistogramSpec> Exponential(double lo, double factor, size_t num_bins);
+
+  // Single-bin histogram matching exactly `value` (FishStore-PSF emulation,
+  // §6.4): bin 1 holds records whose indexed value equals `value`.
+  static HistogramSpec ExactMatch(double value);
+
+  // Total bins including the two outlier bins.
+  size_t num_bins() const { return edges_.size() + 1; }
+  size_t num_user_bins() const { return edges_.size() - 1; }
+
+  // Bin for a value. Bin 0 underflow, num_bins()-1 overflow.
+  uint32_t BinOf(double value) const;
+
+  // Value range covered by `bin` as [lo, hi). Outlier bins extend to +/-inf.
+  double BinLo(uint32_t bin) const;
+  double BinHi(uint32_t bin) const;
+
+  // Inclusive bin range [first, last] overlapping the value range [lo, hi].
+  std::pair<uint32_t, uint32_t> BinsOverlapping(double lo, double hi) const;
+
+  const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  explicit HistogramSpec(std::vector<double> edges) : edges_(std::move(edges)) {}
+
+  std::vector<double> edges_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_INDEX_HISTOGRAM_H_

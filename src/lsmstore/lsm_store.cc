@@ -1,0 +1,231 @@
+#include "src/lsmstore/lsm_store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/common/codec.h"
+
+namespace loom {
+
+namespace {
+
+constexpr size_t kIndexEvery = 16;
+
+// Entry layout in a run file: u32 klen | u32 vlen | key | value.
+void AppendEntry(std::vector<uint8_t>& buf, std::string_view key,
+                 std::span<const uint8_t> value) {
+  PutU32(buf, static_cast<uint32_t>(key.size()));
+  PutU32(buf, static_cast<uint32_t>(value.size()));
+  buf.insert(buf.end(), key.begin(), key.end());
+  buf.insert(buf.end(), value.begin(), value.end());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LsmStore>> LsmStore::Open(const LsmOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("LsmOptions.dir must be set");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("create_directories " + options.dir + ": " + ec.message());
+  }
+  return std::unique_ptr<LsmStore>(new LsmStore(options));
+}
+
+LsmStore::~LsmStore() = default;
+
+Status LsmStore::Put(std::string_view key, std::span<const uint8_t> value) {
+  auto [it, inserted] =
+      memtable_.insert_or_assign(std::string(key), std::vector<uint8_t>(value.begin(),
+                                                                        value.end()));
+  (void)it;
+  (void)inserted;
+  memtable_bytes_ += key.size() + value.size() + 32;  // node overhead estimate
+  ++puts_;
+  bytes_ingested_ += key.size() + value.size();
+  if (memtable_bytes_ >= options_.memtable_max_bytes) {
+    return FlushMemtable();
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::FlushMemtable() {
+  if (memtable_.empty()) {
+    return Status::Ok();
+  }
+  auto run = WriteRun(0, memtable_);
+  if (!run.ok()) {
+    return run.status();
+  }
+  runs_.push_back(std::move(run.value()));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  ++flushes_;
+  return MaybeCompact();
+}
+
+Result<std::unique_ptr<LsmStore::Run>> LsmStore::WriteRun(
+    uint64_t level, const std::map<std::string, std::vector<uint8_t>>& data) {
+  auto run = std::make_unique<Run>();
+  run->id = next_run_id_++;
+  run->level = level;
+  auto file = File::CreateTruncate(options_.dir + "/sst-" + std::to_string(run->id));
+  if (!file.ok()) {
+    return file.status();
+  }
+  run->file = std::move(file.value());
+  std::vector<uint8_t> buf;
+  buf.reserve(1 << 20);
+  uint64_t offset = 0;
+  size_t i = 0;
+  for (const auto& [key, value] : data) {
+    if (i % kIndexEvery == 0) {
+      run->index.emplace_back(key, offset + buf.size());
+    }
+    AppendEntry(buf, key, value);
+    ++i;
+    run->last_key = key;
+    if (buf.size() >= (1 << 20)) {
+      Status st = run->file.PWriteAll(offset, buf);
+      if (!st.ok()) {
+        return st;
+      }
+      offset += buf.size();
+      bytes_written_ += buf.size();
+      buf.clear();
+    }
+  }
+  if (!buf.empty()) {
+    Status st = run->file.PWriteAll(offset, buf);
+    if (!st.ok()) {
+      return st;
+    }
+    offset += buf.size();
+    bytes_written_ += buf.size();
+  }
+  run->file_bytes = offset;
+  return run;
+}
+
+Status LsmStore::MaybeCompact() {
+  size_t l0 = 0;
+  for (const auto& run : runs_) {
+    if (run->level == 0) {
+      ++l0;
+    }
+  }
+  if (l0 < options_.l0_compaction_trigger) {
+    return Status::Ok();
+  }
+  // Full-merge compaction: read every run oldest-to-newest into one map
+  // (newer values overwrite older), then rewrite as a single level-1 run.
+  std::map<std::string, std::vector<uint8_t>> merged;
+  for (const auto& run : runs_) {
+    LOOM_RETURN_IF_ERROR(LoadRun(*run, merged));
+  }
+  auto compacted = WriteRun(1, merged);
+  if (!compacted.ok()) {
+    return compacted.status();
+  }
+  for (const auto& run : runs_) {
+    std::error_code ec;
+    std::filesystem::remove(run->file.path(), ec);
+  }
+  runs_.clear();
+  runs_.push_back(std::move(compacted.value()));
+  ++compactions_;
+  return Status::Ok();
+}
+
+Status LsmStore::LoadRun(const Run& run, std::map<std::string, std::vector<uint8_t>>& into) const {
+  std::vector<uint8_t> buf(run.file_bytes);
+  if (run.file_bytes == 0) {
+    return Status::Ok();
+  }
+  LOOM_RETURN_IF_ERROR(run.file.PReadAll(0, buf));
+  size_t off = 0;
+  while (off + 8 <= buf.size()) {
+    const uint32_t klen = GetU32(buf, off);
+    const uint32_t vlen = GetU32(buf, off + 4);
+    if (off + 8 + klen + vlen > buf.size()) {
+      return Status::DataLoss("truncated run entry in " + run.file.path());
+    }
+    std::string key(reinterpret_cast<const char*>(buf.data() + off + 8), klen);
+    std::vector<uint8_t> value(buf.begin() + static_cast<long>(off + 8 + klen),
+                               buf.begin() + static_cast<long>(off + 8 + klen + vlen));
+    into.insert_or_assign(std::move(key), std::move(value));
+    off += 8 + klen + vlen;
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<std::vector<uint8_t>>> LsmStore::SearchRun(const Run& run,
+                                                                std::string_view key) const {
+  if (run.index.empty() || key > run.last_key || key < run.index.front().first) {
+    return std::optional<std::vector<uint8_t>>(std::nullopt);
+  }
+  // Find the last index entry <= key, then scan forward up to kIndexEvery
+  // entries.
+  auto it = std::upper_bound(run.index.begin(), run.index.end(), key,
+                             [](std::string_view k, const auto& e) { return k < e.first; });
+  --it;
+  uint64_t off = it->second;
+  // Read a window: worst case kIndexEvery max-size entries; read to run end
+  // capped at 256 KiB.
+  const uint64_t len = std::min<uint64_t>(run.file_bytes - off, 256 << 10);
+  std::vector<uint8_t> buf(len);
+  LOOM_RETURN_IF_ERROR(run.file.PReadAll(off, buf));
+  size_t pos = 0;
+  for (size_t i = 0; i < kIndexEvery && pos + 8 <= buf.size(); ++i) {
+    const uint32_t klen = GetU32(buf, pos);
+    const uint32_t vlen = GetU32(buf, pos + 4);
+    if (pos + 8 + klen + vlen > buf.size()) {
+      break;
+    }
+    std::string_view entry_key(reinterpret_cast<const char*>(buf.data() + pos + 8), klen);
+    if (entry_key == key) {
+      return std::optional<std::vector<uint8_t>>(std::vector<uint8_t>(
+          buf.begin() + static_cast<long>(pos + 8 + klen),
+          buf.begin() + static_cast<long>(pos + 8 + klen + vlen)));
+    }
+    if (entry_key > key) {
+      break;
+    }
+    pos += 8 + klen + vlen;
+  }
+  return std::optional<std::vector<uint8_t>>(std::nullopt);
+}
+
+Result<std::vector<uint8_t>> LsmStore::Get(std::string_view key) const {
+  auto it = memtable_.find(std::string(key));
+  if (it != memtable_.end()) {
+    return it->second;
+  }
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    auto found = SearchRun(**rit, key);
+    if (!found.ok()) {
+      return found.status();
+    }
+    if (found.value().has_value()) {
+      return *found.value();
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+Status LsmStore::Flush() { return FlushMemtable(); }
+
+LsmStats LsmStore::stats() const {
+  LsmStats s;
+  s.puts = puts_;
+  s.bytes_ingested = bytes_ingested_;
+  s.flushes = flushes_;
+  s.compactions = compactions_;
+  s.bytes_written = bytes_written_;
+  s.runs = runs_.size();
+  return s;
+}
+
+}  // namespace loom

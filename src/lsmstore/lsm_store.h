@@ -1,0 +1,98 @@
+// LSM-tree key-value store baseline (RocksDB style) for the data-structure
+// ingest comparison (§6.3, Fig. 15).
+//
+// Writes go into a tree-ordered memtable; full memtables flush to sorted
+// runs (SSTs); accumulating level-0 runs are merge-compacted. The WAL is off,
+// matching the paper's RocksDB configuration for this experiment. The cost
+// drivers the figure measures — per-record tree insertion and merge CPU /
+// write amplification — are all present. Compaction runs inline on the
+// ingest thread because the evaluation environment is a single core.
+
+#ifndef SRC_LSMSTORE_LSM_STORE_H_
+#define SRC_LSMSTORE_LSM_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/status.h"
+
+namespace loom {
+
+struct LsmOptions {
+  std::string dir;
+  size_t memtable_max_bytes = 8 << 20;
+  size_t l0_compaction_trigger = 4;
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t bytes_ingested = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_written = 0;  // includes compaction rewrites (write amp)
+  uint64_t runs = 0;
+};
+
+class LsmStore {
+ public:
+  static Result<std::unique_ptr<LsmStore>> Open(const LsmOptions& options);
+  ~LsmStore();
+
+  LsmStore(const LsmStore&) = delete;
+  LsmStore& operator=(const LsmStore&) = delete;
+
+  // Single ingest thread.
+  Status Put(std::string_view key, std::span<const uint8_t> value);
+
+  // Point lookup: memtable first, then runs newest-to-oldest.
+  Result<std::vector<uint8_t>> Get(std::string_view key) const;
+
+  // Flushes the memtable so all data is on disk.
+  Status Flush();
+
+  LsmStats stats() const;
+
+ private:
+  struct Run {
+    uint64_t id = 0;
+    uint64_t level = 0;
+    File file;
+    uint64_t file_bytes = 0;
+    // Sparse index: (key, file offset) every kIndexEvery entries.
+    std::vector<std::pair<std::string, uint64_t>> index;
+    std::string last_key;
+  };
+
+  explicit LsmStore(const LsmOptions& options) : options_(options) {}
+
+  Status FlushMemtable();
+  Status MaybeCompact();
+  Result<std::unique_ptr<Run>> WriteRun(uint64_t level,
+                                        const std::map<std::string, std::vector<uint8_t>>& data);
+  Result<std::optional<std::vector<uint8_t>>> SearchRun(const Run& run,
+                                                        std::string_view key) const;
+  Status LoadRun(const Run& run, std::map<std::string, std::vector<uint8_t>>& into) const;
+
+  const LsmOptions options_;
+  std::map<std::string, std::vector<uint8_t>> memtable_;
+  size_t memtable_bytes_ = 0;
+  std::vector<std::unique_ptr<Run>> runs_;  // oldest first
+  uint64_t next_run_id_ = 0;
+
+  uint64_t puts_ = 0;
+  uint64_t bytes_ingested_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // SRC_LSMSTORE_LSM_STORE_H_

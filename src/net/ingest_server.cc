@@ -1,0 +1,250 @@
+#include "src/net/ingest_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "src/common/codec.h"
+
+namespace loom {
+
+namespace {
+
+constexpr size_t kMaxPayload = 1 << 20;
+
+Status ErrnoStatus(const char* op) {
+  return Status::IoError(std::string(op) + ": " + strerror(errno));
+}
+
+// Reads exactly n bytes; returns false on clean EOF at a message boundary.
+Result<bool> ReadFull(int fd, uint8_t* dst, size_t n, bool allow_eof_at_start) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::recv(fd, dst + done, n - done, 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("recv: ") + strerror(errno));
+    }
+    if (r == 0) {
+      if (done == 0 && allow_eof_at_start) {
+        return false;
+      }
+      return Status::DataLoss("connection closed mid-message");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+Status WriteFull(int fd, const uint8_t* src, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::send(fd, src + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("send");
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IngestServer>> IngestServer::Start(MonitoringDaemon* daemon,
+                                                          uint16_t port) {
+  std::unique_ptr<IngestServer> server(new IngestServer(daemon));
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return ErrnoStatus("socket");
+  }
+  int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  server->port_ = ntohs(addr.sin_port);
+  if (::listen(server->listen_fd_, 16) != 0) {
+    return ErrnoStatus("listen");
+  }
+  server->accept_thread_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+IngestServer::~IngestServer() {
+  stop_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); shutdown is belt-and-braces.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : connection_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // unblocks any recv() in flight
+    }
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void IngestServer::BindSource(uint32_t source_id, SourceChannel* channel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  channels_[source_id] = channel;
+}
+
+void IngestServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener closed
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void IngestServer::ConnectionLoop(int fd) {
+  std::vector<uint8_t> payload;
+  uint8_t header[8];
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    auto got_header = ReadFull(fd, header, sizeof(header), /*allow_eof_at_start=*/true);
+    if (!got_header.ok() || !got_header.value()) {
+      break;
+    }
+    const uint32_t source_id = LoadU32(header);
+    const uint32_t payload_len = LoadU32(header + 4);
+    if (payload_len > kMaxPayload) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;  // protocol violation: drop the connection
+    }
+    payload.resize(payload_len);
+    if (payload_len > 0) {
+      auto got_payload = ReadFull(fd, payload.data(), payload_len, false);
+      if (!got_payload.ok()) {
+        break;
+      }
+    }
+    SourceChannel* channel = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = channels_.find(source_id);
+      if (it != channels_.end()) {
+        channel = it->second;
+      }
+    }
+    if (channel == nullptr) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    {
+      // Serialize producers: the daemon channel is single-producer.
+      std::lock_guard<std::mutex> lock(mu_);
+      channel->Publish(std::span<const uint8_t>(payload.data(), payload.size()));
+    }
+    records_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(payload_len, std::memory_order_relaxed);
+  }
+  ::close(fd);
+}
+
+IngestServerStats IngestServer::stats() const {
+  IngestServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.records = records_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<std::unique_ptr<IngestClient>> IngestClient::Connect(const std::string& host,
+                                                            uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = ErrnoStatus("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<IngestClient>(new IngestClient(fd));
+}
+
+IngestClient::~IngestClient() {
+  (void)Flush();
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status IngestClient::Send(uint32_t source_id, std::span<const uint8_t> payload) {
+  PutU32(buffer_, source_id);
+  PutU32(buffer_, static_cast<uint32_t>(payload.size()));
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  if (buffer_.size() >= kBufferSize) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status IngestClient::Flush() {
+  if (buffer_.empty()) {
+    return Status::Ok();
+  }
+  Status st = WriteFull(fd_, buffer_.data(), buffer_.size());
+  buffer_.clear();
+  return st;
+}
+
+}  // namespace loom

@@ -1,0 +1,108 @@
+// Network ingest front door for the monitoring daemon (Figure 4: "HFT
+// sources send data to the monitoring daemon").
+//
+// Sources on the same host (or test harnesses) connect over TCP and stream
+// length-prefixed records:
+//
+//   u32 source_id | u32 payload_len | payload bytes        (little-endian)
+//
+// The server accepts connections on a listener thread and reads each
+// connection on its own thread, forwarding records into the daemon's
+// per-source channels. Multiple connections may carry the same source id;
+// the server serializes access to each channel (the daemon's channels are
+// single-producer).
+//
+// This is deliberately minimal — no TLS, no auth, loopback-oriented — it
+// exists to exercise the daemon the way a real collector is driven, and to
+// give tests a process-boundary-shaped path.
+
+#ifndef SRC_NET_INGEST_SERVER_H_
+#define SRC_NET_INGEST_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/daemon/monitoring_daemon.h"
+
+namespace loom {
+
+struct IngestServerStats {
+  uint64_t connections = 0;
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t rejected = 0;  // unknown source or oversized record
+};
+
+class IngestServer {
+ public:
+  // Listens on 127.0.0.1:`port` (0 picks an ephemeral port). Sources must be
+  // registered on the daemon before records for them arrive; records for
+  // unregistered sources are counted as rejected and dropped.
+  static Result<std::unique_ptr<IngestServer>> Start(MonitoringDaemon* daemon, uint16_t port);
+
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  IngestServerStats stats() const;
+
+  // Makes a source's channel reachable from connections. (The daemon's
+  // AddSource returns the channel; handing it to the server binds it.)
+  void BindSource(uint32_t source_id, SourceChannel* channel);
+
+ private:
+  explicit IngestServer(MonitoringDaemon* daemon) : daemon_(daemon) {}
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  MonitoringDaemon* daemon_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, SourceChannel*> channels_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;  // shut down on stop to unblock recv()
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+// Client side: buffers records and writes them to the server.
+class IngestClient {
+ public:
+  static Result<std::unique_ptr<IngestClient>> Connect(const std::string& host, uint16_t port);
+  ~IngestClient();
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  // Buffers one record; flushes automatically when the buffer fills.
+  Status Send(uint32_t source_id, std::span<const uint8_t> payload);
+  Status Flush();
+
+ private:
+  explicit IngestClient(int fd) : fd_(fd) { buffer_.reserve(kBufferSize); }
+
+  static constexpr size_t kBufferSize = 64 << 10;
+
+  int fd_;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_NET_INGEST_SERVER_H_

@@ -1,0 +1,144 @@
+#include "src/query/drilldown.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace loom {
+
+namespace {
+
+RecordHit MakeHit(double value, const RecordView& r) {
+  RecordHit hit;
+  hit.ts = r.ts;
+  hit.addr = r.addr;
+  hit.value = value;
+  hit.payload.assign(r.payload.begin(), r.payload.end());
+  return hit;
+}
+
+}  // namespace
+
+Result<std::vector<RecordHit>> DrillDown::TopPercentileRecords(uint32_t source_id,
+                                                               uint32_t index_id,
+                                                               TimeRange t_range, double pct,
+                                                               double* threshold) const {
+  auto cutoff =
+      engine_->IndexedAggregate(source_id, index_id, t_range, AggregateMethod::kPercentile, pct);
+  if (!cutoff.ok()) {
+    return cutoff.status();
+  }
+  if (threshold != nullptr) {
+    *threshold = cutoff.value();
+  }
+  std::vector<RecordHit> hits;
+  Status st = engine_->IndexedScanValues(
+      source_id, index_id, t_range,
+      {cutoff.value(), std::numeric_limits<double>::max()},
+      [&](double value, const RecordView& r) {
+        hits.push_back(MakeHit(value, r));
+        return true;
+      });
+  if (!st.ok()) {
+    return st;
+  }
+  return hits;
+}
+
+Result<std::vector<RecordHit>> DrillDown::TopK(uint32_t source_id, uint32_t index_id,
+                                               TimeRange t_range, size_t k) const {
+  if (k == 0) {
+    return std::vector<RecordHit>{};
+  }
+  auto idx = engine_->IndexedHistogram(source_id, index_id, t_range);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  const std::vector<uint64_t>& bins = idx.value();
+  // Find the smallest suffix of bins holding at least k records: the bins'
+  // CDF (from the top) bounds how far down the value axis the scan must go.
+  uint64_t covered = 0;
+  size_t cutoff_bin = bins.size();
+  for (size_t b = bins.size(); b-- > 0;) {
+    covered += bins[b];
+    cutoff_bin = b;
+    if (covered >= k) {
+      break;
+    }
+  }
+  if (covered == 0) {
+    return std::vector<RecordHit>{};
+  }
+  // Scan only values at or above the cutoff bin's lower bound; the bin CDF
+  // guarantees the top k live there. A bounded min-heap trims the extras.
+  auto spec = engine_->IndexSpec(index_id);
+  if (!spec.ok()) {
+    return spec.status();
+  }
+  const double cutoff_lo = spec->BinLo(static_cast<uint32_t>(cutoff_bin));
+  std::vector<RecordHit> heap;  // min-heap by value
+  auto cmp = [](const RecordHit& a, const RecordHit& b) { return a.value > b.value; };
+  Status st = engine_->IndexedScanValues(
+      source_id, index_id, t_range,
+      {cutoff_lo == -std::numeric_limits<double>::infinity()
+           ? -std::numeric_limits<double>::max()
+           : cutoff_lo,
+       std::numeric_limits<double>::max()},
+      [&](double value, const RecordView& r) {
+        if (heap.size() < k) {
+          heap.push_back(MakeHit(value, r));
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        } else if (value > heap.front().value) {
+          std::pop_heap(heap.begin(), heap.end(), cmp);
+          heap.back() = MakeHit(value, r);
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+        return true;
+      });
+  if (!st.ok()) {
+    return st;
+  }
+  std::sort(heap.begin(), heap.end(),
+            [](const RecordHit& a, const RecordHit& b) { return a.value > b.value; });
+  return heap;
+}
+
+Status DrillDown::CorrelateAround(
+    const std::vector<TimestampNanos>& anchors, uint32_t target_source, TimestampNanos window,
+    const std::function<bool(size_t anchor, const RecordView&)>& cb) const {
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    const TimestampNanos ts = anchors[i];
+    const TimeRange vicinity{ts > window ? ts - window : 0, ts + window};
+    bool stop = false;
+    LOOM_RETURN_IF_ERROR(engine_->RawScan(target_source, vicinity, [&](const RecordView& r) {
+      if (!cb(i, r)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    }));
+    if (stop) {
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint64_t>> DrillDown::RateSeries(uint32_t source_id, TimeRange t_range,
+                                                    TimestampNanos bucket) const {
+  if (bucket == 0 || t_range.end < t_range.start) {
+    return Status::InvalidArgument("bucket must be > 0 and range non-empty");
+  }
+  const uint64_t span = t_range.end - t_range.start + 1;
+  const size_t buckets = static_cast<size_t>((span + bucket - 1) / bucket);
+  std::vector<uint64_t> series(buckets, 0);
+  Status st = engine_->RawScan(source_id, t_range, [&](const RecordView& r) {
+    series[static_cast<size_t>((r.ts - t_range.start) / bucket)]++;
+    return true;
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return series;
+}
+
+}  // namespace loom

@@ -1,0 +1,74 @@
+// Composed observability queries (§4.3: "These operators can be composed
+// into complex queries and correlations").
+//
+// The engine exposes three primitive operators; real investigations compose
+// them into recurring patterns. This layer packages those patterns:
+//
+//   * TopPercentileRecords — the data-dependent value-range query: compute
+//     the p-th percentile with the indexed aggregate, then fetch everything
+//     above it with an indexed scan (the paper's "Slow Requests" query).
+//   * TopK — the k largest indexed values, using the histogram CDF to find
+//     the smallest bin cutoff that contains at least k records, scanning
+//     only those bins, then trimming.
+//   * CorrelateAround — the data-dependent time-range correlation: for each
+//     anchor timestamp, fetch records of another source within +/- window
+//     (the paper's "packets around the slow request" query).
+//   * RateSeries — events-per-bucket time series for dashboards.
+//
+// Every pattern keeps the engine's properties: single-threaded, bounded
+// memory proportional to its result, snapshot-consistent per underlying
+// operator call.
+
+#ifndef SRC_QUERY_DRILLDOWN_H_
+#define SRC_QUERY_DRILLDOWN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/loom.h"
+
+namespace loom {
+
+// A materialized query hit.
+struct RecordHit {
+  TimestampNanos ts = 0;
+  uint64_t addr = 0;
+  double value = 0.0;
+  std::vector<uint8_t> payload;
+};
+
+class DrillDown {
+ public:
+  explicit DrillDown(const Loom* engine) : engine_(engine) {}
+
+  // Records whose indexed value is at or above the `pct`-th percentile of
+  // the range. Returns hits oldest-first, plus the threshold via out-param.
+  Result<std::vector<RecordHit>> TopPercentileRecords(uint32_t source_id, uint32_t index_id,
+                                                      TimeRange t_range, double pct,
+                                                      double* threshold = nullptr) const;
+
+  // The k records with the largest indexed values (ties broken arbitrarily),
+  // sorted by descending value.
+  Result<std::vector<RecordHit>> TopK(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                                      size_t k) const;
+
+  // For each anchor timestamp (e.g. from TopK on another source), delivers
+  // the records of `target_source` within +/- `window`, newest-first per
+  // anchor. The callback's first argument is the anchor index.
+  Status CorrelateAround(const std::vector<TimestampNanos>& anchors, uint32_t target_source,
+                         TimestampNanos window,
+                         const std::function<bool(size_t anchor, const RecordView&)>& cb) const;
+
+  // Per-bucket record counts for `source_id` over `t_range`, split into
+  // `bucket` -wide tumbling windows (last bucket may be partial).
+  Result<std::vector<uint64_t>> RateSeries(uint32_t source_id, TimeRange t_range,
+                                           TimestampNanos bucket) const;
+
+ private:
+  const Loom* engine_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_QUERY_DRILLDOWN_H_

@@ -1,0 +1,83 @@
+#include "src/rawfile/raw_file_writer.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/codec.h"
+
+namespace loom {
+
+Result<std::unique_ptr<RawFileWriter>> RawFileWriter::Open(const RawFileOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("RawFileOptions.path must be set");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(options.path).parent_path(), ec);
+  std::unique_ptr<RawFileWriter> writer(new RawFileWriter(options));
+  auto file = File::CreateTruncate(options.path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  writer->file_ = std::move(file.value());
+  writer->buffer_.reserve(options.buffer_size);
+  return writer;
+}
+
+RawFileWriter::~RawFileWriter() { (void)Flush(); }
+
+Status RawFileWriter::Append(uint32_t source_id, TimestampNanos ts,
+                             std::span<const uint8_t> payload) {
+  PutU32(buffer_, source_id);
+  PutU32(buffer_, static_cast<uint32_t>(payload.size()));
+  PutU64(buffer_, ts);
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  ++records_;
+  if (buffer_.size() >= options_.buffer_size) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status RawFileWriter::Flush() {
+  if (buffer_.empty()) {
+    return Status::Ok();
+  }
+  LOOM_RETURN_IF_ERROR(file_.PWriteAll(file_offset_, buffer_));
+  file_offset_ += buffer_.size();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status RawFileWriter::Scan(const RecordCallback& cb) {
+  LOOM_RETURN_IF_ERROR(Flush());
+  const uint64_t total = file_offset_;
+  constexpr size_t kWindow = 4 << 20;
+  std::vector<uint8_t> buf;
+  uint64_t offset = 0;
+  std::vector<uint8_t> carry;
+  while (offset < total) {
+    const size_t len = static_cast<size_t>(std::min<uint64_t>(kWindow, total - offset));
+    buf.resize(carry.size() + len);
+    std::memcpy(buf.data(), carry.data(), carry.size());
+    LOOM_RETURN_IF_ERROR(
+        file_.PReadAll(offset, std::span<uint8_t>(buf.data() + carry.size(), len)));
+    offset += len;
+    size_t pos = 0;
+    while (pos + 16 <= buf.size()) {
+      const uint32_t source = GetU32(buf, pos);
+      const uint32_t plen = GetU32(buf, pos + 4);
+      const TimestampNanos ts = GetU64(buf, pos + 8);
+      if (pos + 16 + plen > buf.size()) {
+        break;  // record continues in the next window
+      }
+      if (!cb(source, ts, std::span<const uint8_t>(buf.data() + pos + 16, plen))) {
+        return Status::Ok();
+      }
+      pos += 16 + plen;
+    }
+    carry.assign(buf.begin() + static_cast<long>(pos), buf.end());
+  }
+  return Status::Ok();
+}
+
+}  // namespace loom

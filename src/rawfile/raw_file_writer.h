@@ -1,0 +1,65 @@
+// Raw-file telemetry capture baseline ("write it to a file", §2.3/§6.2).
+//
+// The de facto standard approach the paper describes: append records to a
+// flat file through a large user-space buffer (like `perf record`). It is
+// the probe-effect floor in Fig. 14 — no parsing, no indexing, one buffered
+// sequential write stream. Queries against it require external scripts; the
+// benches model that by full-file scans.
+
+#ifndef SRC_RAWFILE_RAW_FILE_WRITER_H_
+#define SRC_RAWFILE_RAW_FILE_WRITER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/file.h"
+
+namespace loom {
+
+struct RawFileOptions {
+  std::string path;
+  size_t buffer_size = 4 << 20;
+};
+
+class RawFileWriter {
+ public:
+  using RecordCallback =
+      std::function<bool(uint32_t source_id, TimestampNanos ts, std::span<const uint8_t>)>;
+
+  static Result<std::unique_ptr<RawFileWriter>> Open(const RawFileOptions& options);
+  ~RawFileWriter();
+
+  RawFileWriter(const RawFileWriter&) = delete;
+  RawFileWriter& operator=(const RawFileWriter&) = delete;
+
+  // Appends one framed record: u32 source | u32 len | u64 ts | payload.
+  Status Append(uint32_t source_id, TimestampNanos ts, std::span<const uint8_t> payload);
+
+  // Writes out any buffered bytes.
+  Status Flush();
+
+  // Post-processing scan over the whole file (what an analysis script does).
+  Status Scan(const RecordCallback& cb);
+
+  uint64_t bytes_written() const { return file_offset_ + buffer_.size(); }
+  uint64_t records() const { return records_; }
+
+ private:
+  explicit RawFileWriter(const RawFileOptions& options) : options_(options) {}
+
+  const RawFileOptions options_;
+  File file_;
+  std::vector<uint8_t> buffer_;
+  uint64_t file_offset_ = 0;
+  uint64_t records_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // SRC_RAWFILE_RAW_FILE_WRITER_H_

@@ -1,0 +1,96 @@
+// Post-mortem readback of persisted Loom logs.
+//
+// The paper positions Loom as a diagnosis tool that outlives the monitored
+// application: "if a monitored application crashes, Loom can be used to
+// diagnose the crash using data it received" (§4.5). This module serves the
+// complementary offline case: after the capturing process shut down cleanly
+// (Loom's destructor flushes all published data), a later process opens the
+// three log files read-only and runs the same queries over them.
+//
+// Index *functions* are code, not data, so the caller re-registers the
+// extraction function (and histogram spec) for each index id it wants to
+// query — exactly the information the original DefineIndex call supplied.
+// Raw scans need no re-registration.
+
+#ifndef SRC_READBACK_READBACK_H_
+#define SRC_READBACK_READBACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/loom.h"
+
+namespace loom {
+
+class ReadbackSession {
+ public:
+  // Opens record.log / chunk.idx / ts.idx under `dir`. The geometry must
+  // match the capturing engine's LoomOptions (chunk_size and the chunk index
+  // log's block size, which governs padding boundaries).
+  static Result<std::unique_ptr<ReadbackSession>> Open(const std::string& dir,
+                                                       size_t chunk_size = 64 << 10,
+                                                       size_t chunk_index_block_size = 1 << 20);
+  ~ReadbackSession();
+
+  ReadbackSession(const ReadbackSession&) = delete;
+  ReadbackSession& operator=(const ReadbackSession&) = delete;
+
+  // Re-registers the extraction function and histogram spec that were used
+  // for `index_id` in the capturing process.
+  Status RegisterIndex(uint32_t index_id, uint32_t source_id, Loom::IndexFunc func,
+                       HistogramSpec spec);
+
+  // --- Queries (mirroring the live engine) --------------------------------
+
+  // Scans all records of `source_id` in `t_range`, oldest-first (readback
+  // has no per-source chain heads, so it scans forward, using the timestamp
+  // index to find the range start).
+  Status RawScan(uint32_t source_id, TimeRange t_range, const Loom::RecordCallback& cb) const;
+
+  Status IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                     ValueRange v_range, const Loom::RecordCallback& cb) const;
+
+  Result<double> IndexedAggregate(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                                  AggregateMethod method, double percentile = 0.0) const;
+
+  // Sources observed in the capture (from chunk-summary presence entries and
+  // a tail scan of the unindexed region).
+  Result<std::vector<uint32_t>> ListSources() const;
+
+  // Capture time bounds (from the first/last record).
+  Result<TimeRange> CaptureBounds() const;
+
+ private:
+  struct IndexInfo {
+    uint32_t source_id = 0;
+    Loom::IndexFunc func;
+    HistogramSpec spec = HistogramSpec::ExactMatch(0);
+  };
+
+  ReadbackSession(std::vector<uint8_t> record_log, std::vector<uint8_t> chunk_log,
+                  std::vector<uint8_t> ts_log, size_t chunk_size,
+                  size_t chunk_index_block_size);
+
+  // Iterates records of the record log within [from, to).
+  Status ScanRecords(uint64_t from, uint64_t to,
+                     const std::function<bool(const RecordView&)>& fn) const;
+  // Decodes all chunk summaries overlapping t_range (oldest-first).
+  Status SummariesOverlapping(TimeRange t_range, std::vector<ChunkSummary>& out) const;
+  Result<uint64_t> RangeStartAddr(TimestampNanos start) const;
+
+  std::vector<uint8_t> record_log_;
+  std::vector<uint8_t> chunk_log_;
+  std::vector<uint8_t> ts_log_;
+  size_t chunk_size_;
+  size_t chunk_index_block_size_;
+  std::unordered_map<uint32_t, IndexInfo> indexes_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_READBACK_READBACK_H_

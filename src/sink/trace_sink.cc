@@ -1,0 +1,81 @@
+#include "src/sink/trace_sink.h"
+
+#include <limits>
+
+namespace loom {
+
+Status TraceSink::AddSource(uint32_t source_id, Loom::IndexFunc value_func, HistogramSpec spec) {
+  if (sources_.count(source_id) != 0) {
+    return Status::AlreadyExists("source already traced");
+  }
+  LOOM_RETURN_IF_ERROR(engine_->DefineSource(source_id));
+  auto index = engine_->DefineIndex(source_id, value_func, spec);
+  if (!index.ok()) {
+    return index.status();
+  }
+  SourceAgg agg;
+  agg.func = std::move(value_func);
+  agg.spec = std::move(spec);
+  agg.index_id = index.value();
+  sources_.emplace(source_id, std::move(agg));
+  return Status::Ok();
+}
+
+Status TraceSink::OnEvent(uint32_t source_id, std::span<const uint8_t> payload) {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound("source not traced");
+  }
+  SourceAgg& agg = it->second;
+
+  // Full-fidelity capture first: the raw event is always retrievable later.
+  LOOM_RETURN_IF_ERROR(engine_->Push(source_id, payload));
+  const TimestampNanos now = engine_->Now();
+
+  if (agg.open && now >= agg.window_start + window_nanos_) {
+    Emit(source_id, agg, agg.window_start + window_nanos_);
+  }
+  if (!agg.open) {
+    agg.open = true;
+    agg.window_start = now - (window_nanos_ == 0 ? 0 : now % window_nanos_);
+    agg.current = WindowSummary{};
+    agg.current.source_id = source_id;
+    agg.current.window_start = agg.window_start;
+    agg.current.bin_counts.assign(agg.spec.num_bins(), 0);
+    agg.current.min = std::numeric_limits<double>::infinity();
+    agg.current.max = -std::numeric_limits<double>::infinity();
+  }
+
+  std::optional<double> value = agg.func(payload);
+  if (value.has_value()) {
+    ++agg.current.events;
+    agg.current.sum += *value;
+    if (*value < agg.current.min) {
+      agg.current.min = *value;
+    }
+    if (*value > agg.current.max) {
+      agg.current.max = *value;
+    }
+    agg.current.bin_counts[agg.spec.BinOf(*value)]++;
+  }
+  return Status::Ok();
+}
+
+void TraceSink::Emit(uint32_t source_id, SourceAgg& agg, TimestampNanos window_end) {
+  agg.current.source_id = source_id;
+  agg.current.window_end = window_end;
+  if (on_window_) {
+    on_window_(agg.current);
+  }
+  agg.open = false;
+}
+
+void TraceSink::FlushWindows() {
+  for (auto& [source_id, agg] : sources_) {
+    if (agg.open && agg.current.events > 0) {
+      Emit(source_id, agg, engine_->Now());
+    }
+  }
+}
+
+}  // namespace loom

@@ -1,0 +1,82 @@
+// Trace sink for kernel-extension front-ends (§8 "Tracing with Kernel
+// Extensions").
+//
+// eBPF front-ends (BPFTrace, Ply, ...) follow a streaming aggregation model:
+// they summarize events into histograms and immediately discard the raw
+// events, so an engineer cannot drill into a specific event after the fact.
+// This sink keeps the ergonomics of the streaming model — tumbling-window
+// per-source histograms delivered to a callback — while simultaneously
+// forwarding every raw event into a Loom engine, so the drill-down data is
+// there when the window summary looks suspicious.
+
+#ifndef SRC_SINK_TRACE_SINK_H_
+#define SRC_SINK_TRACE_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/loom.h"
+
+namespace loom {
+
+// One emitted window summary for one source.
+struct WindowSummary {
+  uint32_t source_id = 0;
+  TimestampNanos window_start = 0;
+  TimestampNanos window_end = 0;
+  uint64_t events = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::vector<uint64_t> bin_counts;  // per HistogramSpec bin
+};
+
+class TraceSink {
+ public:
+  using SummaryCallback = std::function<void(const WindowSummary&)>;
+
+  // `engine` must outlive the sink. Events are timestamped by the engine on
+  // Push; window boundaries use the same clock.
+  TraceSink(Loom* engine, TimestampNanos window_nanos, SummaryCallback on_window)
+      : engine_(engine), window_nanos_(window_nanos), on_window_(std::move(on_window)) {}
+
+  // Registers a traced source: defines it (and a histogram index) on the
+  // engine and starts aggregating its values. Ingest thread only.
+  Status AddSource(uint32_t source_id, Loom::IndexFunc value_func, HistogramSpec spec);
+
+  // Handles one event from the front-end: updates the streaming aggregate
+  // AND stores the raw event in Loom. Emits a WindowSummary whenever the
+  // event's timestamp crosses the source's window boundary. Ingest thread
+  // only.
+  Status OnEvent(uint32_t source_id, std::span<const uint8_t> payload);
+
+  // Flushes all open windows (end of session).
+  void FlushWindows();
+
+  Loom* engine() { return engine_; }
+
+ private:
+  struct SourceAgg {
+    Loom::IndexFunc func;
+    HistogramSpec spec = HistogramSpec::ExactMatch(0);
+    uint32_t index_id = 0;
+    TimestampNanos window_start = 0;
+    WindowSummary current;
+    bool open = false;
+  };
+
+  void Emit(uint32_t source_id, SourceAgg& agg, TimestampNanos window_end);
+
+  Loom* engine_;
+  TimestampNanos window_nanos_;
+  SummaryCallback on_window_;
+  std::unordered_map<uint32_t, SourceAgg> sources_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_SINK_TRACE_SINK_H_

@@ -1,0 +1,447 @@
+#include "src/tsdb/tsdb.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+
+namespace loom {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+constexpr size_t kPointBytes = sizeof(TsdbPoint);
+static_assert(std::is_trivially_copyable_v<TsdbPoint>);
+
+// WAL writes are buffered to this size before hitting the file, mirroring
+// real TSDB WAL batching.
+constexpr size_t kWalBufferBytes = 1 << 20;
+
+}  // namespace
+
+Result<std::unique_ptr<Tsdb>> Tsdb::Open(const TsdbOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("TsdbOptions.dir must be set");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("create_directories " + options.dir + ": " + ec.message());
+  }
+  std::unique_ptr<Tsdb> db(new Tsdb(options));
+  if (options.enable_wal) {
+    auto wal = File::CreateTruncate(options.dir + "/wal.log");
+    if (!wal.ok()) {
+      return wal.status();
+    }
+    db->wal_ = std::move(wal.value());
+    db->wal_buffer_.reserve(kWalBufferBytes);
+  }
+  db->ingest_thread_ = std::thread([raw = db.get()] { raw->IngestThreadMain(); });
+  return db;
+}
+
+Tsdb::Tsdb(const TsdbOptions& options)
+    : options_(options),
+      queue_(std::bit_ceil(std::max<size_t>(options.ingest_queue_capacity, 2))) {}
+
+Tsdb::~Tsdb() {
+  stop_.store(true, std::memory_order_release);
+  if (ingest_thread_.joinable()) {
+    ingest_thread_.join();
+  }
+}
+
+bool Tsdb::TryIngest(const TsdbPoint& point) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.TryPush(point)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Tsdb::IngestThreadMain() {
+  for (;;) {
+    size_t popped = 0;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      const uint64_t t0 = NowNanos();
+      // Pops happen only under the engine lock, so Drain() observing an
+      // empty queue while holding the lock means nothing is in flight.
+      for (; popped < 256; ++popped) {
+        std::optional<TsdbPoint> point = queue_.TryPop();
+        if (!point.has_value()) {
+          break;
+        }
+        Status st = InsertLocked(*point);
+        (void)st;
+      }
+      if (popped > 0) {
+        total_ingest_nanos_ += NowNanos() - t0;
+      }
+    }
+    if (popped == 0) {
+      if (stop_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(engine_mu_);
+        if (queue_.EmptyApprox() && !memtable_.empty()) {
+          (void)FlushMemtableLocked();
+        }
+        if (queue_.EmptyApprox()) {
+          return;
+        }
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+}
+
+Status Tsdb::InsertLocked(const TsdbPoint& point) {
+  if (options_.enable_wal) {
+    const uint64_t w0 = NowNanos();
+    const uint8_t* raw = reinterpret_cast<const uint8_t*>(&point);
+    wal_buffer_.insert(wal_buffer_.end(), raw, raw + kPointBytes);
+    if (wal_buffer_.size() >= kWalBufferBytes) {
+      Status st = wal_.PWriteAll(wal_offset_, wal_buffer_);
+      if (!st.ok()) {
+        return st;
+      }
+      wal_offset_ += wal_buffer_.size();
+      wal_buffer_.clear();
+    }
+    wal_nanos_ += NowNanos() - w0;
+  }
+
+  const uint64_t i0 = NowNanos();
+  memtable_.emplace(std::make_pair(point.series_id, point.ts), point);
+  ++ingested_;
+  Status st = Status::Ok();
+  if (memtable_.size() >= options_.memtable_max_points) {
+    st = FlushMemtableLocked();
+  }
+  index_nanos_ += NowNanos() - i0;
+  return st;
+}
+
+Status Tsdb::FlushMemtableLocked() {
+  std::vector<TsdbPoint> sorted;
+  sorted.reserve(memtable_.size());
+  for (const auto& [key, point] : memtable_) {
+    sorted.push_back(point);
+  }
+  memtable_.clear();
+  auto run = WriteRunLocked(0, sorted);
+  if (!run.ok()) {
+    return run.status();
+  }
+  runs_.push_back(std::move(run.value()));
+  ++flushes_;
+  return MaybeCompactLocked();
+}
+
+Result<std::unique_ptr<Tsdb::Run>> Tsdb::WriteRunLocked(uint64_t level,
+                                                        const std::vector<TsdbPoint>& sorted) {
+  auto run = std::make_unique<Run>();
+  run->id = next_run_id_++;
+  run->level = level;
+  run->num_points = sorted.size();
+  auto file = File::CreateTruncate(options_.dir + "/run-" + std::to_string(run->id) + ".tsm");
+  if (!file.ok()) {
+    return file.status();
+  }
+  run->file = std::move(file.value());
+  // Build the per-series segment index ("tag index" + segment statistics).
+  for (uint64_t i = 0; i < sorted.size(); ++i) {
+    const TsdbPoint& p = sorted[i];
+    auto [it, inserted] = run->segments.try_emplace(p.series_id);
+    Segment& seg = it->second;
+    if (inserted) {
+      seg.series_id = p.series_id;
+      seg.file_offset = i;
+      seg.min_ts = p.ts;
+      seg.min_value = p.value;
+      seg.max_value = p.value;
+    }
+    seg.count++;
+    seg.max_ts = p.ts;
+    seg.min_value = std::min(seg.min_value, p.value);
+    seg.max_value = std::max(seg.max_value, p.value);
+    seg.sum += p.value;
+  }
+  if (!sorted.empty()) {
+    Status st = run->file.PWriteAll(
+        0, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(sorted.data()),
+                                    sorted.size() * kPointBytes));
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  return run;
+}
+
+Status Tsdb::MaybeCompactLocked() {
+  size_t l0 = 0;
+  for (const auto& run : runs_) {
+    if (run->level == 0) {
+      ++l0;
+    }
+  }
+  if (l0 < options_.compaction_fanin) {
+    return Status::Ok();
+  }
+  // Merge every run into one sorted level-1 run (tiered, full merge). The
+  // read-merge-write cycle is the write amplification the paper attributes
+  // to LSM index maintenance.
+  std::vector<TsdbPoint> all;
+  uint64_t total = 0;
+  for (const auto& run : runs_) {
+    total += run->num_points;
+  }
+  all.reserve(total);
+  for (const auto& run : runs_) {
+    std::vector<TsdbPoint> buf(run->num_points);
+    if (run->num_points > 0) {
+      Status st = run->file.PReadAll(
+          0, std::span<uint8_t>(reinterpret_cast<uint8_t*>(buf.data()),
+                                buf.size() * kPointBytes));
+      if (!st.ok()) {
+        return st;
+      }
+    }
+    all.insert(all.end(), buf.begin(), buf.end());
+  }
+  std::stable_sort(all.begin(), all.end(), [](const TsdbPoint& a, const TsdbPoint& b) {
+    if (a.series_id != b.series_id) {
+      return a.series_id < b.series_id;
+    }
+    return a.ts < b.ts;
+  });
+  auto merged = WriteRunLocked(1, all);
+  if (!merged.ok()) {
+    return merged.status();
+  }
+  for (const auto& run : runs_) {
+    std::error_code ec;
+    std::filesystem::remove(run->file.path(), ec);
+  }
+  runs_.clear();
+  runs_.push_back(std::move(merged.value()));
+  ++compactions_;
+  return Status::Ok();
+}
+
+Status Tsdb::Drain() {
+  for (;;) {
+    while (!queue_.EmptyApprox()) {
+      std::this_thread::yield();
+    }
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    if (!queue_.EmptyApprox()) {
+      continue;  // raced with a late producer push
+    }
+    // Pops only happen under this lock, so the engine has consumed
+    // everything; flush the remainder.
+    if (!memtable_.empty()) {
+      return FlushMemtableLocked();
+    }
+    return Status::Ok();
+  }
+}
+
+Status Tsdb::BulkLoad(std::vector<TsdbPoint> points) {
+  std::stable_sort(points.begin(), points.end(), [](const TsdbPoint& a, const TsdbPoint& b) {
+    if (a.series_id != b.series_id) {
+      return a.series_id < b.series_id;
+    }
+    return a.ts < b.ts;
+  });
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  auto run = WriteRunLocked(1, points);
+  if (!run.ok()) {
+    return run.status();
+  }
+  ingested_ += points.size();
+  runs_.push_back(std::move(run.value()));
+  return Status::Ok();
+}
+
+Status Tsdb::ReadSegment(const Run& run, const Segment& seg, std::vector<TsdbPoint>& out) const {
+  const size_t start = out.size();
+  out.resize(start + seg.count);
+  return run.file.PReadAll(seg.file_offset * kPointBytes,
+                           std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data() + start),
+                                              seg.count * kPointBytes));
+}
+
+Status Tsdb::CollectRange(uint32_t series_id, TimestampNanos t0, TimestampNanos t1,
+                          std::vector<TsdbPoint>& out) const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  for (const auto& run : runs_) {
+    auto it = run->segments.find(series_id);
+    if (it == run->segments.end()) {
+      continue;
+    }
+    const Segment& seg = it->second;
+    if (seg.max_ts < t0 || seg.min_ts > t1) {
+      continue;
+    }
+    std::vector<TsdbPoint> buf;
+    Status st = ReadSegment(*run, seg, buf);
+    if (!st.ok()) {
+      return st;
+    }
+    for (const TsdbPoint& p : buf) {
+      if (p.ts >= t0 && p.ts <= t1) {
+        out.push_back(p);
+      }
+    }
+  }
+  auto lo = memtable_.lower_bound(std::make_pair(series_id, t0));
+  auto hi = memtable_.upper_bound(std::make_pair(series_id, t1));
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(it->second);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TsdbPoint& a, const TsdbPoint& b) { return a.ts < b.ts; });
+  return Status::Ok();
+}
+
+Status Tsdb::QueryRange(uint32_t series_id, TimestampNanos t0, TimestampNanos t1,
+                        const PointCallback& cb) const {
+  std::vector<TsdbPoint> points;
+  LOOM_RETURN_IF_ERROR(CollectRange(series_id, t0, t1, points));
+  for (const TsdbPoint& p : points) {
+    if (!cb(p)) {
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<double> Tsdb::QueryMax(uint32_t series_id, TimestampNanos t0, TimestampNanos t1) const {
+  // The tag index narrows the read to this series' segments, but InfluxDB's
+  // TSM blocks keep time ranges, not per-field value statistics, so the
+  // aggregate still reads and folds the series data (the paper's Fig. 12/13
+  // "tag index helps, but max is a scan" behavior).
+  bool found = false;
+  double max = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    for (const auto& run : runs_) {
+      auto it = run->segments.find(series_id);
+      if (it == run->segments.end()) {
+        continue;
+      }
+      const Segment& seg = it->second;
+      if (seg.max_ts < t0 || seg.min_ts > t1) {
+        continue;
+      }
+      std::vector<TsdbPoint> buf;
+      Status st = ReadSegment(*run, seg, buf);
+      if (!st.ok()) {
+        return st;
+      }
+      for (const TsdbPoint& p : buf) {
+        if (p.ts >= t0 && p.ts <= t1 && (!found || p.value > max)) {
+          max = p.value;
+          found = true;
+        }
+      }
+    }
+    auto lo = memtable_.lower_bound(std::make_pair(series_id, t0));
+    auto hi = memtable_.upper_bound(std::make_pair(series_id, t1));
+    for (auto it = lo; it != hi; ++it) {
+      if (!found || it->second.value > max) {
+        max = it->second.value;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no data in range");
+  }
+  return max;
+}
+
+Result<double> Tsdb::QueryCount(uint32_t series_id, TimestampNanos t0, TimestampNanos t1) const {
+  uint64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    for (const auto& run : runs_) {
+      auto it = run->segments.find(series_id);
+      if (it == run->segments.end()) {
+        continue;
+      }
+      const Segment& seg = it->second;
+      if (seg.max_ts < t0 || seg.min_ts > t1) {
+        continue;
+      }
+      if (seg.min_ts >= t0 && seg.max_ts <= t1) {
+        count += seg.count;
+      } else {
+        std::vector<TsdbPoint> buf;
+        Status st = ReadSegment(*run, seg, buf);
+        if (!st.ok()) {
+          return st;
+        }
+        for (const TsdbPoint& p : buf) {
+          if (p.ts >= t0 && p.ts <= t1) {
+            ++count;
+          }
+        }
+      }
+    }
+    auto lo = memtable_.lower_bound(std::make_pair(series_id, t0));
+    auto hi = memtable_.upper_bound(std::make_pair(series_id, t1));
+    count += static_cast<uint64_t>(std::distance(lo, hi));
+  }
+  return static_cast<double>(count);
+}
+
+Result<double> Tsdb::QueryPercentile(uint32_t series_id, TimestampNanos t0, TimestampNanos t1,
+                                     double percentile) const {
+  if (percentile < 0.0 || percentile > 100.0) {
+    return Status::InvalidArgument("percentile must be in [0, 100]");
+  }
+  // No index supports holistic aggregation: materialize and sort everything.
+  std::vector<TsdbPoint> points;
+  LOOM_RETURN_IF_ERROR(CollectRange(series_id, t0, t1, points));
+  if (points.empty()) {
+    return Status::NotFound("no data in range");
+  }
+  std::vector<double> values;
+  values.reserve(points.size());
+  for (const TsdbPoint& p : points) {
+    values.push_back(p.value);
+  }
+  std::sort(values.begin(), values.end());
+  size_t rank =
+      static_cast<size_t>(std::ceil(percentile / 100.0 * static_cast<double>(values.size())));
+  rank = std::max<size_t>(1, std::min(rank, values.size()));
+  return values[rank - 1];
+}
+
+TsdbStats Tsdb::stats() const {
+  TsdbStats s;
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  s.ingested = ingested_;
+  s.flushes = flushes_;
+  s.compactions = compactions_;
+  s.runs = runs_.size();
+  s.index_maintenance_nanos = index_nanos_;
+  s.wal_nanos = wal_nanos_;
+  s.total_ingest_nanos = total_ingest_nanos_;
+  return s;
+}
+
+}  // namespace loom

@@ -1,0 +1,187 @@
+// Read-optimized time series database baseline (InfluxDB/ClickHouse style).
+//
+// This models the class of systems §2.3 of the Loom paper evaluates against:
+// an LSM-style TSDB that maintains read-oriented indexes on the write path.
+// Ingest flows through a bounded queue into an internal ingest thread that
+// appends to a WAL, inserts into a tree-ordered memtable, flushes sorted
+// runs with per-series segment indexes (the "tag index" + per-segment
+// min/max/count/sum statistics), and merge-compacts runs in the background.
+//
+// The failure mode the paper measures falls out of this design: as the
+// offered rate grows, flush/compaction/index work consumes an increasing
+// share of CPU; once the ingest thread saturates, the bounded queue fills
+// and new points are DROPPED (Fig. 2, Fig. 11). The engine instruments the
+// time spent on index maintenance so the Fig. 2 bench can report it.
+//
+// An "idealized" bulk-load path (BulkLoad) bypasses the queue entirely,
+// modeling the paper's InfluxDB-idealized configuration with infinitely fast
+// ingest used for apples-to-apples query latency (Figs. 12, 13).
+
+#ifndef SRC_TSDB_TSDB_H_
+#define SRC_TSDB_TSDB_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/file.h"
+#include "src/common/spsc_queue.h"
+#include "src/common/status.h"
+
+namespace loom {
+
+// One data point. `blob` carries (a prefix of) the raw record payload so
+// record-dump queries can return the original bytes.
+struct TsdbPoint {
+  static constexpr size_t kBlobSize = 48;
+
+  uint32_t series_id = 0;
+  uint32_t blob_len = 0;
+  TimestampNanos ts = 0;
+  double value = 0.0;
+  std::array<uint8_t, kBlobSize> blob{};
+};
+
+struct TsdbOptions {
+  std::string dir;
+  // Flush the memtable after this many points.
+  size_t memtable_max_points = 200'000;
+  // Bounded ingest queue; a full queue drops points (real-mode only).
+  size_t ingest_queue_capacity = 1 << 16;
+  // Merge-compact level-0 runs once this many accumulate.
+  size_t compaction_fanin = 4;
+  // Write-ahead log on the ingest path (InfluxDB profile: on; a
+  // ClickHouse-like profile turns it off and uses a larger fan-in).
+  bool enable_wal = true;
+};
+
+struct TsdbStats {
+  uint64_t offered = 0;    // points presented to TryIngest
+  uint64_t ingested = 0;   // points accepted into the engine
+  uint64_t dropped = 0;    // points rejected because the queue was full
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t runs = 0;
+  // Ingest-thread CPU accounting (nanoseconds of work, not wall time).
+  uint64_t index_maintenance_nanos = 0;  // memtable ordering + flush + compact
+  uint64_t wal_nanos = 0;
+  uint64_t total_ingest_nanos = 0;
+};
+
+class Tsdb {
+ public:
+  using PointCallback = std::function<bool(const TsdbPoint&)>;
+
+  static Result<std::unique_ptr<Tsdb>> Open(const TsdbOptions& options);
+  ~Tsdb();
+
+  Tsdb(const Tsdb&) = delete;
+  Tsdb& operator=(const Tsdb&) = delete;
+
+  // --- Real ingest path (producer thread) --------------------------------
+
+  // Offers one point; returns false (and counts a drop) if the engine is
+  // backlogged. Never blocks the producer — exactly the "drop data rather
+  // than backpressure" regime Fig. 2 measures.
+  bool TryIngest(const TsdbPoint& point);
+
+  // Blocks until the ingest queue is drained and the memtable is flushed.
+  Status Drain();
+
+  // --- Idealized path ------------------------------------------------------
+
+  // Loads points directly into sorted runs, bypassing queue/WAL/memtable.
+  // Models "InfluxDB-idealized" (infinitely fast ingest).
+  Status BulkLoad(std::vector<TsdbPoint> points);
+
+  // --- Queries (any thread; serialized with ingest internally) -----------
+
+  // All points of `series_id` with ts in [t0, t1], in timestamp order.
+  Status QueryRange(uint32_t series_id, TimestampNanos t0, TimestampNanos t1,
+                    const PointCallback& cb) const;
+
+  // Distributive aggregates served from per-segment statistics where
+  // segments are fully covered (the "value index" behavior the paper notes
+  // makes InfluxDB max queries fast).
+  Result<double> QueryMax(uint32_t series_id, TimestampNanos t0, TimestampNanos t1) const;
+  Result<double> QueryCount(uint32_t series_id, TimestampNanos t0, TimestampNanos t1) const;
+
+  // Percentile has no index support: reads and sorts every matching value
+  // (the slow path the paper measures for InfluxDB percentile queries).
+  Result<double> QueryPercentile(uint32_t series_id, TimestampNanos t0, TimestampNanos t1,
+                                 double percentile) const;
+
+  TsdbStats stats() const;
+
+ private:
+  struct Segment {
+    uint32_t series_id = 0;
+    uint64_t file_offset = 0;  // into the run file, in points
+    uint64_t count = 0;
+    TimestampNanos min_ts = 0;
+    TimestampNanos max_ts = 0;
+    double min_value = 0.0;
+    double max_value = 0.0;
+    double sum = 0.0;
+  };
+
+  struct Run {
+    uint64_t id = 0;
+    uint64_t level = 0;
+    uint64_t num_points = 0;
+    File file;
+    std::map<uint32_t, Segment> segments;  // the per-run series ("tag") index
+  };
+
+  explicit Tsdb(const TsdbOptions& options);
+
+  void IngestThreadMain();
+  // All of the below run on the ingest thread (or BulkLoad caller) with
+  // engine_mu_ held.
+  Status InsertLocked(const TsdbPoint& point);
+  Status FlushMemtableLocked();
+  Status MaybeCompactLocked();
+  Result<std::unique_ptr<Run>> WriteRunLocked(uint64_t level,
+                                              const std::vector<TsdbPoint>& sorted);
+  Status ReadSegment(const Run& run, const Segment& seg, std::vector<TsdbPoint>& out) const;
+
+  Status CollectRange(uint32_t series_id, TimestampNanos t0, TimestampNanos t1,
+                      std::vector<TsdbPoint>& out) const;
+
+  const TsdbOptions options_;
+
+  SpscQueue<TsdbPoint> queue_;
+  std::thread ingest_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable std::mutex engine_mu_;
+  // Memtable: tree-ordered by (series, ts) — the write-path index cost.
+  std::multimap<std::pair<uint32_t, TimestampNanos>, TsdbPoint> memtable_;
+  std::vector<std::unique_ptr<Run>> runs_;
+  uint64_t next_run_id_ = 0;
+  File wal_;
+  uint64_t wal_offset_ = 0;
+  std::vector<uint8_t> wal_buffer_;
+
+  uint64_t ingested_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+  uint64_t index_nanos_ = 0;
+  uint64_t wal_nanos_ = 0;
+  uint64_t total_ingest_nanos_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // SRC_TSDB_TSDB_H_

@@ -1,0 +1,246 @@
+#include "src/workload/case_studies.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace loom {
+
+namespace {
+
+constexpr TimestampNanos kInfinity = ~0ULL;
+
+TimestampNanos IntervalFor(double rate, double scale) {
+  const double per_second = rate * scale;
+  return static_cast<TimestampNanos>(1e9 / per_second);
+}
+
+template <typename T>
+std::span<const uint8_t> EncodePod(std::vector<uint8_t>& buf, const T& value) {
+  buf.resize(sizeof(T));
+  std::memcpy(buf.data(), &value, sizeof(T));
+  return std::span<const uint8_t>(buf.data(), buf.size());
+}
+
+}  // namespace
+
+// --- RedisWorkload -----------------------------------------------------------
+
+RedisWorkload::RedisWorkload(const RedisWorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      phase_ns_(static_cast<TimestampNanos>(config.phase_seconds * 1e9)),
+      app_interval_(IntervalFor(kAppRate, config.scale)),
+      syscall_interval_(IntervalFor(kSyscallRate, config.scale)),
+      packet_interval_(IntervalFor(kPacketRate, config.scale)) {
+  next_app_ = 1 + app_interval_;
+  next_syscall_ = PhaseStart(2) + syscall_interval_;
+  next_packet_ = PhaseStart(3) + packet_interval_;
+
+  // Plant the incidents uniformly across phase 3: a mangled packet arrives,
+  // the recv() syscall it affects runs long, and the application request
+  // completes slow shortly after.
+  const TimestampNanos p3_start = PhaseStart(3);
+  const TimestampNanos p3_len = phase_ns_;
+  for (int i = 0; i < config_.num_incidents; ++i) {
+    const TimestampNanos base =
+        p3_start + p3_len / 10 +
+        static_cast<TimestampNanos>((static_cast<double>(i) + rng_.NextDouble() * 0.5) *
+                                    static_cast<double>(p3_len) * 0.8 /
+                                    std::max(1, config_.num_incidents));
+    Incident inc;
+    inc.packet_ts = base;
+    inc.syscall_ts = base + 40'000;                      // +40us: the slow recv() completes
+    inc.request_ts = base + 150'000;                     // +150us: request completes
+    inc.request_latency_us = 100'000.0 + rng_.NextUniform(0, 30'000);  // ~100ms
+    incidents_.push_back(inc);
+    planted_.push_back(Planted{inc.packet_ts, kPacketSource, i});
+    planted_.push_back(Planted{inc.syscall_ts, kSyscallSource, i});
+    planted_.push_back(Planted{inc.request_ts, kAppSource, i});
+  }
+  std::sort(planted_.begin(), planted_.end(),
+            [](const Planted& a, const Planted& b) { return a.ts < b.ts; });
+}
+
+TimestampNanos RedisWorkload::PhaseStart(int p) const {
+  return static_cast<TimestampNanos>(p - 1) * phase_ns_ + 1;
+}
+
+TimestampNanos RedisWorkload::PhaseEnd(int p) const {
+  return static_cast<TimestampNanos>(p) * phase_ns_;
+}
+
+EventView RedisWorkload::EmitApp(TimestampNanos ts, double latency_us) {
+  AppRecord rec;
+  rec.seq = ++seq_;
+  rec.key_hash = rng_.Next64();
+  rec.latency_us = latency_us;
+  rec.op_type = static_cast<uint32_t>(rng_.NextBounded(4));
+  rec.status = 0;
+  ++app_records_;
+  return EventView{kAppSource, ts, EncodePod(buf_, rec)};
+}
+
+EventView RedisWorkload::EmitSyscall(TimestampNanos ts, uint32_t syscall_id, double latency_us) {
+  SyscallRecord rec;
+  rec.seq = ++seq_;
+  rec.tid = 1000 + rng_.NextBounded(16);
+  rec.latency_us = latency_us;
+  rec.syscall_id = syscall_id;
+  rec.ret = 0;
+  ++syscall_records_;
+  return EventView{kSyscallSource, ts, EncodePod(buf_, rec)};
+}
+
+EventView RedisWorkload::EmitPacket(TimestampNanos ts, uint16_t dport) {
+  PacketHeader hdr;
+  hdr.seq = ++seq_;
+  const uint32_t capture = 60 + static_cast<uint32_t>(rng_.NextBounded(140));
+  hdr.len = static_cast<uint32_t>(sizeof(PacketHeader)) + capture;
+  hdr.sport = static_cast<uint16_t>(49152 + rng_.NextBounded(16384));
+  hdr.dport = dport;
+  hdr.flags = 0x18;  // PSH|ACK
+  hdr.proto = 6;     // TCP
+  buf_.resize(hdr.len);
+  std::memcpy(buf_.data(), &hdr, sizeof(hdr));
+  for (uint32_t i = 0; i < capture; ++i) {
+    buf_[sizeof(hdr) + i] = static_cast<uint8_t>(rng_.Next64());
+  }
+  ++packet_records_;
+  return EventView{kPacketSource, ts, std::span<const uint8_t>(buf_.data(), buf_.size())};
+}
+
+std::optional<EventView> RedisWorkload::Next() {
+  const TimestampNanos end = PhaseEnd(3);
+
+  TimestampNanos planted_ts = kInfinity;
+  if (next_planted_ < planted_.size()) {
+    planted_ts = planted_[next_planted_].ts;
+  }
+  const TimestampNanos app_ts = next_app_ <= end ? next_app_ : kInfinity;
+  const TimestampNanos sys_ts = next_syscall_ <= end ? next_syscall_ : kInfinity;
+  const TimestampNanos pkt_ts = next_packet_ <= end ? next_packet_ : kInfinity;
+
+  const TimestampNanos min_ts = std::min({planted_ts, app_ts, sys_ts, pkt_ts});
+  if (min_ts == kInfinity) {
+    return std::nullopt;
+  }
+
+  if (min_ts == planted_ts) {
+    const Planted& p = planted_[next_planted_++];
+    const Incident& inc = incidents_[static_cast<size_t>(p.incident)];
+    switch (p.source_id) {
+      case kAppSource:
+        return EmitApp(p.ts, inc.request_latency_us);
+      case kSyscallSource:
+        return EmitSyscall(p.ts, kSyscallRecv, 55'000.0 + rng_.NextUniform(0, 5'000));
+      default:
+        return EmitPacket(p.ts, kMangledPort);
+    }
+  }
+  if (min_ts == app_ts) {
+    next_app_ += app_interval_;
+    return EmitApp(min_ts, rng_.NextLogNormal(100.0, 0.5));
+  }
+  if (min_ts == sys_ts) {
+    next_syscall_ += syscall_interval_;
+    const double pick = rng_.NextDouble();
+    uint32_t id = kSyscallRecv;
+    if (pick > 0.3 && pick <= 0.6) {
+      id = kSyscallSendto;
+    } else if (pick > 0.6 && pick <= 0.8) {
+      id = kSyscallWrite;
+    } else if (pick > 0.8) {
+      id = kSyscallFutex;
+    }
+    return EmitSyscall(min_ts, id, rng_.NextLogNormal(5.0, 0.7));
+  }
+  next_packet_ += packet_interval_;
+  return EmitPacket(min_ts, kRedisPort);
+}
+
+// --- RocksdbWorkload ----------------------------------------------------------
+
+RocksdbWorkload::RocksdbWorkload(const RocksdbWorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      phase_ns_(static_cast<TimestampNanos>(config.phase_seconds * 1e9)),
+      req_interval_(IntervalFor(kReqRate, config.scale)),
+      syscall_interval_(IntervalFor(kSyscallRate, config.scale)),
+      pagecache_interval_(IntervalFor(kPageCacheRate, config.scale)) {
+  next_req_ = 1 + req_interval_;
+  next_syscall_ = PhaseStart(2) + syscall_interval_;
+  next_pagecache_ = PhaseStart(3) + pagecache_interval_;
+}
+
+TimestampNanos RocksdbWorkload::PhaseStart(int p) const {
+  return static_cast<TimestampNanos>(p - 1) * phase_ns_ + 1;
+}
+
+TimestampNanos RocksdbWorkload::PhaseEnd(int p) const {
+  return static_cast<TimestampNanos>(p) * phase_ns_;
+}
+
+EventView RocksdbWorkload::EmitReq(TimestampNanos ts) {
+  AppRecord rec;
+  rec.seq = ++seq_;
+  rec.key_hash = rng_.Next64();
+  rec.latency_us = rng_.NextLogNormal(8.0, 0.6);
+  rec.op_type = rng_.NextBernoulli(0.9) ? 0 : 1;  // 90% reads
+  rec.status = 0;
+  ++req_records_;
+  return EventView{kAppSource, ts, EncodePod(buf_, rec)};
+}
+
+EventView RocksdbWorkload::EmitSyscall(TimestampNanos ts) {
+  SyscallRecord rec;
+  rec.seq = ++seq_;
+  rec.tid = 2000 + rng_.NextBounded(32);
+  if (rng_.NextDouble() < kPread64Fraction) {
+    rec.syscall_id = kSyscallPread64;
+    rec.latency_us = rng_.NextLogNormal(80.0, 0.8);
+  } else {
+    const double pick = rng_.NextDouble();
+    rec.syscall_id = pick < 0.5 ? kSyscallWrite : kSyscallFutex;
+    rec.latency_us = rng_.NextLogNormal(3.0, 0.5);
+  }
+  rec.ret = 0;
+  ++syscall_records_;
+  return EventView{kSyscallSource, ts, EncodePod(buf_, rec)};
+}
+
+EventView RocksdbWorkload::EmitPageCache(TimestampNanos ts) {
+  PageCacheRecord rec;
+  rec.seq = ++seq_;
+  rec.pfn = rng_.Next64() & 0xFFFFFFF;
+  rec.ino = 1'000'000 + rng_.NextBounded(64);
+  rec.dev = 8;
+  rec.offset = rng_.NextBounded(1 << 20);
+  rec.event_type = 1;  // mm_filemap_add_to_page_cache
+  rec.cpu = static_cast<uint32_t>(rng_.NextBounded(36));
+  rec.flags = 0;
+  ++pagecache_records_;
+  return EventView{kPageCacheSource, ts, EncodePod(buf_, rec)};
+}
+
+std::optional<EventView> RocksdbWorkload::Next() {
+  const TimestampNanos end = PhaseEnd(3);
+  const TimestampNanos req_ts = next_req_ <= end ? next_req_ : kInfinity;
+  const TimestampNanos sys_ts = next_syscall_ <= end ? next_syscall_ : kInfinity;
+  const TimestampNanos pc_ts = next_pagecache_ <= end ? next_pagecache_ : kInfinity;
+  const TimestampNanos min_ts = std::min({req_ts, sys_ts, pc_ts});
+  if (min_ts == kInfinity) {
+    return std::nullopt;
+  }
+  if (min_ts == req_ts) {
+    next_req_ += req_interval_;
+    return EmitReq(min_ts);
+  }
+  if (min_ts == sys_ts) {
+    next_syscall_ += syscall_interval_;
+    return EmitSyscall(min_ts);
+  }
+  next_pagecache_ += pagecache_interval_;
+  return EmitPageCache(min_ts);
+}
+
+}  // namespace loom

@@ -1,0 +1,166 @@
+// Case-study workload generators (§6, Figure 10).
+//
+// Both generators synthesize the paper's end-to-end workloads as
+// deterministic event streams over a virtual clock:
+//
+//   * Redis case study (Fig. 10a): application request latency, then
+//     + syscall latency, then + client TCP packets, with six planted
+//     "incidents" in phase 3 — a slow request, a correlated slow recv
+//     syscall, and a mangled packet (destination port corrupted by a buggy
+//     filter) within a few microseconds of each other. These are the
+//     needle-in-a-haystack events Figures 3 and 12 revolve around.
+//
+//   * RocksDB case study (Fig. 10b): request latency, + syscall latency
+//     (pread64 is ~7.8% of syscalls ≈ 3% of all data), + page cache events
+//     (~0.5% of data), queried with max / tail-percentile aggregations.
+//
+// The paper's absolute rates (0.865–8M records/s) are preserved as *ratios*;
+// `scale` shrinks the volume to laptop size. Events arrive in virtual
+// timestamp order across all active sources.
+
+#ifndef SRC_WORKLOAD_CASE_STUDIES_H_
+#define SRC_WORKLOAD_CASE_STUDIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/workload/records.h"
+
+namespace loom {
+
+// One generated telemetry event. `payload` points into generator-owned
+// storage and is valid until the next call to Next().
+struct EventView {
+  uint32_t source_id = 0;
+  TimestampNanos ts = 0;
+  std::span<const uint8_t> payload;
+};
+
+// A planted incident: the correlated rare events Figures 3 and 12 look for.
+struct Incident {
+  TimestampNanos request_ts = 0;  // slow application request
+  TimestampNanos syscall_ts = 0;  // correlated slow recv() syscall
+  TimestampNanos packet_ts = 0;   // correlated mangled packet
+  double request_latency_us = 0.0;
+};
+
+struct RedisWorkloadConfig {
+  // Fraction of the paper's record volume (1.0 = 865k/2.7M/3.5M rec/s).
+  double scale = 0.005;
+  // Virtual duration of each of the three phases, seconds.
+  double phase_seconds = 10.0;
+  uint64_t seed = 42;
+  // Planted incidents, uniformly spread over phase 3.
+  int num_incidents = 6;
+};
+
+class RedisWorkload {
+ public:
+  // Paper rates, records/second, before scaling (Fig. 10a).
+  static constexpr double kAppRate = 865'000.0;
+  static constexpr double kSyscallRate = 2'700'000.0;
+  static constexpr double kPacketRate = 3'500'000.0;
+
+  explicit RedisWorkload(const RedisWorkloadConfig& config);
+
+  // Next event in virtual-timestamp order; nullopt at end of phase 3.
+  std::optional<EventView> Next();
+
+  // Phase p in {1,2,3}: virtual [start, end) bounds.
+  TimestampNanos PhaseStart(int p) const;
+  TimestampNanos PhaseEnd(int p) const;
+
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  uint64_t app_records() const { return app_records_; }
+  uint64_t syscall_records() const { return syscall_records_; }
+  uint64_t packet_records() const { return packet_records_; }
+
+ private:
+  struct Planted {
+    TimestampNanos ts;
+    uint32_t source_id;
+    int incident;  // index into incidents_
+  };
+
+  EventView EmitApp(TimestampNanos ts, double latency_us);
+  EventView EmitSyscall(TimestampNanos ts, uint32_t syscall_id, double latency_us);
+  EventView EmitPacket(TimestampNanos ts, uint16_t dport);
+
+  RedisWorkloadConfig config_;
+  Rng rng_;
+  TimestampNanos phase_ns_;
+  // Next regular arrival per source (app, syscall, packet).
+  TimestampNanos next_app_;
+  TimestampNanos next_syscall_;
+  TimestampNanos next_packet_;
+  TimestampNanos app_interval_;
+  TimestampNanos syscall_interval_;
+  TimestampNanos packet_interval_;
+
+  std::vector<Incident> incidents_;
+  std::vector<Planted> planted_;  // sorted by ts
+  size_t next_planted_ = 0;
+
+  uint64_t seq_ = 0;
+  uint64_t app_records_ = 0;
+  uint64_t syscall_records_ = 0;
+  uint64_t packet_records_ = 0;
+  std::vector<uint8_t> buf_;
+};
+
+struct RocksdbWorkloadConfig {
+  double scale = 0.005;
+  double phase_seconds = 10.0;
+  uint64_t seed = 1234;
+};
+
+class RocksdbWorkload {
+ public:
+  // Paper rates, records/second, before scaling (Fig. 10b).
+  static constexpr double kReqRate = 4'700'000.0;
+  static constexpr double kSyscallRate = 3'200'000.0;
+  static constexpr double kPageCacheRate = 39'000.0;
+  // pread64 share of the syscall stream (250k/s of 3.2M/s ≈ 7.8%, which is
+  // ~3% of all records as in Fig. 10b phase 2).
+  static constexpr double kPread64Fraction = 0.078;
+
+  explicit RocksdbWorkload(const RocksdbWorkloadConfig& config);
+
+  std::optional<EventView> Next();
+
+  TimestampNanos PhaseStart(int p) const;
+  TimestampNanos PhaseEnd(int p) const;
+
+  uint64_t req_records() const { return req_records_; }
+  uint64_t syscall_records() const { return syscall_records_; }
+  uint64_t pagecache_records() const { return pagecache_records_; }
+
+ private:
+  EventView EmitReq(TimestampNanos ts);
+  EventView EmitSyscall(TimestampNanos ts);
+  EventView EmitPageCache(TimestampNanos ts);
+
+  RocksdbWorkloadConfig config_;
+  Rng rng_;
+  TimestampNanos phase_ns_;
+  TimestampNanos next_req_;
+  TimestampNanos next_syscall_;
+  TimestampNanos next_pagecache_;
+  TimestampNanos req_interval_;
+  TimestampNanos syscall_interval_;
+  TimestampNanos pagecache_interval_;
+
+  uint64_t seq_ = 0;
+  uint64_t req_records_ = 0;
+  uint64_t syscall_records_ = 0;
+  uint64_t pagecache_records_ = 0;
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_WORKLOAD_CASE_STUDIES_H_

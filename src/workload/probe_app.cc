@@ -1,0 +1,64 @@
+#include "src/workload/probe_app.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/workload/records.h"
+
+namespace loom {
+
+namespace {
+
+// The application's per-operation work: a short hash chain the optimizer
+// cannot elide. Roughly models the CPU cost of a cached KV operation.
+inline uint64_t HashWork(uint64_t x, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    x += 0x9e3779b97f4a7c15ULL;
+  }
+  return x;
+}
+
+}  // namespace
+
+ProbeAppResult ProbeApp::Run(const ProbeAppConfig& config, const TelemetrySink& sink) {
+  using Clock = std::chrono::steady_clock;
+  Rng rng(config.seed);
+  uint64_t state = rng.Next64();
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(config.seconds));
+  uint64_t ops = 0;
+  AppRecord rec;
+  uint8_t payload[sizeof(AppRecord)];
+  auto op_start = Clock::now();
+  while (Clock::now() < deadline) {
+    // Check the clock only every few operations to keep the loop tight.
+    for (int batch = 0; batch < 64; ++batch) {
+      const auto t0 = op_start;
+      state = HashWork(state, config.work_iters);
+      const auto t1 = Clock::now();
+      rec.seq = ++ops;
+      rec.key_hash = state;
+      rec.latency_us =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() / 1000.0;
+      rec.op_type = static_cast<uint32_t>(state & 3);
+      rec.status = 0;
+      std::memcpy(payload, &rec, sizeof(rec));
+      sink(std::span<const uint8_t>(payload, sizeof(payload)));
+      op_start = t1;
+    }
+  }
+  ProbeAppResult result;
+  result.operations = ops;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - start).count();
+  result.ops_per_second = static_cast<double>(ops) / result.wall_seconds;
+  return result;
+}
+
+}  // namespace loom

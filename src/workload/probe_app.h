@@ -1,0 +1,45 @@
+// Probe-effect harness (§6.2, Fig. 14).
+//
+// A closed-loop simulated key-value application: each operation performs a
+// fixed amount of CPU work (a hash loop standing in for a RocksDB get/put)
+// and emits one telemetry record into the telemetry sink under test. The
+// application and the sink share the host CPU, exactly the contention the
+// paper measures. Probe effect = 1 - ops(sink)/ops(null sink).
+
+#ifndef SRC_WORKLOAD_PROBE_APP_H_
+#define SRC_WORKLOAD_PROBE_APP_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace loom {
+
+struct ProbeAppConfig {
+  // Wall-clock duration of the measurement run.
+  double seconds = 2.0;
+  // Iterations of the per-operation hash loop (application "work").
+  int work_iters = 120;
+  uint64_t seed = 7;
+};
+
+struct ProbeAppResult {
+  uint64_t operations = 0;
+  double wall_seconds = 0.0;
+  double ops_per_second = 0.0;
+};
+
+class ProbeApp {
+ public:
+  // Receives one telemetry record per application operation. The payload is
+  // a 48-byte AppRecord.
+  using TelemetrySink = std::function<void(std::span<const uint8_t> payload)>;
+
+  // Runs the closed loop for config.seconds and reports achieved throughput.
+  // Pass a no-op sink to measure the uninstrumented baseline.
+  static ProbeAppResult Run(const ProbeAppConfig& config, const TelemetrySink& sink);
+};
+
+}  // namespace loom
+
+#endif  // SRC_WORKLOAD_PROBE_APP_H_

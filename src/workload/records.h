@@ -1,0 +1,141 @@
+// Telemetry record schemas used by the case-study workloads (Figure 10).
+//
+// Record sizes match the paper's workloads: 48-byte application/syscall
+// records, 60-byte page-cache events, and variable-size packet records.
+// All records are little-endian PODs serialized by memcpy; index functions
+// and PSFs extract fields at fixed offsets.
+
+#ifndef SRC_WORKLOAD_RECORDS_H_
+#define SRC_WORKLOAD_RECORDS_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+
+namespace loom {
+
+// Well-known source ids used across benches and examples.
+inline constexpr uint32_t kAppSource = 1;       // application request latency
+inline constexpr uint32_t kSyscallSource = 2;   // OS syscall latency (eBPF)
+inline constexpr uint32_t kPacketSource = 3;    // client TCP packets
+inline constexpr uint32_t kPageCacheSource = 4; // page cache tracepoints
+
+// Application request latency record (48 B), e.g. Redis or RocksDB requests.
+struct AppRecord {
+  uint64_t seq = 0;
+  uint64_t key_hash = 0;
+  double latency_us = 0.0;
+  uint32_t op_type = 0;
+  uint32_t status = 0;
+  uint64_t client_id = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(AppRecord) == 48);
+
+// Syscall ids used by the workloads.
+inline constexpr uint32_t kSyscallRecv = 45;
+inline constexpr uint32_t kSyscallSendto = 44;
+inline constexpr uint32_t kSyscallPread64 = 17;
+inline constexpr uint32_t kSyscallWrite = 1;
+inline constexpr uint32_t kSyscallFutex = 202;
+
+// OS syscall latency record (48 B).
+struct SyscallRecord {
+  uint64_t seq = 0;
+  uint64_t tid = 0;
+  double latency_us = 0.0;
+  uint32_t syscall_id = 0;
+  uint32_t ret = 0;
+  uint64_t args_hash = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(SyscallRecord) == 48);
+
+// Page cache event record (60 B), modeling mm_filemap_add_to_page_cache.
+#pragma pack(push, 1)
+struct PageCacheRecord {
+  uint64_t seq = 0;
+  uint64_t pfn = 0;
+  uint64_t ino = 0;
+  uint64_t dev = 0;
+  uint64_t offset = 0;
+  uint64_t reserved = 0;
+  uint32_t event_type = 0;
+  uint32_t cpu = 0;
+  uint32_t flags = 0;
+};
+#pragma pack(pop)
+static_assert(sizeof(PageCacheRecord) == 60);
+
+// TCP packet record: fixed header followed by (len - header) captured bytes.
+struct PacketHeader {
+  uint64_t seq = 0;
+  uint32_t len = 0;  // total record length including this header
+  uint16_t sport = 0;
+  uint16_t dport = 0;
+  uint32_t flags = 0;
+  uint32_t proto = 0;
+};
+static_assert(sizeof(PacketHeader) == 24);
+
+inline constexpr uint16_t kRedisPort = 6379;
+inline constexpr uint16_t kMangledPort = 1234;  // buggy filter corrupts dport
+
+// --- Field extraction helpers (shared by Loom index funcs and PSFs) ---------
+
+template <typename T>
+inline std::optional<T> DecodeAs(std::span<const uint8_t> payload) {
+  if (payload.size() < sizeof(T)) {
+    return std::nullopt;
+  }
+  T value;
+  std::memcpy(&value, payload.data(), sizeof(T));
+  return value;
+}
+
+inline std::optional<double> AppLatencyUs(std::span<const uint8_t> payload) {
+  auto rec = DecodeAs<AppRecord>(payload);
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  return rec->latency_us;
+}
+
+inline std::optional<double> SyscallLatencyUs(std::span<const uint8_t> payload) {
+  auto rec = DecodeAs<SyscallRecord>(payload);
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  return rec->latency_us;
+}
+
+inline std::optional<uint32_t> SyscallId(std::span<const uint8_t> payload) {
+  auto rec = DecodeAs<SyscallRecord>(payload);
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  return rec->syscall_id;
+}
+
+// Latency of one syscall kind only (e.g. pread64), for targeted indexes.
+inline std::optional<double> SyscallLatencyFor(uint32_t syscall_id,
+                                               std::span<const uint8_t> payload) {
+  auto rec = DecodeAs<SyscallRecord>(payload);
+  if (!rec.has_value() || rec->syscall_id != syscall_id) {
+    return std::nullopt;
+  }
+  return rec->latency_us;
+}
+
+inline std::optional<uint16_t> PacketDport(std::span<const uint8_t> payload) {
+  auto hdr = DecodeAs<PacketHeader>(payload);
+  if (!hdr.has_value()) {
+    return std::nullopt;
+  }
+  return hdr->dport;
+}
+
+}  // namespace loom
+
+#endif  // SRC_WORKLOAD_RECORDS_H_

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/fishstore/fishstore.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> ValuePayload(uint64_t v) {
+  std::vector<uint8_t> buf(48, 0);
+  std::memcpy(buf.data(), &v, sizeof(v));
+  return buf;
+}
+
+uint64_t PayloadValue(std::span<const uint8_t> payload) {
+  uint64_t v;
+  std::memcpy(&v, payload.data(), sizeof(v));
+  return v;
+}
+
+FishStore::PsfFunc SourcePsf() {
+  return [](uint32_t source_id, std::span<const uint8_t>) -> std::optional<uint64_t> {
+    return source_id;
+  };
+}
+
+FishStore::PsfFunc ValueModPsf(uint64_t mod) {
+  return [mod](uint32_t, std::span<const uint8_t> payload) -> std::optional<uint64_t> {
+    return PayloadValue(payload) % mod;
+  };
+}
+
+class FishStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FishStoreOptions opts;
+    opts.dir = dir_.FilePath("fs");
+    opts.block_size = 1 << 16;
+    auto store = FishStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store.value());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<FishStore> store_;
+};
+
+TEST_F(FishStoreTest, FullScanSeesAllRecordsInOrder) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Push(1 + (i % 3), ValuePayload(i)).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store_->FullScan([&](const FishStore::Record& r) {
+                seen.push_back(PayloadValue(r.payload));
+                return true;
+              }).ok());
+  ASSERT_EQ(seen.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+}
+
+TEST_F(FishStoreTest, PsfScanReturnsOnlyMatchingSubset) {
+  auto psf = store_->RegisterPsf(ValueModPsf(10));
+  ASSERT_TRUE(psf.ok());
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store_->Push(1, ValuePayload(i)).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store_->PsfScan(psf.value(), 7, [&](const FishStore::Record& r) {
+                seen.push_back(PayloadValue(r.payload));
+                return true;
+              }).ok());
+  ASSERT_EQ(seen.size(), 20u);
+  // Newest first.
+  EXPECT_EQ(seen.front(), 197u);
+  EXPECT_EQ(seen.back(), 7u);
+  for (uint64_t v : seen) {
+    EXPECT_EQ(v % 10, 7u);
+  }
+}
+
+TEST_F(FishStoreTest, PsfAppliesOnlyToFutureRecords) {
+  ASSERT_TRUE(store_->Push(1, ValuePayload(111)).ok());
+  auto psf = store_->RegisterPsf(SourcePsf());
+  ASSERT_TRUE(psf.ok());
+  ASSERT_TRUE(store_->Push(1, ValuePayload(222)).ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store_->PsfScan(psf.value(), 1, [&](const FishStore::Record& r) {
+                seen.push_back(PayloadValue(r.payload));
+                return true;
+              }).ok());
+  EXPECT_EQ(seen, std::vector<uint64_t>{222});  // pre-registration record missed
+}
+
+TEST_F(FishStoreTest, MultiplePsfsOnSameRecord) {
+  auto by_source = store_->RegisterPsf(SourcePsf());
+  auto by_mod = store_->RegisterPsf(ValueModPsf(2));
+  ASSERT_TRUE(by_source.ok());
+  ASSERT_TRUE(by_mod.ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store_->Push(1 + (i % 2), ValuePayload(i)).ok());
+  }
+  int source1 = 0;
+  ASSERT_TRUE(store_->PsfScan(by_source.value(), 1, [&](const FishStore::Record&) {
+                ++source1;
+                return true;
+              }).ok());
+  EXPECT_EQ(source1, 25);
+  int even = 0;
+  ASSERT_TRUE(store_->PsfScan(by_mod.value(), 0, [&](const FishStore::Record& r) {
+                EXPECT_EQ(PayloadValue(r.payload) % 2, 0u);
+                ++even;
+                return true;
+              }).ok());
+  EXPECT_EQ(even, 25);
+}
+
+TEST_F(FishStoreTest, PsfScanUnknownValueIsEmpty) {
+  auto psf = store_->RegisterPsf(SourcePsf());
+  ASSERT_TRUE(psf.ok());
+  ASSERT_TRUE(store_->Push(1, ValuePayload(1)).ok());
+  int count = 0;
+  ASSERT_TRUE(store_->PsfScan(psf.value(), 999, [&](const FishStore::Record&) {
+                ++count;
+                return true;
+              }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(FishStoreTest, DeregisteredPsfStopsIndexing) {
+  auto psf = store_->RegisterPsf(SourcePsf());
+  ASSERT_TRUE(psf.ok());
+  ASSERT_TRUE(store_->Push(1, ValuePayload(1)).ok());
+  ASSERT_TRUE(store_->DeregisterPsf(psf.value()).ok());
+  ASSERT_TRUE(store_->Push(1, ValuePayload(2)).ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store_->PsfScan(psf.value(), 1, [&](const FishStore::Record& r) {
+                seen.push_back(PayloadValue(r.payload));
+                return true;
+              }).ok());
+  EXPECT_EQ(seen, std::vector<uint64_t>{1});
+  EXPECT_FALSE(store_->DeregisterPsf(psf.value()).ok());
+}
+
+TEST_F(FishStoreTest, ScansCrossBlockBoundaries) {
+  // 48 B payloads + headers over 64 KiB blocks: several block rotations.
+  auto psf = store_->RegisterPsf(ValueModPsf(100));
+  ASSERT_TRUE(psf.ok());
+  constexpr uint64_t kCount = 10000;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(store_->Push(1, ValuePayload(i)).ok());
+  }
+  uint64_t full = 0;
+  ASSERT_TRUE(store_->FullScan([&](const FishStore::Record&) {
+                ++full;
+                return true;
+              }).ok());
+  EXPECT_EQ(full, kCount);
+  uint64_t chain = 0;
+  ASSERT_TRUE(store_->PsfScan(psf.value(), 42, [&](const FishStore::Record&) {
+                ++chain;
+                return true;
+              }).ok());
+  EXPECT_EQ(chain, kCount / 100);
+}
+
+TEST_F(FishStoreTest, TimestampsMonotoneNonDecreasing) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Push(1, ValuePayload(i)).ok());
+  }
+  TimestampNanos prev = 0;
+  ASSERT_TRUE(store_->FullScan([&](const FishStore::Record& r) {
+                EXPECT_GE(r.ts, prev);
+                prev = r.ts;
+                return true;
+              }).ok());
+}
+
+TEST_F(FishStoreTest, EarlyStopWorks) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Push(1, ValuePayload(i)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(store_->FullScan([&](const FishStore::Record&) { return ++count < 5; }).ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(FishStoreTest, StatsTrackPsfWork) {
+  auto a = store_->RegisterPsf(SourcePsf());
+  auto b = store_->RegisterPsf(ValueModPsf(3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store_->Push(1, ValuePayload(i)).ok());
+  }
+  FishStoreStats stats = store_->stats();
+  EXPECT_EQ(stats.records_ingested, 10u);
+  EXPECT_EQ(stats.psf_evaluations, 20u);  // 2 PSFs x 10 records
+  EXPECT_EQ(stats.chain_heads, 1u + 3u);  // source=1 plus mod values 0,1,2
+}
+
+class FishStoreSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FishStoreSizeTest, VariableRecordSizesRoundTrip) {
+  TempDir dir;
+  FishStoreOptions opts;
+  opts.dir = dir.FilePath("fs");
+  opts.block_size = 8192;
+  auto store = FishStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  const size_t payload_size = GetParam();
+  Rng rng(payload_size);
+  std::vector<std::vector<uint8_t>> payloads;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> p(payload_size);
+    for (auto& b : p) {
+      b = static_cast<uint8_t>(rng.Next64());
+    }
+    payloads.push_back(p);
+    ASSERT_TRUE((*store)->Push(7, p).ok());
+  }
+  size_t i = 0;
+  ASSERT_TRUE((*store)
+                  ->FullScan([&](const FishStore::Record& r) {
+                    EXPECT_EQ(std::vector<uint8_t>(r.payload.begin(), r.payload.end()),
+                              payloads[i]);
+                    ++i;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(i, payloads.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, FishStoreSizeTest,
+                         ::testing::Values<size_t>(8, 48, 60, 256, 1024));
+
+}  // namespace
+}  // namespace loom

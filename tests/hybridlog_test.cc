@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/hybridlog/hybrid_log.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return std::vector<uint8_t>(b); }
+
+std::vector<uint8_t> Pattern(size_t len, uint8_t seed) {
+  std::vector<uint8_t> v(len);
+  for (size_t i = 0; i < len; ++i) {
+    v[i] = static_cast<uint8_t>(seed + i);
+  }
+  return v;
+}
+
+TEST(HybridLogTest, RejectsBadOptions) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 0;
+  EXPECT_FALSE(HybridLog::Create(dir.FilePath("log"), opts).ok());
+  opts.block_size = 1024;
+  opts.num_blocks = 1;
+  EXPECT_FALSE(HybridLog::Create(dir.FilePath("log"), opts).ok());
+}
+
+TEST(HybridLogTest, AppendReturnsSequentialAddresses) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 1024;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  auto a0 = (*log)->Append(Bytes({1, 2, 3}));
+  auto a1 = (*log)->Append(Bytes({4, 5}));
+  ASSERT_TRUE(a0.ok());
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a0.value(), 0u);
+  EXPECT_EQ(a1.value(), 3u);
+  EXPECT_EQ((*log)->tail(), 5u);
+}
+
+TEST(HybridLogTest, UnpublishedDataNotReadable) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 1024;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(Bytes({1, 2, 3})).ok());
+  std::vector<uint8_t> out(3);
+  EXPECT_EQ((*log)->Read(0, out).code(), StatusCode::kOutOfRange);
+  (*log)->Publish();
+  EXPECT_TRUE((*log)->Read(0, out).ok());
+  EXPECT_EQ(out, Bytes({1, 2, 3}));
+}
+
+TEST(HybridLogTest, InMemoryReadRoundTrip) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 4096;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  auto data = Pattern(100, 7);
+  auto addr = (*log)->Append(data);
+  ASSERT_TRUE(addr.ok());
+  (*log)->Publish();
+  std::vector<uint8_t> out(100);
+  ASSERT_TRUE((*log)->Read(addr.value(), out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GE((*log)->stats().memory_reads, 1u);
+}
+
+TEST(HybridLogTest, AppendSpillsToNextBlockWithPadding) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 64;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(Pattern(50, 1)).ok());
+  // 14 bytes left; a 20-byte append must land at the next block.
+  auto addr = (*log)->Append(Pattern(20, 2));
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr.value(), 64u);
+  (*log)->Publish();
+  // Padding bytes are 0xFF.
+  std::vector<uint8_t> pad(14);
+  ASSERT_TRUE((*log)->Read(50, pad).ok());
+  for (uint8_t b : pad) {
+    EXPECT_EQ(b, HybridLog::kPadByte);
+  }
+  EXPECT_EQ((*log)->stats().pad_bytes, 14u);
+}
+
+TEST(HybridLogTest, RejectsOversizeAppend) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 64;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE((*log)->Append(Pattern(65, 0)).ok());
+  EXPECT_FALSE((*log)->Append({}).ok());
+}
+
+TEST(HybridLogTest, DataSurvivesBlockRecycling) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 256;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  // Write 32 blocks' worth of data; the two in-memory blocks recycle 16x.
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 64; ++i) {
+    auto addr = (*log)->Append(Pattern(128, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(addr.ok());
+    addrs.push_back(addr.value());
+  }
+  (*log)->Publish();
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint8_t> out(128);
+    ASSERT_TRUE((*log)->Read(addrs[i], out).ok()) << i;
+    EXPECT_EQ(out, Pattern(128, static_cast<uint8_t>(i))) << i;
+  }
+  EXPECT_GE((*log)->stats().blocks_flushed, 30u);
+}
+
+TEST(HybridLogTest, ReadSpanningBlocks) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 128;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  // Fill several blocks with single-byte appends so data is contiguous.
+  std::vector<uint8_t> all;
+  Rng rng(3);
+  for (int i = 0; i < 512; ++i) {
+    uint8_t b = static_cast<uint8_t>(rng.Next64());
+    ASSERT_TRUE((*log)->Append({&b, 1}).ok());
+    all.push_back(b);
+  }
+  (*log)->Publish();
+  // A read crossing three block boundaries.
+  std::vector<uint8_t> out(300);
+  ASSERT_TRUE((*log)->Read(100, out).ok());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), all.begin() + 100));
+}
+
+TEST(HybridLogTest, CloseFlushesEverything) {
+  TempDir dir;
+  std::string path = dir.FilePath("log");
+  std::vector<uint8_t> data = Pattern(100, 9);
+  {
+    HybridLogOptions opts;
+    opts.block_size = 64;
+    auto log = HybridLog::Create(path, opts);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(std::span<const uint8_t>(data.data(), 60)).ok());
+    ASSERT_TRUE((*log)->Append(std::span<const uint8_t>(data.data() + 60, 40)).ok());
+    ASSERT_TRUE((*log)->Close().ok());
+    // After close, reads come from disk.
+    std::vector<uint8_t> out(60);
+    ASSERT_TRUE((*log)->Read(0, out).ok());
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+  }
+  // The raw file holds the data (block 0: 60 bytes data + 4 pad; block 1: 40).
+  auto file = File::OpenReadOnly(path);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> head(60);
+  ASSERT_TRUE(file->PReadAll(0, head).ok());
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), data.begin()));
+  std::vector<uint8_t> second(40);
+  ASSERT_TRUE(file->PReadAll(64, second).ok());
+  EXPECT_TRUE(std::equal(second.begin(), second.end(), data.begin() + 60));
+}
+
+TEST(HybridLogTest, AppendAfterCloseFails) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 64;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Close().ok());
+  EXPECT_EQ((*log)->Append(Bytes({1})).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HybridLogTest, StatsTrackAppends) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 1024;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*log)->Append(Pattern(10, 0)).ok());
+  }
+  auto stats = (*log)->stats();
+  EXPECT_EQ(stats.appends, 10u);
+  EXPECT_EQ(stats.bytes_appended, 100u);
+}
+
+TEST(HybridLogTest, MemoryResidentFractionShrinks) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 256;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(Pattern(200, 0)).ok());
+  (*log)->Publish();
+  EXPECT_EQ((*log)->MemoryResidentFraction(), 1.0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*log)->Append(Pattern(200, 0)).ok());
+  }
+  (*log)->Publish();
+  EXPECT_LT((*log)->MemoryResidentFraction(), 0.1);
+}
+
+// Concurrent reader hammering random published addresses while the writer
+// appends and recycles blocks. Verifies the seqlock protocol: every read
+// must return the correct bytes whether served from memory or disk.
+TEST(HybridLogTest, ConcurrentReaderSeesConsistentData) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 4096;
+  auto log_or = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log_or.ok());
+  HybridLog* log = log_or->get();
+
+  // Each 64-byte cell is filled with its own index, so readers can validate.
+  constexpr size_t kCell = 64;
+  constexpr uint64_t kCells = 4096;  // 64 blocks worth
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> errors{0};
+
+  std::thread reader([&] {
+    Rng rng(99);
+    while (!done.load(std::memory_order_acquire)) {
+      uint64_t tail = log->queryable_tail();
+      if (tail < kCell) {
+        continue;
+      }
+      uint64_t cell = rng.NextBounded(tail / kCell);
+      std::vector<uint8_t> out(kCell);
+      Status st = log->Read(cell * kCell, out);
+      if (!st.ok()) {
+        errors.fetch_add(1);
+        continue;
+      }
+      uint8_t expect = static_cast<uint8_t>(cell & 0xFF);
+      for (uint8_t b : out) {
+        if (b != expect) {
+          errors.fetch_add(1);
+          break;
+        }
+      }
+    }
+  });
+
+  for (uint64_t i = 0; i < kCells; ++i) {
+    std::vector<uint8_t> cell(kCell, static_cast<uint8_t>(i & 0xFF));
+    ASSERT_TRUE(log->Append(cell).ok());
+    log->Publish();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+class HybridLogSizeTest : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+// Property: for any (block_size, record_size) combination, all appended data
+// reads back intact after arbitrary block rotations.
+TEST_P(HybridLogSizeTest, RoundTripAcrossConfigurations) {
+  const auto [block_size, record_size] = GetParam();
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = block_size;
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  const size_t count = 4 * block_size / record_size + 3;
+  std::vector<uint64_t> addrs;
+  for (size_t i = 0; i < count; ++i) {
+    auto addr = (*log)->Append(Pattern(record_size, static_cast<uint8_t>(i * 31)));
+    ASSERT_TRUE(addr.ok());
+    addrs.push_back(addr.value());
+  }
+  (*log)->Publish();
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<uint8_t> out(record_size);
+    ASSERT_TRUE((*log)->Read(addrs[i], out).ok());
+    EXPECT_EQ(out, Pattern(record_size, static_cast<uint8_t>(i * 31)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HybridLogSizeTest,
+    ::testing::Combine(::testing::Values<size_t>(128, 256, 1024, 4096),
+                       ::testing::Values<size_t>(8, 24, 48, 100, 127)));
+
+class HybridLogBlockCountTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HybridLogBlockCountTest, MoreBlocksStillCorrect) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 128;
+  opts.num_blocks = GetParam();
+  auto log = HybridLog::Create(dir.FilePath("log"), opts);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*log)->Append(Pattern(64, static_cast<uint8_t>(i))).ok());
+  }
+  (*log)->Publish();
+  for (int i = 0; i < 100; ++i) {
+    std::vector<uint8_t> out(64);
+    ASSERT_TRUE((*log)->Read(static_cast<uint64_t>(i) * 64, out).ok());
+    EXPECT_EQ(out, Pattern(64, static_cast<uint8_t>(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCounts, HybridLogBlockCountTest, ::testing::Values(2, 3, 4, 8));
+
+}  // namespace
+}  // namespace loom

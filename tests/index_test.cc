@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/index/chunk_summary.h"
+#include "src/index/histogram.h"
+#include "src/index/timestamp_index.h"
+
+namespace loom {
+namespace {
+
+// --- HistogramSpec ------------------------------------------------------------
+
+TEST(HistogramTest, RejectsBadEdges) {
+  EXPECT_FALSE(HistogramSpec::Create({}).ok());
+  EXPECT_FALSE(HistogramSpec::Create({1.0}).ok());
+  EXPECT_FALSE(HistogramSpec::Create({2.0, 1.0}).ok());
+  EXPECT_FALSE(HistogramSpec::Create({1.0, 1.0}).ok());
+  EXPECT_FALSE(
+      HistogramSpec::Create({1.0, std::numeric_limits<double>::infinity()}).ok());
+}
+
+TEST(HistogramTest, AddsOutlierBins) {
+  auto spec = HistogramSpec::Create({0.0, 10.0, 20.0});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_user_bins(), 2u);
+  EXPECT_EQ(spec->num_bins(), 4u);  // underflow + 2 user + overflow
+}
+
+TEST(HistogramTest, BinOfClassifiesCorrectly) {
+  auto spec = HistogramSpec::Create({0.0, 10.0, 20.0}).value();
+  EXPECT_EQ(spec.BinOf(-5.0), 0u);    // underflow
+  EXPECT_EQ(spec.BinOf(0.0), 1u);     // first user bin [0, 10)
+  EXPECT_EQ(spec.BinOf(9.999), 1u);
+  EXPECT_EQ(spec.BinOf(10.0), 2u);    // second user bin [10, 20)
+  EXPECT_EQ(spec.BinOf(19.999), 2u);
+  EXPECT_EQ(spec.BinOf(20.0), 3u);    // overflow
+  EXPECT_EQ(spec.BinOf(1e12), 3u);
+}
+
+TEST(HistogramTest, BinBoundsAreConsistent) {
+  auto spec = HistogramSpec::Create({0.0, 10.0, 20.0}).value();
+  EXPECT_EQ(spec.BinLo(0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(spec.BinHi(0), 0.0);
+  EXPECT_EQ(spec.BinLo(1), 0.0);
+  EXPECT_EQ(spec.BinHi(1), 10.0);
+  EXPECT_EQ(spec.BinLo(3), 20.0);
+  EXPECT_EQ(spec.BinHi(3), std::numeric_limits<double>::infinity());
+}
+
+TEST(HistogramTest, UniformFactory) {
+  auto spec = HistogramSpec::Uniform(0.0, 100.0, 10);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_user_bins(), 10u);
+  EXPECT_EQ(spec->BinOf(55.0), 6u);  // user bin [50,60) is bin index 6
+}
+
+TEST(HistogramTest, ExponentialFactory) {
+  auto spec = HistogramSpec::Exponential(1.0, 2.0, 10);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_user_bins(), 10u);
+  EXPECT_EQ(spec->BinOf(0.5), 0u);
+  EXPECT_EQ(spec->BinOf(1.0), 1u);
+  EXPECT_EQ(spec->BinOf(3.0), 2u);  // [2,4)
+  EXPECT_EQ(spec->BinOf(2000.0), 11u);
+}
+
+TEST(HistogramTest, ExactMatchSingleBin) {
+  HistogramSpec spec = HistogramSpec::ExactMatch(42.0);
+  EXPECT_EQ(spec.BinOf(42.0), 1u);
+  EXPECT_EQ(spec.BinOf(41.999), 0u);
+  EXPECT_EQ(spec.BinOf(42.001), 2u);
+}
+
+TEST(HistogramTest, BinsOverlappingRange) {
+  auto spec = HistogramSpec::Uniform(0.0, 100.0, 10).value();
+  auto [first, last] = spec.BinsOverlapping(25.0, 74.0);
+  EXPECT_EQ(first, 3u);  // [20,30)
+  EXPECT_EQ(last, 8u);   // [70,80)
+  auto [f2, l2] = spec.BinsOverlapping(-10.0, 1000.0);
+  EXPECT_EQ(f2, 0u);
+  EXPECT_EQ(l2, 11u);
+}
+
+class HistogramPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+// Property: BinOf(v) always returns a bin whose [lo, hi) interval contains v.
+TEST_P(HistogramPropertyTest, BinOfIsConsistentWithBounds) {
+  auto spec = HistogramSpec::Uniform(-50.0, 50.0, GetParam()).value();
+  Rng rng(GetParam());
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextUniform(-200.0, 200.0);
+    uint32_t bin = spec.BinOf(v);
+    ASSERT_LT(bin, spec.num_bins());
+    EXPECT_GE(v, spec.BinLo(bin));
+    EXPECT_LT(v, spec.BinHi(bin));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, HistogramPropertyTest,
+                         ::testing::Values<size_t>(1, 2, 7, 16, 100));
+
+// --- BinStats / ChunkSummary ---------------------------------------------------
+
+TEST(BinStatsTest, UpdateTracksExtremes) {
+  BinStats s;
+  s.Update(5.0, 100);
+  s.Update(2.0, 50);
+  s.Update(9.0, 200);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 16.0);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_EQ(s.min_ts, 50u);
+  EXPECT_EQ(s.max_ts, 200u);
+}
+
+TEST(BinStatsTest, MergeCombines) {
+  BinStats a;
+  a.Update(1.0, 10);
+  BinStats b;
+  b.Update(7.0, 5);
+  b.Update(3.0, 20);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 11.0);
+  EXPECT_EQ(a.min, 1.0);
+  EXPECT_EQ(a.max, 7.0);
+  EXPECT_EQ(a.min_ts, 5u);
+  EXPECT_EQ(a.max_ts, 20u);
+}
+
+TEST(ChunkSummaryTest, EncodeDecodeRoundTrip) {
+  ChunkSummary s;
+  s.chunk_addr = 0x1000;
+  s.chunk_len = 0x2000;
+  s.min_ts = 123;
+  s.max_ts = 456;
+  ChunkSummary::Entry e;
+  e.source_id = 7;
+  e.index_id = 3;
+  e.bin = 2;
+  e.stats.Update(5.5, 130);
+  e.stats.Update(-1.5, 140);
+  s.entries.push_back(e);
+
+  std::vector<uint8_t> buf;
+  s.EncodeTo(buf);
+  EXPECT_EQ(buf.size(), s.EncodedSize());
+  auto decoded = ChunkSummary::Decode(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->chunk_addr, s.chunk_addr);
+  EXPECT_EQ(decoded->chunk_len, s.chunk_len);
+  EXPECT_EQ(decoded->min_ts, s.min_ts);
+  EXPECT_EQ(decoded->max_ts, s.max_ts);
+  ASSERT_EQ(decoded->entries.size(), 1u);
+  EXPECT_EQ(decoded->entries[0].source_id, 7u);
+  EXPECT_EQ(decoded->entries[0].index_id, 3u);
+  EXPECT_EQ(decoded->entries[0].bin, 2u);
+  EXPECT_EQ(decoded->entries[0].stats.count, 2u);
+  EXPECT_EQ(decoded->entries[0].stats.min, -1.5);
+  EXPECT_EQ(decoded->entries[0].stats.max, 5.5);
+}
+
+TEST(ChunkSummaryTest, DecodeRejectsTruncation) {
+  ChunkSummary s;
+  s.entries.push_back(ChunkSummary::Entry{});
+  std::vector<uint8_t> buf;
+  s.EncodeTo(buf);
+  for (size_t cut : {size_t{0}, size_t{10}, buf.size() - 1}) {
+    auto r = ChunkSummary::Decode(std::span<const uint8_t>(buf.data(), cut));
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(ChunkSummaryBuilderTest, AccumulatesAndFinalizes) {
+  ChunkSummaryBuilder builder;
+  size_t presence = builder.RegisterSlot(1, kPresenceIndexId, 1);
+  size_t idx = builder.RegisterSlot(1, 5, 4);
+  EXPECT_TRUE(builder.empty());
+
+  builder.UpdatePresence(presence, 100);
+  builder.Update(idx, 2, 7.5, 100);
+  builder.UpdatePresence(presence, 110);
+  builder.Update(idx, 1, 2.5, 110);
+  builder.UpdatePresence(presence, 120);  // record skipped by index func
+  EXPECT_EQ(builder.total_records(), 3u);
+
+  ChunkSummary s = builder.Finalize(4096, 1024);
+  EXPECT_EQ(s.chunk_addr, 4096u);
+  EXPECT_EQ(s.chunk_len, 1024u);
+  EXPECT_EQ(s.min_ts, 100u);
+  EXPECT_EQ(s.max_ts, 120u);
+  // Entries: presence bin 0 (count 3) + index bins 1 and 2.
+  ASSERT_EQ(s.entries.size(), 3u);
+  uint64_t presence_count = 0;
+  uint64_t indexed = 0;
+  for (const auto& e : s.entries) {
+    if (e.index_id == kPresenceIndexId) {
+      presence_count = e.stats.count;
+    } else {
+      indexed += e.stats.count;
+    }
+  }
+  EXPECT_EQ(presence_count, 3u);
+  EXPECT_EQ(indexed, 2u);
+
+  // Builder resets fully.
+  EXPECT_TRUE(builder.empty());
+  ChunkSummary s2 = builder.Finalize(8192, 1024);
+  EXPECT_TRUE(s2.entries.empty());
+}
+
+TEST(ChunkSummaryBuilderTest, SlotReuseAfterUnregister) {
+  ChunkSummaryBuilder builder;
+  size_t a = builder.RegisterSlot(1, 1, 4);
+  builder.UnregisterSlot(a);
+  size_t b = builder.RegisterSlot(2, 2, 8);
+  EXPECT_EQ(a, b);  // clean slot reused
+}
+
+TEST(ChunkSummaryBuilderTest, DirtyUnregisteredSlotFlushedOnce) {
+  ChunkSummaryBuilder builder;
+  size_t a = builder.RegisterSlot(1, 1, 4);
+  builder.Update(a, 0, 1.0, 10);
+  builder.UnregisterSlot(a);
+  // Dirty slot is not reused until finalized.
+  size_t b = builder.RegisterSlot(2, 2, 8);
+  EXPECT_NE(a, b);
+  ChunkSummary s = builder.Finalize(0, 64);
+  ASSERT_EQ(s.entries.size(), 1u);
+  EXPECT_EQ(s.entries[0].source_id, 1u);
+}
+
+// --- Timestamp index -------------------------------------------------------------
+
+TEST(TimestampIndexEntryTest, EncodeDecodeRoundTrip) {
+  TimestampIndexEntry e;
+  e.kind = TimestampIndexEntry::Kind::kChunk;
+  e.source_id = 12;
+  e.ts = 0xABCDEF;
+  e.target_addr = 0x1234;
+  e.prev_addr = 0x5678;
+  uint8_t buf[TimestampIndexEntry::kEncodedSize];
+  e.EncodeTo(buf);
+  TimestampIndexEntry d = TimestampIndexEntry::Decode(buf);
+  EXPECT_EQ(d.kind, e.kind);
+  EXPECT_EQ(d.source_id, e.source_id);
+  EXPECT_EQ(d.ts, e.ts);
+  EXPECT_EQ(d.target_addr, e.target_addr);
+  EXPECT_EQ(d.prev_addr, e.prev_addr);
+}
+
+class TimestampIndexFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HybridLogOptions opts;
+    opts.block_size = 1 << 16;
+    auto log = HybridLog::Create(dir_.FilePath("ts.idx"), opts);
+    ASSERT_TRUE(log.ok());
+    log_ = std::move(log.value());
+    writer_ = std::make_unique<TimestampIndexWriter>(log_.get());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<HybridLog> log_;
+  std::unique_ptr<TimestampIndexWriter> writer_;
+};
+
+TEST_F(TimestampIndexFixture, BinarySearchFindsEntries) {
+  // Markers at ts = 10, 20, ..., 1000.
+  uint64_t prev = kNullAddr;
+  for (int i = 1; i <= 100; ++i) {
+    auto addr = writer_->AppendRecordMarker(1, static_cast<TimestampNanos>(i * 10), i, prev);
+    ASSERT_TRUE(addr.ok());
+    prev = addr.value();
+  }
+  log_->Publish();
+  TimestampIndexReader reader(log_.get(), log_->queryable_tail());
+  EXPECT_EQ(reader.num_entries(), 100u);
+
+  auto at = reader.LastEntryAtOrBefore(55);
+  ASSERT_TRUE(at.ok());
+  ASSERT_TRUE(at.value().has_value());
+  EXPECT_EQ(reader.ReadIndex(*at.value())->ts, 50u);
+
+  auto exact = reader.LastEntryAtOrBefore(50);
+  EXPECT_EQ(reader.ReadIndex(*exact.value())->ts, 50u);
+
+  auto before_all = reader.LastEntryAtOrBefore(5);
+  EXPECT_FALSE(before_all.value().has_value());
+
+  auto after = reader.FirstEntryAfter(995);
+  ASSERT_TRUE(after.value().has_value());
+  EXPECT_EQ(reader.ReadIndex(*after.value())->ts, 1000u);
+
+  auto past_end = reader.FirstEntryAfter(1000);
+  EXPECT_FALSE(past_end.value().has_value());
+}
+
+TEST_F(TimestampIndexFixture, RecordMarkerChainsPerSource) {
+  uint64_t prev1 = kNullAddr;
+  uint64_t prev2 = kNullAddr;
+  for (int i = 0; i < 10; ++i) {
+    auto a1 = writer_->AppendRecordMarker(1, static_cast<TimestampNanos>(i * 10 + 1), i, prev1);
+    ASSERT_TRUE(a1.ok());
+    prev1 = a1.value();
+    auto a2 = writer_->AppendRecordMarker(2, static_cast<TimestampNanos>(i * 10 + 2), i, prev2);
+    ASSERT_TRUE(a2.ok());
+    prev2 = a2.value();
+  }
+  log_->Publish();
+  TimestampIndexReader reader(log_.get(), log_->queryable_tail());
+
+  auto m = reader.LastRecordMarkerAtOrBefore(2, 55);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m.value().has_value());
+  EXPECT_EQ(m.value()->source_id, 2u);
+  EXPECT_EQ(m.value()->ts, 52u);
+
+  auto f = reader.FirstRecordMarkerAfter(1, 55);
+  ASSERT_TRUE(f.value().has_value());
+  EXPECT_EQ(f.value()->source_id, 1u);
+  EXPECT_EQ(f.value()->ts, 61u);
+
+  // Chain walk: marker prev pointers stay within the source.
+  uint64_t addr = m.value()->prev_addr;
+  int hops = 0;
+  while (addr != kNullAddr) {
+    auto e = reader.ReadAt(addr);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e.value().source_id, 2u);
+    addr = e.value().prev_addr;
+    ++hops;
+  }
+  EXPECT_EQ(hops, 5);  // markers at 2,12,22,32,42 precede 52
+}
+
+TEST_F(TimestampIndexFixture, ChunkEventChain) {
+  ASSERT_TRUE(writer_->AppendRecordMarker(1, 5, 0, kNullAddr).ok());
+  ASSERT_TRUE(writer_->AppendChunkEvent(10, 1000).ok());
+  ASSERT_TRUE(writer_->AppendRecordMarker(1, 15, 0, kNullAddr).ok());
+  ASSERT_TRUE(writer_->AppendChunkEvent(20, 2000).ok());
+  log_->Publish();
+  TimestampIndexReader reader(log_.get(), log_->queryable_tail());
+
+  auto last = reader.LastChunkEvent();
+  ASSERT_TRUE(last.ok());
+  ASSERT_TRUE(last.value().has_value());
+  EXPECT_EQ(last.value()->target_addr, 2000u);
+  ASSERT_NE(last.value()->prev_addr, kNullAddr);
+  auto prev = reader.ReadAt(last.value()->prev_addr);
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(prev.value().target_addr, 1000u);
+  EXPECT_EQ(prev.value().prev_addr, kNullAddr);
+}
+
+TEST_F(TimestampIndexFixture, EmptyIndexQueries) {
+  log_->Publish();
+  TimestampIndexReader reader(log_.get(), log_->queryable_tail());
+  EXPECT_EQ(reader.num_entries(), 0u);
+  EXPECT_FALSE(reader.LastEntryAtOrBefore(100).value().has_value());
+  EXPECT_FALSE(reader.FirstEntryAfter(0).value().has_value());
+  EXPECT_FALSE(reader.LastChunkEvent().value().has_value());
+  EXPECT_FALSE(reader.LastRecordMarkerAtOrBefore(1, 100).value().has_value());
+}
+
+// Property: binary search result matches a linear scan for random timestamps.
+class TimestampIndexSearchProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TimestampIndexSearchProperty, MatchesLinearScan) {
+  TempDir dir;
+  HybridLogOptions opts;
+  opts.block_size = 1 << 14;
+  auto log = HybridLog::Create(dir.FilePath("ts.idx"), opts);
+  ASSERT_TRUE(log.ok());
+  TimestampIndexWriter writer(log->get());
+
+  Rng rng(GetParam());
+  std::vector<TimestampNanos> stamps;
+  TimestampNanos ts = 0;
+  for (int i = 0; i < 500; ++i) {
+    ts += rng.NextBounded(20);  // duplicates allowed (monotone, not strict)
+    stamps.push_back(ts);
+    ASSERT_TRUE(writer.AppendRecordMarker(1, ts, i, kNullAddr).ok());
+  }
+  (*log)->Publish();
+  TimestampIndexReader reader(log->get(), (*log)->queryable_tail());
+
+  for (int probe = 0; probe < 200; ++probe) {
+    TimestampNanos q = rng.NextBounded(ts + 10);
+    auto got = reader.LastEntryAtOrBefore(q);
+    ASSERT_TRUE(got.ok());
+    // Linear reference.
+    int64_t expect = -1;
+    for (size_t i = 0; i < stamps.size(); ++i) {
+      if (stamps[i] <= q) {
+        expect = static_cast<int64_t>(i);
+      }
+    }
+    if (expect < 0) {
+      EXPECT_FALSE(got.value().has_value());
+    } else {
+      ASSERT_TRUE(got.value().has_value());
+      // Any entry with an equal timestamp is acceptable for LastEntryAtOrBefore;
+      // the canonical answer is the last index.
+      EXPECT_EQ(static_cast<int64_t>(*got.value()), expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimestampIndexSearchProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,361 @@
+// Edge-case and newer-operator tests for the Loom engine: exact chunk fills,
+// empty payloads, IndexedHistogram / IndexedScanValues, external timestamps
+// (§5.2), index lifecycle, and the record-size boundary.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/core/loom.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> ValuePayload(double v, size_t pad_to = 48) {
+  std::vector<uint8_t> buf(std::max(pad_to, sizeof(double)), 0);
+  std::memcpy(buf.data(), &v, sizeof(double));
+  return buf;
+}
+
+Loom::IndexFunc ValueFunc() {
+  return [](std::span<const uint8_t> p) -> std::optional<double> {
+    if (p.size() < sizeof(double)) {
+      return std::nullopt;
+    }
+    double v;
+    std::memcpy(&v, p.data(), sizeof(v));
+    return v;
+  };
+}
+
+class LoomEdgeTest : public ::testing::Test {
+ protected:
+  void Open(size_t chunk_size = 1024, bool chunk_index = true, bool ts_index = true) {
+    LoomOptions opts;
+    opts.dir = dir_.FilePath("loom-" + std::to_string(instance_++));
+    opts.chunk_size = chunk_size;
+    opts.record_block_size = 8192;
+    opts.enable_chunk_index = chunk_index;
+    opts.enable_timestamp_index = ts_index;
+    opts.clock = &clock_;
+    auto loom = Loom::Open(opts);
+    ASSERT_TRUE(loom.ok());
+    loom_ = std::move(loom.value());
+  }
+
+  TempDir dir_;
+  ManualClock clock_{1};
+  std::unique_ptr<Loom> loom_;
+  int instance_ = 0;
+};
+
+TEST_F(LoomEdgeTest, RecordsExactlyFillingChunks) {
+  // chunk 1024 = exactly 8 records of (24 header + 104 payload).
+  Open(1024);
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  for (int i = 0; i < 64; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(i, 104)).ok());
+  }
+  EXPECT_EQ(loom_->stats().record_log.pad_bytes, 0u);  // no chunk padding needed
+  int count = 0;
+  ASSERT_TRUE(loom_->RawScan(1, {0, ~0ULL}, [&](const RecordView&) {
+                ++count;
+                return true;
+              }).ok());
+  EXPECT_EQ(count, 64);
+}
+
+TEST_F(LoomEdgeTest, RecordAtMaxChunkSizeBoundary) {
+  Open(1024);
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  std::vector<uint8_t> exact(1024 - kRecordHeaderSize, 7);
+  EXPECT_TRUE(loom_->Push(1, exact).ok());
+  std::vector<uint8_t> too_big(1024 - kRecordHeaderSize + 1, 7);
+  EXPECT_EQ(loom_->Push(1, too_big).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoomEdgeTest, EmptyPayloadRecords) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  for (int i = 0; i < 100; ++i) {
+    clock_.AdvanceNanos(5);
+    ASSERT_TRUE(loom_->Push(1, {}).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(loom_->RawScan(1, {0, ~0ULL}, [&](const RecordView& r) {
+                EXPECT_TRUE(r.payload.empty());
+                ++count;
+                return true;
+              }).ok());
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(LoomEdgeTest, IndexedHistogramMatchesManualBinning) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  auto idx = loom_->DefineIndex(1, ValueFunc(), spec);
+  ASSERT_TRUE(idx.ok());
+  std::vector<uint64_t> expected(spec.num_bins(), 0);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    clock_.AdvanceNanos(10);
+    double v = rng.NextUniform(-20, 120);
+    expected[spec.BinOf(v)]++;
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(v)).ok());
+  }
+  auto bins = loom_->IndexedHistogram(1, idx.value(), {0, ~0ULL});
+  ASSERT_TRUE(bins.ok());
+  EXPECT_EQ(bins.value(), expected);
+  // Total across bins equals count aggregate.
+  auto count = loom_->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(std::accumulate(bins->begin(), bins->end(), uint64_t{0}),
+            static_cast<uint64_t>(count.value()));
+}
+
+TEST_F(LoomEdgeTest, IndexedScanValuesDeliversExtractedValues) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  auto idx = loom_->DefineIndex(1, ValueFunc(), spec);
+  ASSERT_TRUE(idx.ok());
+  for (int i = 0; i < 100; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(i)).ok());
+  }
+  std::vector<double> values;
+  TimestampNanos prev_ts = 0;
+  ASSERT_TRUE(loom_->IndexedScanValues(1, idx.value(), {0, ~0ULL}, {20, 29},
+                                       [&](double v, const RecordView& r) {
+                                         values.push_back(v);
+                                         EXPECT_GT(r.ts, prev_ts);
+                                         EXPECT_EQ(r.source_id, 1u);
+                                         prev_ts = r.ts;
+                                         return true;
+                                       })
+                  .ok());
+  ASSERT_EQ(values.size(), 10u);
+  EXPECT_EQ(values.front(), 20.0);
+  EXPECT_EQ(values.back(), 29.0);
+}
+
+TEST_F(LoomEdgeTest, ManyIndexesOnOneSource) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  std::vector<uint32_t> indexes;
+  for (int k = 0; k < 8; ++k) {
+    auto spec = HistogramSpec::Uniform(0, 100 * (k + 1), 4 + k).value();
+    auto idx = loom_->DefineIndex(1, ValueFunc(), spec);
+    ASSERT_TRUE(idx.ok());
+    indexes.push_back(idx.value());
+  }
+  for (int i = 0; i < 500; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(i % 97)).ok());
+  }
+  for (uint32_t idx : indexes) {
+    auto count = loom_->IndexedAggregate(1, idx, {0, ~0ULL}, AggregateMethod::kCount);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count.value(), 500.0);
+  }
+}
+
+TEST_F(LoomEdgeTest, CloseIndexMidStreamKeepsOthersCorrect) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  auto keep = loom_->DefineIndex(1, ValueFunc(), spec);
+  auto drop = loom_->DefineIndex(1, ValueFunc(), spec);
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(drop.ok());
+  for (int i = 0; i < 200; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(i % 100)).ok());
+  }
+  ASSERT_TRUE(loom_->CloseIndex(drop.value()).ok());
+  for (int i = 0; i < 200; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(i % 100)).ok());
+  }
+  auto count = loom_->IndexedAggregate(1, keep.value(), {0, ~0ULL}, AggregateMethod::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 400.0);
+  EXPECT_FALSE(loom_->IndexedHistogram(1, drop.value(), {0, ~0ULL}).ok());
+}
+
+TEST_F(LoomEdgeTest, SyncForcesVisibility) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  ASSERT_TRUE(loom_->Push(1, ValuePayload(1)).ok());
+  ASSERT_TRUE(loom_->Sync(1).ok());
+  int count = 0;
+  ASSERT_TRUE(loom_->RawScan(1, {0, ~0ULL}, [&](const RecordView&) {
+                ++count;
+                return true;
+              }).ok());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loom_->Sync(99).code(), StatusCode::kNotFound);
+}
+
+// §5.2: external timestamps ride in the payload; an index over them lets
+// queries retrieve by external time despite out-of-order arrival, using an
+// over-approximated arrival window plus client-side filtering.
+TEST_F(LoomEdgeTest, ExternalTimestampsViaValueIndex) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  // Payload = external timestamp as double (e.g. an event time from another
+  // machine). Arrival order is slightly shuffled vs external order.
+  auto spec = HistogramSpec::Uniform(0, 100000, 32).value();
+  auto idx = loom_->DefineIndex(1, ValueFunc(), spec);
+  ASSERT_TRUE(idx.ok());
+  Rng rng(8);
+  std::vector<double> external;
+  for (int i = 0; i < 2000; ++i) {
+    // External time runs ahead/behind arrival by up to 500 units.
+    double ext = static_cast<double>(i * 50) + rng.NextUniform(-500, 500);
+    ext = std::max(0.0, ext);
+    external.push_back(ext);
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(ext)).ok());
+  }
+  // Query by external time [30000, 40000]: the value index finds exactly
+  // the matching records regardless of arrival order.
+  std::vector<double> got;
+  ASSERT_TRUE(loom_->IndexedScanValues(1, idx.value(), {0, ~0ULL}, {30000, 40000},
+                                       [&](double v, const RecordView&) {
+                                         got.push_back(v);
+                                         return true;
+                                       })
+                  .ok());
+  std::vector<double> expected;
+  for (double e : external) {
+    if (e >= 30000 && e <= 40000) {
+      expected.push_back(e);
+    }
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(LoomEdgeTest, CountRecordsWithoutAnyIndex) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  ASSERT_TRUE(loom_->DefineSource(2).ok());
+  std::vector<TimestampNanos> stamps;
+  for (int i = 0; i < 1500; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(i % 3 == 0 ? 2 : 1, ValuePayload(i)).ok());
+    stamps.push_back(clock_.NowNanos());
+  }
+  auto all = loom_->CountRecords(1, {0, ~0ULL});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), 1000u);
+  auto other = loom_->CountRecords(2, {0, ~0ULL});
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other.value(), 500u);
+  // Partial window: count records of source 1 between indices 300 and 899.
+  uint64_t expect = 0;
+  for (int i = 300; i <= 899; ++i) {
+    if (i % 3 != 0) {
+      ++expect;
+    }
+  }
+  auto window = loom_->CountRecords(1, {stamps[300], stamps[899]});
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window.value(), expect);
+  EXPECT_EQ(loom_->CountRecords(9, {0, ~0ULL}).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LoomEdgeTest, CountRecordsAblationFallback) {
+  Open(/*chunk_size=*/1024, /*chunk_index=*/false, /*ts_index=*/true);
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  for (int i = 0; i < 700; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(i)).ok());
+  }
+  auto count = loom_->CountRecords(1, {0, ~0ULL});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 700u);
+}
+
+TEST_F(LoomEdgeTest, QueryRangeExtendingIntoFuture) {
+  Open();
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  clock_.SetNanos(100);
+  ASSERT_TRUE(loom_->Push(1, ValuePayload(1)).ok());
+  // The range end is far beyond "now": only already-published data appears
+  // (the snapshot consistency rule of §4.5).
+  int count = 0;
+  ASSERT_TRUE(loom_->RawScan(1, {0, ~0ULL}, [&](const RecordView&) {
+                ++count;
+                return true;
+              }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(LoomEdgeTest, TinyChunksStressChunkMachinery) {
+  Open(/*chunk_size=*/128);  // 1-2 records per chunk
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  auto spec = HistogramSpec::Uniform(0, 1000, 4).value();
+  auto idx = loom_->DefineIndex(1, ValueFunc(), spec);
+  ASSERT_TRUE(idx.ok());
+  for (int i = 0; i < 3000; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(i % 1000)).ok());
+  }
+  EXPECT_GT(loom_->stats().chunks_finalized, 1000u);
+  auto count = loom_->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3000.0);
+  auto p50 = loom_->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kPercentile,
+                                     50.0);
+  ASSERT_TRUE(p50.ok());
+  EXPECT_NEAR(p50.value(), 499.0, 2.0);
+}
+
+class LoomChunkSizeProperty : public ::testing::TestWithParam<size_t> {};
+
+// Property: query results are identical for any chunk size.
+TEST_P(LoomChunkSizeProperty, ResultsIndependentOfChunkSize) {
+  TempDir dir;
+  ManualClock clock(1);
+  LoomOptions opts;
+  opts.dir = dir.FilePath("loom");
+  opts.chunk_size = GetParam();
+  opts.record_block_size = 16 << 10;
+  opts.clock = &clock;
+  auto loom = Loom::Open(opts);
+  ASSERT_TRUE(loom.ok());
+  ASSERT_TRUE((*loom)->DefineSource(1).ok());
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  auto idx = (*loom)->DefineIndex(1, ValueFunc(), spec);
+  ASSERT_TRUE(idx.ok());
+  Rng rng(123);  // identical stream for every chunk size
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    clock.AdvanceNanos(7);
+    double v = rng.NextUniform(0, 100);
+    values.push_back(v);
+    ASSERT_TRUE((*loom)->Push(1, ValuePayload(v)).ok());
+  }
+  std::sort(values.begin(), values.end());
+  auto p90 = (*loom)->IndexedAggregate(1, idx.value(), {0, ~0ULL},
+                                       AggregateMethod::kPercentile, 90.0);
+  ASSERT_TRUE(p90.ok());
+  EXPECT_DOUBLE_EQ(p90.value(), values[static_cast<size_t>(std::ceil(0.9 * 2000)) - 1]);
+  auto max = (*loom)->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ(max.value(), values.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, LoomChunkSizeProperty,
+                         ::testing::Values<size_t>(128, 256, 512, 2048, 16384, 65536));
+
+}  // namespace
+}  // namespace loom

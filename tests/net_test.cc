@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "src/common/file.h"
+#include "src/net/ingest_server.h"
+#include "src/workload/records.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> AppPayload(double latency) {
+  AppRecord rec;
+  rec.latency_us = latency;
+  std::vector<uint8_t> buf(sizeof(rec));
+  std::memcpy(buf.data(), &rec, sizeof(rec));
+  return buf;
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DaemonOptions opts;
+    opts.loom.dir = dir_.FilePath("daemon");
+    auto daemon = MonitoringDaemon::Start(opts);
+    ASSERT_TRUE(daemon.ok());
+    daemon_ = std::move(daemon.value());
+    auto server = IngestServer::Start(daemon_.get(), 0);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server.value());
+  }
+
+  SourceChannel* Register(uint32_t source_id) {
+    auto channel = daemon_->AddSource(source_id);
+    EXPECT_TRUE(channel.ok());
+    server_->BindSource(source_id, channel.value());
+    return channel.value();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<MonitoringDaemon> daemon_;
+  std::unique_ptr<IngestServer> server_;
+};
+
+TEST_F(NetTest, RoundTripOverLoopback) {
+  Register(kAppSource);
+  auto client = IngestClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE((*client)->Send(kAppSource, AppPayload(i)).ok());
+  }
+  ASSERT_TRUE((*client)->Flush().ok());
+  // Wait until the daemon has ingested everything.
+  while (daemon_->records_ingested() < 5000) {
+    std::this_thread::yield();
+  }
+  daemon_->Flush();
+  int count = 0;
+  double sum = 0;
+  ASSERT_TRUE(daemon_->engine()
+                  ->RawScan(kAppSource, {0, ~0ULL},
+                            [&](const RecordView& r) {
+                              auto v = AppLatencyUs(r.payload);
+                              sum += v.value_or(0);
+                              ++count;
+                              return true;
+                            })
+                  .ok());
+  EXPECT_EQ(count, 5000);
+  EXPECT_DOUBLE_EQ(sum, 5000.0 * 4999.0 / 2);
+  EXPECT_EQ(server_->stats().records, 5000u);
+}
+
+TEST_F(NetTest, MultipleClientsMultipleSources) {
+  Register(1);
+  Register(2);
+  constexpr int kPerClient = 3000;
+  std::vector<std::thread> clients;
+  for (uint32_t source : {1u, 2u}) {
+    clients.emplace_back([&, source] {
+      auto client = IngestClient::Connect("127.0.0.1", server_->port());
+      ASSERT_TRUE(client.ok());
+      for (int i = 0; i < kPerClient; ++i) {
+        ASSERT_TRUE((*client)->Send(source, AppPayload(i)).ok());
+      }
+      ASSERT_TRUE((*client)->Flush().ok());
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  while (daemon_->records_ingested() < 2 * kPerClient) {
+    std::this_thread::yield();
+  }
+  for (uint32_t source : {1u, 2u}) {
+    int count = 0;
+    ASSERT_TRUE(daemon_->engine()
+                    ->RawScan(source, {0, ~0ULL},
+                              [&](const RecordView&) {
+                                ++count;
+                                return true;
+                              })
+                    .ok());
+    EXPECT_EQ(count, kPerClient) << source;
+  }
+  EXPECT_EQ(server_->stats().connections, 2u);
+}
+
+TEST_F(NetTest, UnknownSourceRejectedNotFatal) {
+  Register(1);
+  auto client = IngestClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Send(99, AppPayload(1)).ok());  // unregistered
+  ASSERT_TRUE((*client)->Send(1, AppPayload(2)).ok());   // fine
+  ASSERT_TRUE((*client)->Flush().ok());
+  while (daemon_->records_ingested() < 1) {
+    std::this_thread::yield();
+  }
+  EXPECT_GE(server_->stats().rejected, 1u);
+  EXPECT_EQ(server_->stats().records, 1u);
+}
+
+TEST_F(NetTest, EmptyPayloadRecord) {
+  Register(1);
+  auto client = IngestClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Send(1, {}).ok());
+  ASSERT_TRUE((*client)->Flush().ok());
+  while (daemon_->records_ingested() < 1) {
+    std::this_thread::yield();
+  }
+  int count = 0;
+  ASSERT_TRUE(daemon_->engine()
+                  ->RawScan(1, {0, ~0ULL},
+                            [&](const RecordView& r) {
+                              EXPECT_TRUE(r.payload.empty());
+                              ++count;
+                              return true;
+                            })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(NetTest, ServerShutsDownWithLiveConnections) {
+  Register(1);
+  auto client = IngestClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Send(1, AppPayload(1)).ok());
+  ASSERT_TRUE((*client)->Flush().ok());
+  while (daemon_->records_ingested() < 1) {
+    std::this_thread::yield();
+  }
+  // Destroying the server with the client still connected must not hang.
+  server_.reset();
+}
+
+TEST_F(NetTest, ConnectToClosedPortFails) {
+  auto bad = IngestClient::Connect("127.0.0.1", 1);  // privileged & unused
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace loom

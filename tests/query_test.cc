@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/query/drilldown.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> ValuePayload(double v) {
+  std::vector<uint8_t> buf(48, 0);
+  std::memcpy(buf.data(), &v, sizeof(v));
+  return buf;
+}
+
+Loom::IndexFunc ValueFunc() {
+  return [](std::span<const uint8_t> p) -> std::optional<double> {
+    if (p.size() < sizeof(double)) {
+      return std::nullopt;
+    }
+    double v;
+    std::memcpy(&v, p.data(), sizeof(v));
+    return v;
+  };
+}
+
+class DrillDownTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoomOptions opts;
+    opts.dir = dir_.FilePath("loom");
+    opts.clock = &clock_;
+    auto loom = Loom::Open(opts);
+    ASSERT_TRUE(loom.ok());
+    loom_ = std::move(loom.value());
+    ASSERT_TRUE(loom_->DefineSource(1).ok());
+    ASSERT_TRUE(loom_->DefineSource(2).ok());
+    auto spec = HistogramSpec::Exponential(1.0, 2.0, 20).value();
+    auto idx = loom_->DefineIndex(1, ValueFunc(), spec);
+    ASSERT_TRUE(idx.ok());
+    index_id_ = idx.value();
+  }
+
+  void PushValues(const std::vector<double>& values) {
+    for (double v : values) {
+      clock_.AdvanceNanos(100);
+      ASSERT_TRUE(loom_->Push(1, ValuePayload(v)).ok());
+      pushed_.emplace_back(clock_.NowNanos(), v);
+    }
+  }
+
+  TempDir dir_;
+  ManualClock clock_{1};
+  std::unique_ptr<Loom> loom_;
+  uint32_t index_id_ = 0;
+  std::vector<std::pair<TimestampNanos, double>> pushed_;
+};
+
+TEST_F(DrillDownTest, TopPercentileRecordsMatchesReference) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.NextLogNormal(100.0, 0.8));
+  }
+  PushValues(values);
+  DrillDown dd(loom_.get());
+  double threshold = 0;
+  auto hits = dd.TopPercentileRecords(1, index_id_, {0, ~0ULL}, 99.0, &threshold);
+  ASSERT_TRUE(hits.ok());
+  // Reference.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = static_cast<size_t>(std::ceil(0.99 * sorted.size()));
+  EXPECT_DOUBLE_EQ(threshold, sorted[rank - 1]);
+  size_t expected = 0;
+  for (double v : values) {
+    if (v >= threshold) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(hits->size(), expected);
+  for (const RecordHit& hit : hits.value()) {
+    EXPECT_GE(hit.value, threshold);
+    EXPECT_EQ(hit.payload.size(), 48u);
+  }
+}
+
+TEST_F(DrillDownTest, TopKReturnsLargestDescending) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back(rng.NextUniform(0, 1e6));
+  }
+  PushValues(values);
+  DrillDown dd(loom_.get());
+  auto hits = dd.TopK(1, index_id_, {0, ~0ULL}, 25);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 25u);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  for (size_t i = 0; i < 25; ++i) {
+    EXPECT_DOUBLE_EQ(hits.value()[i].value, sorted[i]) << i;
+  }
+}
+
+TEST_F(DrillDownTest, TopKEdgeCases) {
+  DrillDown dd(loom_.get());
+  auto empty = dd.TopK(1, index_id_, {0, ~0ULL}, 5);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  PushValues({3, 1, 2});
+  auto zero = dd.TopK(1, index_id_, {0, ~0ULL}, 0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->empty());
+  auto more_than_data = dd.TopK(1, index_id_, {0, ~0ULL}, 100);
+  ASSERT_TRUE(more_than_data.ok());
+  ASSERT_EQ(more_than_data->size(), 3u);
+  EXPECT_EQ(more_than_data.value()[0].value, 3.0);
+  EXPECT_EQ(more_than_data.value()[2].value, 1.0);
+}
+
+TEST_F(DrillDownTest, CorrelateAroundFindsNeighbors) {
+  // Source 1 anchors at known times; source 2 events sprinkled around them.
+  clock_.SetNanos(10'000);
+  ASSERT_TRUE(loom_->Push(2, ValuePayload(100)).ok());
+  clock_.SetNanos(10'500);
+  ASSERT_TRUE(loom_->Push(1, ValuePayload(999)).ok());  // anchor A
+  const TimestampNanos anchor_a = clock_.NowNanos();
+  clock_.SetNanos(11'000);
+  ASSERT_TRUE(loom_->Push(2, ValuePayload(200)).ok());
+  clock_.SetNanos(50'000);
+  ASSERT_TRUE(loom_->Push(2, ValuePayload(300)).ok());  // far from any anchor
+  clock_.SetNanos(90'000);
+  ASSERT_TRUE(loom_->Push(1, ValuePayload(888)).ok());  // anchor B
+  const TimestampNanos anchor_b = clock_.NowNanos();
+  clock_.SetNanos(90'400);
+  ASSERT_TRUE(loom_->Push(2, ValuePayload(400)).ok());
+
+  DrillDown dd(loom_.get());
+  std::vector<std::pair<size_t, double>> correlated;
+  ASSERT_TRUE(dd.CorrelateAround({anchor_a, anchor_b}, 2, /*window=*/1000,
+                                 [&](size_t anchor, const RecordView& r) {
+                                   double v;
+                                   std::memcpy(&v, r.payload.data(), sizeof(v));
+                                   correlated.emplace_back(anchor, v);
+                                   return true;
+                                 })
+                  .ok());
+  // Anchor A sees 100 and 200 (newest first); anchor B sees 400.
+  ASSERT_EQ(correlated.size(), 3u);
+  EXPECT_EQ(correlated[0], (std::pair<size_t, double>{0, 200.0}));
+  EXPECT_EQ(correlated[1], (std::pair<size_t, double>{0, 100.0}));
+  EXPECT_EQ(correlated[2], (std::pair<size_t, double>{1, 400.0}));
+}
+
+TEST_F(DrillDownTest, RateSeriesCountsPerBucket) {
+  // 10 records in [1000, 1999], 5 in [2000, 2999], 0 in [3000, 3999].
+  for (int i = 0; i < 10; ++i) {
+    clock_.SetNanos(1000 + static_cast<TimestampNanos>(i) * 100);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(1)).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    clock_.SetNanos(2000 + static_cast<TimestampNanos>(i) * 100);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(1)).ok());
+  }
+  DrillDown dd(loom_.get());
+  auto series = dd.RateSeries(1, {1000, 3999}, 1000);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 3u);
+  EXPECT_EQ(series.value()[0], 10u);
+  EXPECT_EQ(series.value()[1], 5u);
+  EXPECT_EQ(series.value()[2], 0u);
+  EXPECT_FALSE(dd.RateSeries(1, {1000, 3999}, 0).ok());
+}
+
+TEST_F(DrillDownTest, ComposedDrillDownEndToEnd) {
+  // The §2.1 shape via the composed API: top percentile on source 1, then
+  // correlate source 2 around the worst offender.
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    clock_.AdvanceNanos(1000);
+    ASSERT_TRUE(loom_->Push(1, ValuePayload(rng.NextLogNormal(100, 0.5))).ok());
+    ASSERT_TRUE(loom_->Push(2, ValuePayload(rng.NextUniform(0, 10))).ok());
+  }
+  // Plant the incident.
+  clock_.AdvanceNanos(500);
+  ASSERT_TRUE(loom_->Push(2, ValuePayload(77777)).ok());
+  clock_.AdvanceNanos(500);
+  ASSERT_TRUE(loom_->Push(1, ValuePayload(1e9)).ok());
+
+  DrillDown dd(loom_.get());
+  auto top = dd.TopK(1, index_id_, {0, ~0ULL}, 1);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ(top.value()[0].value, 1e9);
+
+  bool found_culprit = false;
+  ASSERT_TRUE(dd.CorrelateAround({top.value()[0].ts}, 2, 2000,
+                                 [&](size_t, const RecordView& r) {
+                                   double v;
+                                   std::memcpy(&v, r.payload.data(), sizeof(v));
+                                   if (v == 77777.0) {
+                                     found_culprit = true;
+                                   }
+                                   return true;
+                                 })
+                  .ok());
+  EXPECT_TRUE(found_culprit);
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/core/loom.h"
+#include "src/readback/readback.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> ValuePayload(double v) {
+  std::vector<uint8_t> buf(48, 0);
+  std::memcpy(buf.data(), &v, sizeof(v));
+  return buf;
+}
+
+double PayloadValue(std::span<const uint8_t> p) {
+  double v;
+  std::memcpy(&v, p.data(), sizeof(v));
+  return v;
+}
+
+Loom::IndexFunc ValueFunc() {
+  return [](std::span<const uint8_t> p) -> std::optional<double> {
+    if (p.size() < sizeof(double)) {
+      return std::nullopt;
+    }
+    double v;
+    std::memcpy(&v, p.data(), sizeof(v));
+    return v;
+  };
+}
+
+class ReadbackTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kChunk = 1024;
+  static constexpr size_t kChunkIdxBlock = 4096;
+
+  // Captures a deterministic two-source stream, then destroys the engine
+  // (clean shutdown flushes everything).
+  void Capture() {
+    ManualClock clock(1);
+    LoomOptions opts;
+    opts.dir = dir_.FilePath("capture");
+    opts.chunk_size = kChunk;
+    opts.chunk_index_block_size = kChunkIdxBlock;
+    opts.record_block_size = 8192;
+    opts.clock = &clock;
+    auto loom = Loom::Open(opts);
+    ASSERT_TRUE(loom.ok());
+    ASSERT_TRUE((*loom)->DefineSource(1).ok());
+    ASSERT_TRUE((*loom)->DefineSource(2).ok());
+    auto spec = HistogramSpec::Uniform(0, 1000, 10).value();
+    auto idx = (*loom)->DefineIndex(1, ValueFunc(), spec);
+    ASSERT_TRUE(idx.ok());
+    index_id_ = idx.value();
+    spec_ = spec;
+    Rng rng(17);
+    for (int i = 0; i < 5000; ++i) {
+      clock.AdvanceNanos(10);
+      uint32_t source = rng.NextBernoulli(0.7) ? 1 : 2;
+      double v = rng.NextUniform(0, 1000);
+      ASSERT_TRUE((*loom)->Push(source, ValuePayload(v)).ok());
+      model_.push_back({source, clock.NowNanos(), v});
+    }
+    t_end_ = clock.NowNanos();
+    // Engine destroyed here: Close() flushes all published data to disk.
+  }
+
+  struct Ref {
+    uint32_t source;
+    TimestampNanos ts;
+    double value;
+  };
+
+  TempDir dir_;
+  uint32_t index_id_ = 0;
+  HistogramSpec spec_ = HistogramSpec::ExactMatch(0);
+  std::vector<Ref> model_;
+  TimestampNanos t_end_ = 0;
+};
+
+TEST_F(ReadbackTest, RawScanMatchesCapture) {
+  Capture();
+  auto session = ReadbackSession::Open(dir_.FilePath("capture"), kChunk, kChunkIdxBlock);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  std::vector<double> got;
+  ASSERT_TRUE((*session)
+                  ->RawScan(1, {0, ~0ULL},
+                            [&](const RecordView& r) {
+                              got.push_back(PayloadValue(r.payload));
+                              return true;
+                            })
+                  .ok());
+  std::vector<double> expect;
+  for (const Ref& r : model_) {
+    if (r.source == 1) {
+      expect.push_back(r.value);
+    }
+  }
+  EXPECT_EQ(got, expect);  // oldest-first in readback
+}
+
+TEST_F(ReadbackTest, RawScanTimeRange) {
+  Capture();
+  auto session = ReadbackSession::Open(dir_.FilePath("capture"), kChunk, kChunkIdxBlock);
+  ASSERT_TRUE(session.ok());
+  const TimeRange range{model_[1000].ts, model_[4000].ts};
+  size_t expect = 0;
+  for (const Ref& r : model_) {
+    if (r.source == 2 && range.Contains(r.ts)) {
+      ++expect;
+    }
+  }
+  size_t got = 0;
+  ASSERT_TRUE((*session)
+                  ->RawScan(2, range,
+                            [&](const RecordView& r) {
+                              EXPECT_TRUE(range.Contains(r.ts));
+                              ++got;
+                              return true;
+                            })
+                  .ok());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(ReadbackTest, IndexedQueriesAfterReRegistration) {
+  Capture();
+  auto session = ReadbackSession::Open(dir_.FilePath("capture"), kChunk, kChunkIdxBlock);
+  ASSERT_TRUE(session.ok());
+  // Queries before re-registration fail cleanly.
+  EXPECT_EQ((*session)
+                ->IndexedScan(1, index_id_, {0, ~0ULL}, {0, 10},
+                              [](const RecordView&) { return true; })
+                .code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE((*session)->RegisterIndex(index_id_, 1, ValueFunc(), spec_).ok());
+  EXPECT_EQ((*session)->RegisterIndex(index_id_, 1, ValueFunc(), spec_).code(),
+            StatusCode::kAlreadyExists);
+
+  std::vector<double> got;
+  ASSERT_TRUE((*session)
+                  ->IndexedScan(1, index_id_, {0, ~0ULL}, {250, 500},
+                                [&](const RecordView& r) {
+                                  got.push_back(PayloadValue(r.payload));
+                                  return true;
+                                })
+                  .ok());
+  std::vector<double> expect;
+  for (const Ref& r : model_) {
+    if (r.source == 1 && r.value >= 250 && r.value <= 500) {
+      expect.push_back(r.value);
+    }
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(got, expect);
+
+  // Aggregates.
+  auto count =
+      (*session)->IndexedAggregate(1, index_id_, {0, ~0ULL}, AggregateMethod::kCount);
+  ASSERT_TRUE(count.ok());
+  std::vector<double> all;
+  for (const Ref& r : model_) {
+    if (r.source == 1) {
+      all.push_back(r.value);
+    }
+  }
+  EXPECT_EQ(count.value(), static_cast<double>(all.size()));
+  auto max = (*session)->IndexedAggregate(1, index_id_, {0, ~0ULL}, AggregateMethod::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ(max.value(), *std::max_element(all.begin(), all.end()));
+  auto p95 = (*session)->IndexedAggregate(1, index_id_, {0, ~0ULL},
+                                          AggregateMethod::kPercentile, 95);
+  ASSERT_TRUE(p95.ok());
+  std::sort(all.begin(), all.end());
+  size_t rank = static_cast<size_t>(std::ceil(0.95 * all.size()));
+  EXPECT_DOUBLE_EQ(p95.value(), all[rank - 1]);
+}
+
+TEST_F(ReadbackTest, ListSourcesAndBounds) {
+  Capture();
+  auto session = ReadbackSession::Open(dir_.FilePath("capture"), kChunk, kChunkIdxBlock);
+  ASSERT_TRUE(session.ok());
+  auto sources = (*session)->ListSources();
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(sources.value(), (std::vector<uint32_t>{1, 2}));
+  auto bounds = (*session)->CaptureBounds();
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->start, model_.front().ts);
+  EXPECT_EQ(bounds->end, model_.back().ts);
+}
+
+TEST_F(ReadbackTest, MissingDirectoryFails) {
+  auto session = ReadbackSession::Open(dir_.FilePath("nope"));
+  EXPECT_FALSE(session.ok());
+}
+
+}  // namespace
+}  // namespace loom

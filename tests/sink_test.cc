@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/file.h"
+#include "src/sink/trace_sink.h"
+#include "src/workload/records.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> SyscallPayload(uint32_t id, double latency) {
+  SyscallRecord rec;
+  rec.syscall_id = id;
+  rec.latency_us = latency;
+  std::vector<uint8_t> buf(sizeof(rec));
+  std::memcpy(buf.data(), &rec, sizeof(rec));
+  return buf;
+}
+
+class TraceSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoomOptions opts;
+    opts.dir = dir_.FilePath("loom");
+    opts.clock = &clock_;
+    auto loom = Loom::Open(opts);
+    ASSERT_TRUE(loom.ok());
+    loom_ = std::move(loom.value());
+  }
+
+  TempDir dir_;
+  ManualClock clock_{1};
+  std::unique_ptr<Loom> loom_;
+  std::vector<WindowSummary> windows_;
+};
+
+TEST_F(TraceSinkTest, EmitsWindowSummaries) {
+  TraceSink sink(loom_.get(), /*window_nanos=*/1000,
+                 [&](const WindowSummary& w) { windows_.push_back(w); });
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  ASSERT_TRUE(sink.AddSource(kSyscallSource,
+                             [](std::span<const uint8_t> p) { return SyscallLatencyUs(p); },
+                             spec)
+                  .ok());
+  // 3 windows of 10 events each.
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 10; ++i) {
+      clock_.SetNanos(static_cast<TimestampNanos>(w * 1000 + i * 50 + 1));
+      ASSERT_TRUE(sink.OnEvent(kSyscallSource, SyscallPayload(1, 10.0 * w + i)).ok());
+    }
+  }
+  sink.FlushWindows();
+  ASSERT_EQ(windows_.size(), 3u);
+  for (size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(windows_[w].events, 10u);
+    EXPECT_EQ(windows_[w].min, 10.0 * static_cast<double>(w));
+    EXPECT_EQ(windows_[w].max, 10.0 * static_cast<double>(w) + 9);
+  }
+}
+
+TEST_F(TraceSinkTest, RawEventsRemainDrillable) {
+  TraceSink sink(loom_.get(), 1000, [&](const WindowSummary& w) { windows_.push_back(w); });
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  ASSERT_TRUE(sink.AddSource(kSyscallSource,
+                             [](std::span<const uint8_t> p) { return SyscallLatencyUs(p); },
+                             spec)
+                  .ok());
+  for (int i = 0; i < 100; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(sink.OnEvent(kSyscallSource, SyscallPayload(1, i == 57 ? 5000.0 : 5.0)).ok());
+  }
+  sink.FlushWindows();
+  // The streaming view aggregated; the raw outlier is still in Loom.
+  int outliers = 0;
+  TimestampNanos outlier_ts = 0;
+  ASSERT_TRUE(loom_->RawScan(kSyscallSource, {0, ~0ULL},
+                             [&](const RecordView& r) {
+                               auto v = SyscallLatencyUs(r.payload);
+                               if (v.has_value() && *v > 1000) {
+                                 ++outliers;
+                                 outlier_ts = r.ts;
+                               }
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(outliers, 1);
+  EXPECT_GT(outlier_ts, 0u);
+  // The window that contained it reflects it in its overflow bin.
+  bool seen_in_window = false;
+  for (const WindowSummary& w : windows_) {
+    if (w.max >= 5000.0) {
+      seen_in_window = true;
+      EXPECT_GE(w.bin_counts.back(), 1u);  // overflow bin
+    }
+  }
+  EXPECT_TRUE(seen_in_window);
+}
+
+TEST_F(TraceSinkTest, UnknownSourceRejected) {
+  TraceSink sink(loom_.get(), 1000, nullptr);
+  EXPECT_EQ(sink.OnEvent(99, SyscallPayload(1, 1.0)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TraceSinkTest, DuplicateSourceRejected) {
+  TraceSink sink(loom_.get(), 1000, nullptr);
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  auto func = [](std::span<const uint8_t> p) { return SyscallLatencyUs(p); };
+  ASSERT_TRUE(sink.AddSource(1, func, spec).ok());
+  EXPECT_EQ(sink.AddSource(1, func, spec).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TraceSinkTest, MultipleSourcesAggregateIndependently) {
+  TraceSink sink(loom_.get(), 1000, [&](const WindowSummary& w) { windows_.push_back(w); });
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  auto func = [](std::span<const uint8_t> p) { return SyscallLatencyUs(p); };
+  ASSERT_TRUE(sink.AddSource(1, func, spec).ok());
+  ASSERT_TRUE(sink.AddSource(2, func, spec).ok());
+  for (int i = 0; i < 20; ++i) {
+    clock_.AdvanceNanos(10);
+    ASSERT_TRUE(sink.OnEvent(1, SyscallPayload(1, 10.0)).ok());
+    ASSERT_TRUE(sink.OnEvent(2, SyscallPayload(1, 90.0)).ok());
+  }
+  sink.FlushWindows();
+  ASSERT_EQ(windows_.size(), 2u);
+  for (const WindowSummary& w : windows_) {
+    EXPECT_EQ(w.events, 20u);
+    if (w.source_id == 1) {
+      EXPECT_EQ(w.max, 10.0);
+    } else {
+      EXPECT_EQ(w.min, 90.0);
+    }
+  }
+}
+
+TEST_F(TraceSinkTest, WindowBinCountsMatchHistogramQuery) {
+  TraceSink sink(loom_.get(), 1'000'000, [&](const WindowSummary& w) { windows_.push_back(w); });
+  auto spec = HistogramSpec::Uniform(0, 100, 10).value();
+  ASSERT_TRUE(sink.AddSource(kSyscallSource,
+                             [](std::span<const uint8_t> p) { return SyscallLatencyUs(p); },
+                             spec)
+                  .ok());
+  for (int i = 0; i < 200; ++i) {
+    clock_.AdvanceNanos(100);
+    ASSERT_TRUE(sink.OnEvent(kSyscallSource, SyscallPayload(1, i % 100)).ok());
+  }
+  sink.FlushWindows();
+  ASSERT_EQ(windows_.size(), 1u);
+  // The streaming histogram agrees with Loom's retroactive indexed one.
+  auto retro = loom_->IndexedHistogram(kSyscallSource, 1, {0, ~0ULL});
+  ASSERT_TRUE(retro.ok());
+  EXPECT_EQ(windows_[0].bin_counts, retro.value());
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,275 @@
+// Tests for the Fig. 15 data-structure baselines (LSM KV store, append-mode
+// B+tree) and the raw-file capture baseline.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/btreestore/btree_store.h"
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/lsmstore/lsm_store.h"
+#include "src/rawfile/raw_file_writer.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint8_t> ValueBytes(uint64_t v, size_t len = 48) {
+  std::vector<uint8_t> buf(len, 0);
+  std::memcpy(buf.data(), &v, sizeof(v));
+  return buf;
+}
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key-%012llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+// --- LsmStore ----------------------------------------------------------------
+
+class LsmStoreTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<LsmStore> OpenStore(LsmOptions opts = {}) {
+    opts.dir = dir_.FilePath("lsm-" + std::to_string(instance_++));
+    auto store = LsmStore::Open(opts);
+    EXPECT_TRUE(store.ok());
+    return std::move(store.value());
+  }
+
+  TempDir dir_;
+  int instance_ = 0;
+};
+
+TEST_F(LsmStoreTest, PutGetRoundTrip) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("a", ValueBytes(1)).ok());
+  ASSERT_TRUE(store->Put("b", ValueBytes(2)).ok());
+  auto got = store->Get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ValueBytes(1));
+  EXPECT_EQ(store->Get("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LsmStoreTest, OverwriteTakesLatestValue) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("k", ValueBytes(1)).ok());
+  ASSERT_TRUE(store->Put("k", ValueBytes(2)).ok());
+  EXPECT_EQ(store->Get("k").value(), ValueBytes(2));
+}
+
+TEST_F(LsmStoreTest, DataSurvivesFlushesAndCompactions) {
+  LsmOptions opts;
+  opts.memtable_max_bytes = 8 << 10;  // tiny: many flushes
+  opts.l0_compaction_trigger = 3;
+  auto store = OpenStore(opts);
+  constexpr uint64_t kCount = 2000;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(store->Put(Key(i), ValueBytes(i)).ok());
+  }
+  LsmStats stats = store->stats();
+  EXPECT_GT(stats.flushes, 5u);
+  EXPECT_GT(stats.compactions, 0u);
+  // Write amplification: compactions rewrite data.
+  EXPECT_GT(stats.bytes_written, stats.bytes_ingested);
+  Rng rng(77);
+  for (int probe = 0; probe < 200; ++probe) {
+    uint64_t i = rng.NextBounded(kCount);
+    auto got = store->Get(Key(i));
+    ASSERT_TRUE(got.ok()) << Key(i);
+    EXPECT_EQ(got.value(), ValueBytes(i));
+  }
+}
+
+TEST_F(LsmStoreTest, GetAfterExplicitFlush) {
+  auto store = OpenStore();
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put(Key(i), ValueBytes(i)).ok());
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(store->Get(Key(i)).value(), ValueBytes(i));
+  }
+}
+
+TEST_F(LsmStoreTest, OverwriteAcrossRunsResolvesNewest) {
+  LsmOptions opts;
+  opts.memtable_max_bytes = 4 << 10;
+  opts.l0_compaction_trigger = 100;  // no compaction: multiple runs remain
+  auto store = OpenStore(opts);
+  for (uint64_t round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(store->Put(Key(i), ValueBytes(round * 1000 + i)).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  EXPECT_GT(store->stats().runs, 2u);
+  for (uint64_t i = 0; i < 200; i += 17) {
+    EXPECT_EQ(store->Get(Key(i)).value(), ValueBytes(2000 + i));
+  }
+}
+
+// --- BTreeStore --------------------------------------------------------------
+
+class BTreeStoreTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<BTreeStore> OpenStore(BTreeOptions opts = {}) {
+    opts.dir = dir_.FilePath("bt-" + std::to_string(instance_++));
+    auto store = BTreeStore::Open(opts);
+    EXPECT_TRUE(store.ok());
+    return std::move(store.value());
+  }
+
+  TempDir dir_;
+  int instance_ = 0;
+};
+
+TEST_F(BTreeStoreTest, AppendRequiresIncreasingKeys) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Append(10, ValueBytes(1)).ok());
+  EXPECT_EQ(store->Append(10, ValueBytes(2)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->Append(5, ValueBytes(3)).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(store->Append(11, ValueBytes(4)).ok());
+}
+
+TEST_F(BTreeStoreTest, GetFromSpineBeforeFlush) {
+  auto store = OpenStore();
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Append(i * 2, ValueBytes(i)).ok());
+  }
+  EXPECT_EQ(store->Get(6).value(), ValueBytes(3));
+  EXPECT_EQ(store->Get(7).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeStoreTest, LargeTreeRoundTripAfterFlush) {
+  BTreeOptions opts;
+  opts.page_size = 512;  // force a multi-level tree
+  auto store = OpenStore(opts);
+  constexpr uint64_t kCount = 5000;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(store->Append(i * 3 + 1, ValueBytes(i, 24)).ok());
+  }
+  EXPECT_GT(store->stats().height, 1u);
+  ASSERT_TRUE(store->Flush().ok());
+  Rng rng(13);
+  for (int probe = 0; probe < 300; ++probe) {
+    uint64_t i = rng.NextBounded(kCount);
+    auto got = store->Get(i * 3 + 1);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got.value(), ValueBytes(i, 24));
+    EXPECT_EQ(store->Get(i * 3 + 2).status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST_F(BTreeStoreTest, GetBeforeFlushReadsFlushedLeaves) {
+  BTreeOptions opts;
+  opts.page_size = 256;
+  auto store = OpenStore(opts);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(store->Append(i, ValueBytes(i, 16)).ok());
+  }
+  // Old keys live in flushed leaves; recent keys in the spine.
+  EXPECT_EQ(store->Get(3).value(), ValueBytes(3, 16));
+  EXPECT_EQ(store->Get(999).value(), ValueBytes(999, 16));
+  EXPECT_EQ(store->Get(500).value(), ValueBytes(500, 16));
+}
+
+TEST_F(BTreeStoreTest, AppendAfterFlushFails) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Append(1, ValueBytes(1)).ok());
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->Append(2, ValueBytes(2)).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BTreeStoreTest, EmptyTreeBehaviors) {
+  auto store = OpenStore();
+  EXPECT_EQ(store->Get(1).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->Get(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeStoreTest, OversizeValueRejected) {
+  BTreeOptions opts;
+  opts.page_size = 128;
+  auto store = OpenStore(opts);
+  std::vector<uint8_t> big(200, 1);
+  EXPECT_EQ(store->Append(1, big).code(), StatusCode::kInvalidArgument);
+}
+
+// --- RawFileWriter ------------------------------------------------------------
+
+TEST(RawFileWriterTest, AppendScanRoundTrip) {
+  TempDir dir;
+  RawFileOptions opts;
+  opts.path = dir.FilePath("capture.bin");
+  opts.buffer_size = 1024;  // force buffer flushes
+  auto writer = RawFileWriter::Open(opts);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*writer)->Append(static_cast<uint32_t>(i % 3), i * 10, ValueBytes(i)).ok());
+  }
+  EXPECT_EQ((*writer)->records(), 500u);
+  uint64_t i = 0;
+  ASSERT_TRUE((*writer)
+                  ->Scan([&](uint32_t source, TimestampNanos ts, std::span<const uint8_t> p) {
+                    EXPECT_EQ(source, i % 3);
+                    EXPECT_EQ(ts, i * 10);
+                    uint64_t v;
+                    std::memcpy(&v, p.data(), sizeof(v));
+                    EXPECT_EQ(v, i);
+                    ++i;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(i, 500u);
+}
+
+TEST(RawFileWriterTest, ScanEarlyStop) {
+  TempDir dir;
+  RawFileOptions opts;
+  opts.path = dir.FilePath("capture.bin");
+  auto writer = RawFileWriter::Open(opts);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*writer)->Append(1, i, ValueBytes(i)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE((*writer)
+                  ->Scan([&](uint32_t, TimestampNanos, std::span<const uint8_t>) {
+                    return ++count < 7;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 7);
+}
+
+TEST(RawFileWriterTest, VariablePayloadSizesAcrossWindows) {
+  TempDir dir;
+  RawFileOptions opts;
+  opts.path = dir.FilePath("capture.bin");
+  opts.buffer_size = 4096;
+  auto writer = RawFileWriter::Open(opts);
+  ASSERT_TRUE(writer.ok());
+  Rng rng(3);
+  std::vector<size_t> sizes;
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = 8 + rng.NextBounded(300);
+    sizes.push_back(len);
+    std::vector<uint8_t> payload(len, static_cast<uint8_t>(i));
+    ASSERT_TRUE((*writer)->Append(9, i, payload).ok());
+  }
+  size_t i = 0;
+  ASSERT_TRUE((*writer)
+                  ->Scan([&](uint32_t, TimestampNanos ts, std::span<const uint8_t> p) {
+                    EXPECT_EQ(ts, i);
+                    EXPECT_EQ(p.size(), sizes[i]);
+                    ++i;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(i, sizes.size());
+}
+
+}  // namespace
+}  // namespace loom

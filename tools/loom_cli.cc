@@ -1,0 +1,391 @@
+// loom_cli — a command-line front-end for Loom captures (§3: engineers use a
+// CLI/dashboard to instantiate query operators with parameters).
+//
+// Subcommands:
+//   capture   generate a case-study workload and capture it into a directory
+//             --workload redis|rocksdb  --scale S  --dir DIR
+//   sources   list sources in a capture
+//             --dir DIR
+//   bounds    print the capture's time bounds
+//             --dir DIR
+//   scan      raw-scan a source
+//             --dir DIR --source N [--start T] [--end T] [--limit K]
+//   agg       aggregate an indexed value
+//             --dir DIR --source N --extract NAME --method M [--pct P]
+//             [--start T] [--end T]
+//   topk      largest indexed values
+//             --dir DIR --source N --extract NAME --k K
+//
+// --extract names a well-known field extractor:
+//   app_latency | syscall_latency | pread64_latency | packet_dport | value8
+// (value8 reads the first 8 payload bytes as a double.)
+//
+// Capture directories are the engine's log directory; queries run through
+// the post-mortem readback path, so no live engine is needed.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/core/loom.h"
+#include "src/query/drilldown.h"
+#include "src/readback/readback.h"
+#include "src/workload/case_studies.h"
+#include "src/workload/records.h"
+
+namespace loom {
+namespace {
+
+// The capture geometry the CLI always uses (recorded here so readback
+// matches; a production tool would store a manifest next to the logs).
+constexpr size_t kChunkSize = 64 << 10;
+constexpr size_t kChunkIdxBlock = 1 << 20;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : atof(it->second.c_str());
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) {
+      args.flags[key.substr(2)] = argv[i + 1];
+    }
+  }
+  return args;
+}
+
+Loom::IndexFunc ExtractorByName(const std::string& name) {
+  if (name == "app_latency") {
+    return [](std::span<const uint8_t> p) { return AppLatencyUs(p); };
+  }
+  if (name == "syscall_latency") {
+    return [](std::span<const uint8_t> p) { return SyscallLatencyUs(p); };
+  }
+  if (name == "pread64_latency") {
+    return [](std::span<const uint8_t> p) { return SyscallLatencyFor(kSyscallPread64, p); };
+  }
+  if (name == "packet_dport") {
+    return [](std::span<const uint8_t> p) -> std::optional<double> {
+      auto d = PacketDport(p);
+      if (!d.has_value()) {
+        return std::nullopt;
+      }
+      return static_cast<double>(*d);
+    };
+  }
+  if (name == "value8") {
+    return [](std::span<const uint8_t> p) -> std::optional<double> {
+      if (p.size() < sizeof(double)) {
+        return std::nullopt;
+      }
+      double v;
+      std::memcpy(&v, p.data(), sizeof(v));
+      return v;
+    };
+  }
+  return nullptr;
+}
+
+int Fail(const std::string& message) {
+  fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdCapture(const Args& args) {
+  const std::string dir = args.Get("dir");
+  if (dir.empty()) {
+    return Fail("capture requires --dir");
+  }
+  const std::string workload = args.Get("workload", "redis");
+  const double scale = args.GetDouble("scale", 0.005);
+
+  ManualClock clock(1);
+  LoomOptions opts;
+  opts.dir = dir;
+  opts.chunk_size = kChunkSize;
+  opts.chunk_index_block_size = kChunkIdxBlock;
+  opts.clock = &clock;
+  auto loom = Loom::Open(opts);
+  if (!loom.ok()) {
+    return Fail(loom.status().ToString());
+  }
+  Loom* l = loom->get();
+  auto hist = HistogramSpec::Exponential(1.0, 2.0, 24).value();
+
+  uint64_t n = 0;
+  if (workload == "redis") {
+    RedisWorkloadConfig config;
+    config.scale = scale;
+    RedisWorkload gen(config);
+    (void)l->DefineSource(kAppSource);
+    (void)l->DefineSource(kSyscallSource);
+    (void)l->DefineSource(kPacketSource);
+    (void)l->DefineIndex(kAppSource, ExtractorByName("app_latency"), hist);
+    (void)l->DefineIndex(kSyscallSource, ExtractorByName("syscall_latency"), hist);
+    while (auto ev = gen.Next()) {
+      clock.SetNanos(ev->ts);
+      (void)l->Push(ev->source_id, ev->payload);
+      ++n;
+    }
+  } else if (workload == "rocksdb") {
+    RocksdbWorkloadConfig config;
+    config.scale = scale;
+    RocksdbWorkload gen(config);
+    (void)l->DefineSource(kAppSource);
+    (void)l->DefineSource(kSyscallSource);
+    (void)l->DefineSource(kPageCacheSource);
+    (void)l->DefineIndex(kAppSource, ExtractorByName("app_latency"), hist);
+    (void)l->DefineIndex(kSyscallSource, ExtractorByName("pread64_latency"), hist);
+    while (auto ev = gen.Next()) {
+      clock.SetNanos(ev->ts);
+      (void)l->Push(ev->source_id, ev->payload);
+      ++n;
+    }
+  } else {
+    return Fail("unknown --workload (redis|rocksdb)");
+  }
+  printf("captured %llu records into %s\n", static_cast<unsigned long long>(n), dir.c_str());
+  printf("sources: 1=app 2=syscall %s\n", workload == "redis" ? "3=packets" : "4=pagecache");
+  return 0;
+}
+
+Result<std::unique_ptr<ReadbackSession>> OpenCapture(const Args& args) {
+  const std::string dir = args.Get("dir");
+  if (dir.empty()) {
+    return Status::InvalidArgument("missing --dir");
+  }
+  return ReadbackSession::Open(dir, kChunkSize, kChunkIdxBlock);
+}
+
+int CmdSources(const Args& args) {
+  auto session = OpenCapture(args);
+  if (!session.ok()) {
+    return Fail(session.status().ToString());
+  }
+  auto sources = (*session)->ListSources();
+  if (!sources.ok()) {
+    return Fail(sources.status().ToString());
+  }
+  for (uint32_t s : sources.value()) {
+    printf("source %u\n", s);
+  }
+  return 0;
+}
+
+int CmdBounds(const Args& args) {
+  auto session = OpenCapture(args);
+  if (!session.ok()) {
+    return Fail(session.status().ToString());
+  }
+  auto bounds = (*session)->CaptureBounds();
+  if (!bounds.ok()) {
+    return Fail(bounds.status().ToString());
+  }
+  printf("start %llu\nend   %llu\nspan  %.3f s\n",
+         static_cast<unsigned long long>(bounds->start),
+         static_cast<unsigned long long>(bounds->end),
+         static_cast<double>(bounds->end - bounds->start) / 1e9);
+  return 0;
+}
+
+int CmdCount(const Args& args) {
+  auto session = OpenCapture(args);
+  if (!session.ok()) {
+    return Fail(session.status().ToString());
+  }
+  const uint32_t source = static_cast<uint32_t>(args.GetU64("source", 1));
+  const TimeRange range{args.GetU64("start", 0), args.GetU64("end", ~0ULL)};
+  uint64_t count = 0;
+  Status st = (*session)->RawScan(source, range, [&](const RecordView&) {
+    ++count;
+    return true;
+  });
+  if (!st.ok()) {
+    return Fail(st.ToString());
+  }
+  printf("count = %llu\n", static_cast<unsigned long long>(count));
+  return 0;
+}
+
+int CmdScan(const Args& args) {
+  auto session = OpenCapture(args);
+  if (!session.ok()) {
+    return Fail(session.status().ToString());
+  }
+  const uint32_t source = static_cast<uint32_t>(args.GetU64("source", 1));
+  const TimeRange range{args.GetU64("start", 0), args.GetU64("end", ~0ULL)};
+  const uint64_t limit = args.GetU64("limit", 20);
+  uint64_t shown = 0;
+  Status st = (*session)->RawScan(source, range, [&](const RecordView& r) {
+    printf("t=%-14llu addr=%-10llu len=%zu\n", static_cast<unsigned long long>(r.ts),
+           static_cast<unsigned long long>(r.addr), r.payload.size());
+    return ++shown < limit;
+  });
+  if (!st.ok()) {
+    return Fail(st.ToString());
+  }
+  printf("(%llu records shown, limit %llu)\n", static_cast<unsigned long long>(shown),
+         static_cast<unsigned long long>(limit));
+  return 0;
+}
+
+// Registers the CLI's standard index layout for a capture: index id 1 is the
+// app-latency index, id 2 the syscall-stream index (as CmdCapture defines
+// them, in order).
+Status RegisterStandardIndexes(ReadbackSession* session, const Args& args,
+                               uint32_t* index_id_out) {
+  const std::string extract = args.Get("extract", "value8");
+  Loom::IndexFunc func = ExtractorByName(extract);
+  if (!func) {
+    return Status::InvalidArgument("unknown --extract " + extract);
+  }
+  const uint32_t source = static_cast<uint32_t>(args.GetU64("source", 1));
+  auto hist = HistogramSpec::Exponential(1.0, 2.0, 24).value();
+  // Index ids from CmdCapture: 1 for the app source, 2 for the syscall
+  // source. Other captures use --index to override.
+  uint32_t index_id = static_cast<uint32_t>(args.GetU64("index", source == kAppSource ? 1 : 2));
+  LOOM_RETURN_IF_ERROR(session->RegisterIndex(index_id, source, std::move(func), hist));
+  *index_id_out = index_id;
+  return Status::Ok();
+}
+
+int CmdAgg(const Args& args) {
+  auto session = OpenCapture(args);
+  if (!session.ok()) {
+    return Fail(session.status().ToString());
+  }
+  uint32_t index_id = 0;
+  Status st = RegisterStandardIndexes(session->get(), args, &index_id);
+  if (!st.ok()) {
+    return Fail(st.ToString());
+  }
+  const uint32_t source = static_cast<uint32_t>(args.GetU64("source", 1));
+  const TimeRange range{args.GetU64("start", 0), args.GetU64("end", ~0ULL)};
+  const std::string method = args.Get("method", "count");
+  AggregateMethod m;
+  double pct = args.GetDouble("pct", 99.0);
+  if (method == "count") {
+    m = AggregateMethod::kCount;
+  } else if (method == "sum") {
+    m = AggregateMethod::kSum;
+  } else if (method == "min") {
+    m = AggregateMethod::kMin;
+  } else if (method == "max") {
+    m = AggregateMethod::kMax;
+  } else if (method == "mean") {
+    m = AggregateMethod::kMean;
+  } else if (method == "pct") {
+    m = AggregateMethod::kPercentile;
+  } else {
+    return Fail("unknown --method (count|sum|min|max|mean|pct)");
+  }
+  auto result = (*session)->IndexedAggregate(source, index_id, range, m, pct);
+  if (!result.ok()) {
+    return Fail(result.status().ToString());
+  }
+  if (m == AggregateMethod::kPercentile) {
+    printf("p%.4g = %.6g\n", pct, result.value());
+  } else {
+    printf("%s = %.6g\n", method.c_str(), result.value());
+  }
+  return 0;
+}
+
+int CmdTopK(const Args& args) {
+  auto session = OpenCapture(args);
+  if (!session.ok()) {
+    return Fail(session.status().ToString());
+  }
+  uint32_t index_id = 0;
+  Status st = RegisterStandardIndexes(session->get(), args, &index_id);
+  if (!st.ok()) {
+    return Fail(st.ToString());
+  }
+  const uint32_t source = static_cast<uint32_t>(args.GetU64("source", 1));
+  const TimeRange range{args.GetU64("start", 0), args.GetU64("end", ~0ULL)};
+  const uint64_t k = args.GetU64("k", 10);
+  // Readback has no DrillDown binding; do the top-k with a bounded pass.
+  std::vector<std::pair<double, TimestampNanos>> heap;
+  const std::string extract = args.Get("extract", "value8");
+  Loom::IndexFunc func = ExtractorByName(extract);
+  st = (*session)->RawScan(source, range, [&](const RecordView& r) {
+    std::optional<double> v = func(r.payload);
+    if (!v.has_value()) {
+      return true;
+    }
+    if (heap.size() < k) {
+      heap.emplace_back(*v, r.ts);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    } else if (*v > heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+      heap.back() = {*v, r.ts};
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    }
+    return true;
+  });
+  if (!st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::sort(heap.begin(), heap.end(), std::greater<>());
+  for (const auto& [value, ts] : heap) {
+    printf("value=%-14.6g t=%llu\n", value, static_cast<unsigned long long>(ts));
+  }
+  return 0;
+}
+
+int Usage() {
+  fprintf(stderr,
+          "usage: loom_cli <capture|sources|bounds|scan|count|agg|topk> [--flag value ...]\n"
+          "see the header comment of tools/loom_cli.cc for full flag lists\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace loom
+
+int main(int argc, char** argv) {
+  using namespace loom;
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "capture") {
+    return CmdCapture(args);
+  }
+  if (args.command == "sources") {
+    return CmdSources(args);
+  }
+  if (args.command == "bounds") {
+    return CmdBounds(args);
+  }
+  if (args.command == "scan") {
+    return CmdScan(args);
+  }
+  if (args.command == "count") {
+    return CmdCount(args);
+  }
+  if (args.command == "agg") {
+    return CmdAgg(args);
+  }
+  if (args.command == "topk") {
+    return CmdTopK(args);
+  }
+  return Usage();
+}
