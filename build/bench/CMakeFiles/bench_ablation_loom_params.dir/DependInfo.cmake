@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_loom_params.cc" "bench/CMakeFiles/bench_ablation_loom_params.dir/bench_ablation_loom_params.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_loom_params.dir/bench_ablation_loom_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/loom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/loom_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/loom_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/loom_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridlog/CMakeFiles/loom_hybridlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_tsdb_index_cost.cc" "bench/CMakeFiles/bench_fig02_tsdb_index_cost.dir/bench_fig02_tsdb_index_cost.cc.o" "gcc" "bench/CMakeFiles/bench_fig02_tsdb_index_cost.dir/bench_fig02_tsdb_index_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsdb/CMakeFiles/loom_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/loom_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig02_tsdb_index_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hybridlog.dir/bench_micro_hybridlog.cc.o"
+  "CMakeFiles/bench_micro_hybridlog.dir/bench_micro_hybridlog.cc.o.d"
+  "bench_micro_hybridlog"
+  "bench_micro_hybridlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hybridlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

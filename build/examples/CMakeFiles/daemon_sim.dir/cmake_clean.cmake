@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daemon_sim.dir/daemon_sim.cpp.o"
+  "CMakeFiles/daemon_sim.dir/daemon_sim.cpp.o.d"
+  "daemon_sim"
+  "daemon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daemon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_query.dir/fleet_query.cpp.o"
+  "CMakeFiles/fleet_query.dir/fleet_query.cpp.o.d"
+  "fleet_query"
+  "fleet_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

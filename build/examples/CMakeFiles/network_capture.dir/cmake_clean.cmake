@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_capture.dir/network_capture.cpp.o"
+  "CMakeFiles/network_capture.dir/network_capture.cpp.o.d"
+  "network_capture"
+  "network_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

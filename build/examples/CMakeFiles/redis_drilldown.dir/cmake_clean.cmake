@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_drilldown.dir/redis_drilldown.cpp.o"
+  "CMakeFiles/redis_drilldown.dir/redis_drilldown.cpp.o.d"
+  "redis_drilldown"
+  "redis_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

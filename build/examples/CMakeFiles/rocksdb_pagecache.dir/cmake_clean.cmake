@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksdb_pagecache.dir/rocksdb_pagecache.cpp.o"
+  "CMakeFiles/rocksdb_pagecache.dir/rocksdb_pagecache.cpp.o.d"
+  "rocksdb_pagecache"
+  "rocksdb_pagecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksdb_pagecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

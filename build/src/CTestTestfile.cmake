@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hybridlog")
+subdirs("index")
+subdirs("core")
+subdirs("fishstore")
+subdirs("tsdb")
+subdirs("lsmstore")
+subdirs("btreestore")
+subdirs("rawfile")
+subdirs("workload")
+subdirs("benchutil")
+subdirs("daemon")
+subdirs("distributed")
+subdirs("export")
+subdirs("sink")
+subdirs("readback")
+subdirs("query")
+subdirs("net")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_benchutil.dir/table.cc.o"
+  "CMakeFiles/loom_benchutil.dir/table.cc.o.d"
+  "libloom_benchutil.a"
+  "libloom_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

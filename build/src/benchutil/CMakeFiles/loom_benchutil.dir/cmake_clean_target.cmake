@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libloom_benchutil.a"
+)

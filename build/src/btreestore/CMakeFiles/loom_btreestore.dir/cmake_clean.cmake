@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_btreestore.dir/btree_store.cc.o"
+  "CMakeFiles/loom_btreestore.dir/btree_store.cc.o.d"
+  "libloom_btreestore.a"
+  "libloom_btreestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_btreestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_common.dir/file.cc.o"
+  "CMakeFiles/loom_common.dir/file.cc.o.d"
+  "CMakeFiles/loom_common.dir/rng.cc.o"
+  "CMakeFiles/loom_common.dir/rng.cc.o.d"
+  "CMakeFiles/loom_common.dir/status.cc.o"
+  "CMakeFiles/loom_common.dir/status.cc.o.d"
+  "libloom_common.a"
+  "libloom_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

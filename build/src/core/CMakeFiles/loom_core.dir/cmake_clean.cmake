@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_core.dir/loom.cc.o"
+  "CMakeFiles/loom_core.dir/loom.cc.o.d"
+  "libloom_core.a"
+  "libloom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_daemon.dir/monitoring_daemon.cc.o"
+  "CMakeFiles/loom_daemon.dir/monitoring_daemon.cc.o.d"
+  "libloom_daemon.a"
+  "libloom_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

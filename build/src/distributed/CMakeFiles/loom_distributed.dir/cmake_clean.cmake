@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_distributed.dir/coordinator.cc.o"
+  "CMakeFiles/loom_distributed.dir/coordinator.cc.o.d"
+  "libloom_distributed.a"
+  "libloom_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

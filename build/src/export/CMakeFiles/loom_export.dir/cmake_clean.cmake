@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_export.dir/codec.cc.o"
+  "CMakeFiles/loom_export.dir/codec.cc.o.d"
+  "CMakeFiles/loom_export.dir/exporter.cc.o"
+  "CMakeFiles/loom_export.dir/exporter.cc.o.d"
+  "libloom_export.a"
+  "libloom_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

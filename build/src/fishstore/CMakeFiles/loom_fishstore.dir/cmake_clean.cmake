@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_fishstore.dir/fishstore.cc.o"
+  "CMakeFiles/loom_fishstore.dir/fishstore.cc.o.d"
+  "libloom_fishstore.a"
+  "libloom_fishstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_fishstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_hybridlog.dir/cached_reader.cc.o"
+  "CMakeFiles/loom_hybridlog.dir/cached_reader.cc.o.d"
+  "CMakeFiles/loom_hybridlog.dir/hybrid_log.cc.o"
+  "CMakeFiles/loom_hybridlog.dir/hybrid_log.cc.o.d"
+  "libloom_hybridlog.a"
+  "libloom_hybridlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_hybridlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

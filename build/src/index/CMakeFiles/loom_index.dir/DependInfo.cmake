@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/chunk_summary.cc" "src/index/CMakeFiles/loom_index.dir/chunk_summary.cc.o" "gcc" "src/index/CMakeFiles/loom_index.dir/chunk_summary.cc.o.d"
+  "/root/repo/src/index/histogram.cc" "src/index/CMakeFiles/loom_index.dir/histogram.cc.o" "gcc" "src/index/CMakeFiles/loom_index.dir/histogram.cc.o.d"
+  "/root/repo/src/index/timestamp_index.cc" "src/index/CMakeFiles/loom_index.dir/timestamp_index.cc.o" "gcc" "src/index/CMakeFiles/loom_index.dir/timestamp_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridlog/CMakeFiles/loom_hybridlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_index.dir/chunk_summary.cc.o"
+  "CMakeFiles/loom_index.dir/chunk_summary.cc.o.d"
+  "CMakeFiles/loom_index.dir/histogram.cc.o"
+  "CMakeFiles/loom_index.dir/histogram.cc.o.d"
+  "CMakeFiles/loom_index.dir/timestamp_index.cc.o"
+  "CMakeFiles/loom_index.dir/timestamp_index.cc.o.d"
+  "libloom_index.a"
+  "libloom_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

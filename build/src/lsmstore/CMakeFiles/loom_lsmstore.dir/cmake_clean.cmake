@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_lsmstore.dir/lsm_store.cc.o"
+  "CMakeFiles/loom_lsmstore.dir/lsm_store.cc.o.d"
+  "libloom_lsmstore.a"
+  "libloom_lsmstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_lsmstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_net.dir/ingest_server.cc.o"
+  "CMakeFiles/loom_net.dir/ingest_server.cc.o.d"
+  "libloom_net.a"
+  "libloom_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

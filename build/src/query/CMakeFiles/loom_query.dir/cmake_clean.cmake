@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_query.dir/drilldown.cc.o"
+  "CMakeFiles/loom_query.dir/drilldown.cc.o.d"
+  "libloom_query.a"
+  "libloom_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

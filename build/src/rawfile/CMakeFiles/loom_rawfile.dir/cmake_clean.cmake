@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_rawfile.dir/raw_file_writer.cc.o"
+  "CMakeFiles/loom_rawfile.dir/raw_file_writer.cc.o.d"
+  "libloom_rawfile.a"
+  "libloom_rawfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_rawfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for loom_rawfile.
+# This may be replaced when dependencies are built.

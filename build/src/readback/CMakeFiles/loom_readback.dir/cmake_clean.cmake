@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_readback.dir/readback.cc.o"
+  "CMakeFiles/loom_readback.dir/readback.cc.o.d"
+  "libloom_readback.a"
+  "libloom_readback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_readback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

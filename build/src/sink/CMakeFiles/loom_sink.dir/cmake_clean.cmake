@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_sink.dir/trace_sink.cc.o"
+  "CMakeFiles/loom_sink.dir/trace_sink.cc.o.d"
+  "libloom_sink.a"
+  "libloom_sink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_sink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for loom_sink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_tsdb.dir/tsdb.cc.o"
+  "CMakeFiles/loom_tsdb.dir/tsdb.cc.o.d"
+  "libloom_tsdb.a"
+  "libloom_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

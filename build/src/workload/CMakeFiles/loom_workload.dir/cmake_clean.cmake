@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_workload.dir/case_studies.cc.o"
+  "CMakeFiles/loom_workload.dir/case_studies.cc.o.d"
+  "CMakeFiles/loom_workload.dir/probe_app.cc.o"
+  "CMakeFiles/loom_workload.dir/probe_app.cc.o.d"
+  "libloom_workload.a"
+  "libloom_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

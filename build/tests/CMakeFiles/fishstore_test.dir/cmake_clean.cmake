@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fishstore_test.dir/fishstore_test.cc.o"
+  "CMakeFiles/fishstore_test.dir/fishstore_test.cc.o.d"
+  "fishstore_test"
+  "fishstore_test.pdb"
+  "fishstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fishstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

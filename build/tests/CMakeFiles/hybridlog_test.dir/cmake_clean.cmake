@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridlog_test.dir/hybridlog_test.cc.o"
+  "CMakeFiles/hybridlog_test.dir/hybridlog_test.cc.o.d"
+  "hybridlog_test"
+  "hybridlog_test.pdb"
+  "hybridlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

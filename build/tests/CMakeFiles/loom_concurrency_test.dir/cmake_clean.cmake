@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_concurrency_test.dir/loom_concurrency_test.cc.o"
+  "CMakeFiles/loom_concurrency_test.dir/loom_concurrency_test.cc.o.d"
+  "loom_concurrency_test"
+  "loom_concurrency_test.pdb"
+  "loom_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

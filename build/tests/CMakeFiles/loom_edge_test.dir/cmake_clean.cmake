@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_edge_test.dir/loom_edge_test.cc.o"
+  "CMakeFiles/loom_edge_test.dir/loom_edge_test.cc.o.d"
+  "loom_edge_test"
+  "loom_edge_test.pdb"
+  "loom_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

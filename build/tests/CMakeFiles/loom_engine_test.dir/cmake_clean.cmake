@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_engine_test.dir/loom_engine_test.cc.o"
+  "CMakeFiles/loom_engine_test.dir/loom_engine_test.cc.o.d"
+  "loom_engine_test"
+  "loom_engine_test.pdb"
+  "loom_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_param_test.dir/loom_param_test.cc.o"
+  "CMakeFiles/loom_param_test.dir/loom_param_test.cc.o.d"
+  "loom_param_test"
+  "loom_param_test.pdb"
+  "loom_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

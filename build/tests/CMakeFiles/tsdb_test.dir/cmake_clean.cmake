@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdb_test.dir/tsdb_test.cc.o"
+  "CMakeFiles/tsdb_test.dir/tsdb_test.cc.o.d"
+  "tsdb_test"
+  "tsdb_test.pdb"
+  "tsdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

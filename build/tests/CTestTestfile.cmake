@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/hybridlog_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/loom_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/loom_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/loom_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/fishstore_test[1]_include.cmake")
+include("/root/repo/build/tests/tsdb_test[1]_include.cmake")
+include("/root/repo/build/tests/stores_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/export_test[1]_include.cmake")
+include("/root/repo/build/tests/sink_test[1]_include.cmake")
+include("/root/repo/build/tests/readback_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/loom_param_test[1]_include.cmake")
+include("/root/repo/build/tests/benchutil_test[1]_include.cmake")
+include("/root/repo/build/tests/retention_test[1]_include.cmake")

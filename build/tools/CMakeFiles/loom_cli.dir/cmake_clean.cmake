@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loom_cli.dir/loom_cli.cc.o"
+  "CMakeFiles/loom_cli.dir/loom_cli.cc.o.d"
+  "loom_cli"
+  "loom_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loom_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
