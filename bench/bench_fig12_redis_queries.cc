@@ -96,14 +96,30 @@ int main() {
   const uint32_t kSendtoSeries = kSyscallSource * 1000 + kSyscallSendto;
 
   TablePrinter table({"phase", "query", "Loom", "FishStore", "InfluxDB-idealized",
-                      "Loom rows", "speedup vs FS", "speedup vs TSDB"});
+                      "Loom rows", "cache hit%", "speedup vs FS", "speedup vs TSDB"});
 
   struct Spec {
     const char* phase;
     const char* name;
     QueryResult loom, fish, tsdb;
+    double cache_hit_rate = 0.0;  // summary-cache hit rate during the Loom query
   };
   std::vector<Spec> specs;
+
+  // Runs a Loom query under Timed() and attributes the summary-cache
+  // hit/miss delta to it (the benchmark is single-threaded, so the delta is
+  // exact).
+  auto timed_loom = [&](double* hit_rate, auto&& fn) {
+    const SummaryCacheStats before = l->stats().summary_cache;
+    QueryResult r = Timed(fn);
+    const SummaryCacheStats after = l->stats().summary_cache;
+    const uint64_t hits = after.hits - before.hits;
+    const uint64_t misses = after.misses - before.misses;
+    *hit_rate = hits + misses == 0
+                    ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    return r;
+  };
 
   // ---- P1 / P2: data-dependent range scans (99.99p then fetch) ------------
   struct PercentileScanCase {
@@ -127,7 +143,7 @@ int main() {
 
   for (const auto& c : cases) {
     Spec spec{c.phase, c.name, {}, {}, {}};
-    spec.loom = Timed([&](QueryResult& r) {
+    spec.loom = timed_loom(&spec.cache_hit_rate, [&](QueryResult& r) {
       auto pct = l->IndexedAggregate(c.loom_source, c.loom_index, c.range,
                                      AggregateMethod::kPercentile, 99.99);
       if (!pct.ok()) {
@@ -195,7 +211,7 @@ int main() {
   // ---- P3: Maximum Latency Request ---------------------------------------
   {
     Spec spec{"P3", "Maximum Latency Request", {}, {}, {}};
-    spec.loom = Timed([&](QueryResult& r) {
+    spec.loom = timed_loom(&spec.cache_hit_rate, [&](QueryResult& r) {
       auto max = l->IndexedAggregate(kAppSource, idx.app_latency, p3, AggregateMethod::kMax);
       if (max.ok()) {
         r.value = max.value();
@@ -248,7 +264,7 @@ int main() {
     const TimeRange window{slow_ts - 5 * kNanosPerSecond, slow_ts + 5 * kNanosPerSecond};
 
     Spec spec{"P3", "TCP Packet Dump (10 s window)", {}, {}, {}};
-    spec.loom = Timed([&](QueryResult& r) {
+    spec.loom = timed_loom(&spec.cache_hit_rate, [&](QueryResult& r) {
       (void)l->RawScan(kPacketSource, window, [&](const RecordView&) {
         ++r.rows;
         return true;
@@ -277,10 +293,17 @@ int main() {
   for (const Spec& s : specs) {
     table.AddRow({s.phase, s.name, FormatSeconds(s.loom.seconds),
                   FormatSeconds(s.fish.seconds), FormatSeconds(s.tsdb.seconds),
-                  FormatCount(s.loom.rows),
+                  FormatCount(s.loom.rows), FormatDouble(s.cache_hit_rate * 100.0, 0) + "%",
                   FormatDouble(s.fish.seconds / std::max(1e-9, s.loom.seconds), 1) + "x",
                   FormatDouble(s.tsdb.seconds / std::max(1e-9, s.loom.seconds), 1) + "x"});
   }
   table.Print();
+  const SummaryCacheStats cache = l->stats().summary_cache;
+  printf("\nLoom summary cache: %llu hits / %llu misses (%.0f%% hit rate), %llu entries, "
+         "%.1f MiB resident\n",
+         static_cast<unsigned long long>(cache.hits),
+         static_cast<unsigned long long>(cache.misses), cache.HitRate() * 100.0,
+         static_cast<unsigned long long>(cache.entries),
+         static_cast<double>(cache.bytes_used) / (1 << 20));
   return 0;
 }

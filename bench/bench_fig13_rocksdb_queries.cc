@@ -118,9 +118,25 @@ int main() {
   };
   std::vector<Spec> specs;
 
+  // Wraps a Loom query and records its summary-cache hit rate (stats delta;
+  // exact because the bench is single-threaded). One entry per spec below —
+  // braced-init-lists evaluate left to right, so indices line up.
+  std::vector<double> loom_hit_rates;
+  auto timed_loom = [&](auto&& fn) {
+    const SummaryCacheStats before = l->stats().summary_cache;
+    QueryResult r = Timed(fn);
+    const SummaryCacheStats after = l->stats().summary_cache;
+    const uint64_t hits = after.hits - before.hits;
+    const uint64_t misses = after.misses - before.misses;
+    loom_hit_rates.push_back(hits + misses == 0 ? 0.0
+                                                : static_cast<double>(hits) /
+                                                      static_cast<double>(hits + misses));
+    return r;
+  };
+
   // ---- P1: application max / tail ------------------------------------------
   specs.push_back({"P1", "Application Max Latency",
-                   Timed([&] {
+                   timed_loom([&] {
                      return l->IndexedAggregate(kAppSource, idx.app_latency, p1,
                                                 AggregateMethod::kMax)
                          .value_or(0);
@@ -135,7 +151,7 @@ int main() {
                    })});
 
   specs.push_back({"P1", "Application Tail Latency (99.99p)",
-                   Timed([&] {
+                   timed_loom([&] {
                      return l->IndexedAggregate(kAppSource, idx.app_latency, p1,
                                                 AggregateMethod::kPercentile, 99.99)
                          .value_or(0);
@@ -152,7 +168,7 @@ int main() {
 
   // ---- P2: pread64 max / tail (~3% of data) ---------------------------------
   specs.push_back({"P2", "pread64 Max Latency",
-                   Timed([&] {
+                   timed_loom([&] {
                      return l->IndexedAggregate(kSyscallSource, idx.pread64_latency, p2,
                                                 AggregateMethod::kMax)
                          .value_or(0);
@@ -168,7 +184,7 @@ int main() {
                    })});
 
   specs.push_back({"P2", "pread64 Tail Latency (99.99p)",
-                   Timed([&] {
+                   timed_loom([&] {
                      return l->IndexedAggregate(kSyscallSource, idx.pread64_latency, p2,
                                                 AggregateMethod::kPercentile, 99.99)
                          .value_or(0);
@@ -186,7 +202,7 @@ int main() {
 
   // ---- P3: page cache count (~0.5% of data) ----------------------------------
   specs.push_back({"P3", "Page Cache Count",
-                   Timed([&] {
+                   timed_loom([&] {
                      return l->IndexedAggregate(kPageCacheSource, idx.pagecache_event, p3,
                                                 AggregateMethod::kCount)
                          .value_or(0);
@@ -209,16 +225,25 @@ int main() {
                    })});
 
   TablePrinter table({"phase", "query", "Loom", "FishStore", "InfluxDB-idealized",
-                      "speedup vs FS", "speedup vs TSDB", "results agree"});
-  for (const Spec& s : specs) {
+                      "speedup vs FS", "speedup vs TSDB", "cache hit%", "results agree"});
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Spec& s = specs[i];
     const bool agree = std::abs(s.loom.value - s.fish.value) < 1e-6 * (1 + std::abs(s.loom.value)) &&
                        std::abs(s.loom.value - s.tsdb.value) < 1e-6 * (1 + std::abs(s.loom.value));
     table.AddRow({s.phase, s.name, FormatSeconds(s.loom.seconds),
                   FormatSeconds(s.fish.seconds), FormatSeconds(s.tsdb.seconds),
                   FormatDouble(s.fish.seconds / std::max(1e-9, s.loom.seconds), 1) + "x",
                   FormatDouble(s.tsdb.seconds / std::max(1e-9, s.loom.seconds), 1) + "x",
+                  FormatDouble(loom_hit_rates[i] * 100.0, 0) + "%",
                   agree ? "yes" : "NO"});
   }
   table.Print();
+
+  const SummaryCacheStats cache = l->stats().summary_cache;
+  printf("\nLoom summary cache: %llu hits, %llu misses (%.0f%% hit rate), %llu entries, %.1f MiB resident\n",
+         static_cast<unsigned long long>(cache.hits),
+         static_cast<unsigned long long>(cache.misses), cache.HitRate() * 100.0,
+         static_cast<unsigned long long>(cache.entries),
+         static_cast<double>(cache.bytes_used) / (1 << 20));
   return 0;
 }

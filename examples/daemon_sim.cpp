@@ -5,6 +5,7 @@
 //
 //   $ ./examples/daemon_sim
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -33,18 +34,20 @@ int main() {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> pushed{0};
 
-  // The monitoring daemon's ingest loop: sources push records as they arrive.
+  // The monitoring daemon's ingest loop: sources push records as they arrive,
+  // batched per wave so the source lookup and publish happen once per batch.
   std::thread ingest([&] {
     Rng rng(7);
-    AppRecord rec;
+    std::array<AppRecord, 512> recs;
+    std::array<std::span<const uint8_t>, 512> payloads;
     while (!stop.load(std::memory_order_acquire)) {
-      for (int i = 0; i < 512; ++i) {
-        rec.seq = pushed.fetch_add(1, std::memory_order_relaxed);
-        rec.latency_us = rng.NextLogNormal(100.0, 0.7);
-        (void)loom->Push(kAppSource,
-                         std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&rec),
-                                                  sizeof(rec)));
+      for (size_t i = 0; i < recs.size(); ++i) {
+        recs[i].seq = pushed.fetch_add(1, std::memory_order_relaxed);
+        recs[i].latency_us = rng.NextLogNormal(100.0, 0.7);
+        payloads[i] = std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&recs[i]),
+                                               sizeof(AppRecord));
       }
+      (void)loom->PushBatch(kAppSource, payloads);
       // Mimic an arrival process rather than a tight producer loop.
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
@@ -85,5 +88,11 @@ int main() {
   printf("\ningested %llu records live; snapshot fallbacks to disk during queries: %llu\n",
          static_cast<unsigned long long>(stats.records_ingested),
          static_cast<unsigned long long>(stats.record_log.snapshot_fallbacks));
+  printf("summary cache: %llu hits / %llu misses (%.0f%% hit rate), %llu decoded summaries "
+         "resident\n",
+         static_cast<unsigned long long>(stats.summary_cache.hits),
+         static_cast<unsigned long long>(stats.summary_cache.misses),
+         stats.summary_cache.HitRate() * 100.0,
+         static_cast<unsigned long long>(stats.summary_cache.entries));
   return 0;
 }

@@ -1,0 +1,29 @@
+// Compiler attribute helpers shared across the codebase.
+
+#ifndef SRC_COMMON_MACROS_H_
+#define SRC_COMMON_MACROS_H_
+
+// Marks a function whose data race is part of a validated protocol rather
+// than a bug — specifically the hybrid log's seqlock snapshot copy, which
+// deliberately reads bytes the writer may be overwriting and discards the
+// copy when the version check fails. TSan cannot see the validation step,
+// so the speculative read must be excluded from instrumentation.
+#if defined(LOOM_TSAN) || defined(__SANITIZE_THREAD__)
+#define LOOM_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LOOM_TSAN_ENABLED 1
+#else
+#define LOOM_TSAN_ENABLED 0
+#endif
+#else
+#define LOOM_TSAN_ENABLED 0
+#endif
+
+#if LOOM_TSAN_ENABLED
+#define LOOM_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define LOOM_NO_SANITIZE_THREAD
+#endif
+
+#endif  // SRC_COMMON_MACROS_H_

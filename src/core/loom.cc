@@ -82,7 +82,14 @@ Loom::Loom(const LoomOptions& options, std::unique_ptr<HybridLog> record_log,
       record_log_(std::move(record_log)),
       chunk_log_(std::move(chunk_log)),
       ts_log_(std::move(ts_log)),
-      ts_writer_(ts_log_.get()) {}
+      ts_writer_(ts_log_.get()) {
+  if (options_.summary_cache_bytes > 0 && options_.enable_chunk_index) {
+    SummaryCacheOptions cache_opts;
+    cache_opts.capacity_bytes = options_.summary_cache_bytes;
+    cache_opts.shards = options_.summary_cache_shards;
+    summary_cache_ = std::make_unique<SummaryCache>(cache_opts);
+  }
+}
 
 Loom::~Loom() = default;
 
@@ -182,12 +189,44 @@ Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
     return Status::NotFound("source not defined");
   }
   SourceState& src = *it->second;
+  const TimestampNanos now = clock_->NowNanos();
+  LOOM_RETURN_IF_ERROR(AppendRecord(src, payload, now));
+  PublishAll(src);
+  return Status::Ok();
+}
+
+Status Loom::PushBatch(uint32_t source_id,
+                       std::span<const std::span<const uint8_t>> payloads) {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end() || !it->second->open) {
+    return Status::NotFound("source not defined");
+  }
+  if (payloads.empty()) {
+    return Status::Ok();
+  }
+  SourceState& src = *it->second;
+  const TimestampNanos now = clock_->NowNanos();
+  size_t appended = 0;
+  Status status = Status::Ok();
+  for (const std::span<const uint8_t>& payload : payloads) {
+    status = AppendRecord(src, payload, now);
+    if (!status.ok()) {
+      break;
+    }
+    ++appended;
+  }
+  if (appended > 0) {
+    PublishAll(src);  // records before the failure stay published
+  }
+  return status;
+}
+
+Status Loom::AppendRecord(SourceState& src, std::span<const uint8_t> payload,
+                          TimestampNanos now) {
   const size_t need = kRecordHeaderSize + payload.size();
   if (need > options_.chunk_size) {
     return Status::InvalidArgument("record larger than chunk size");
   }
-
-  const TimestampNanos now = clock_->NowNanos();
 
   // Chunk accounting: pad and finalize the active chunk if the record does
   // not fit in its remainder (§5.4).
@@ -212,7 +251,7 @@ Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
   }
   const uint64_t addr = reserved.value().first;
   RecordHeader header;
-  header.source_id = source_id;
+  header.source_id = src.id;
   header.payload_len = static_cast<uint32_t>(payload.size());
   header.ts = now;
   header.prev_addr = src.last_record_addr;
@@ -235,9 +274,7 @@ Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
     }
   }
 
-  LOOM_RETURN_IF_ERROR(MaybeWriteMarker(src, now, addr));
-  PublishAll(src);
-  return Status::Ok();
+  return MaybeWriteMarker(src, now, addr);
 }
 
 Status Loom::FinalizeChunk(TimestampNanos now) {
@@ -397,11 +434,22 @@ Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
   return Status::Ok();
 }
 
-Result<ChunkSummary> Loom::ReadSummary(uint64_t addr, uint64_t chunk_tail) const {
-  uint8_t len_buf[4];
+Result<std::shared_ptr<const ChunkSummary>> Loom::ReadSummary(uint64_t addr,
+                                                              uint64_t chunk_tail) const {
   if (addr + 4 > chunk_tail) {
     return Status::OutOfRange("summary past snapshot");
   }
+  if (summary_cache_ != nullptr) {
+    uint32_t frame_len = 0;
+    auto hit = summary_cache_->Lookup(addr, &frame_len);
+    // Frames are appended whole before the publish fence, so a snapshot tail
+    // always sits at a frame boundary; the length check alone bounds the hit
+    // to this query's snapshot.
+    if (hit != nullptr && addr + 4 + frame_len <= chunk_tail) {
+      return hit;
+    }
+  }
+  uint8_t len_buf[4];
   LOOM_RETURN_IF_ERROR(chunk_log_->Read(addr, std::span<uint8_t>(len_buf, 4)));
   const uint32_t len = LoadU32(len_buf);
   if (len == 0xFFFFFFFFu || addr + 4 + len > chunk_tail) {
@@ -409,18 +457,44 @@ Result<ChunkSummary> Loom::ReadSummary(uint64_t addr, uint64_t chunk_tail) const
   }
   std::vector<uint8_t> buf(len);
   LOOM_RETURN_IF_ERROR(chunk_log_->Read(addr + 4, std::span<uint8_t>(buf.data(), len)));
-  return ChunkSummary::Decode(std::span<const uint8_t>(buf.data(), buf.size()));
+  auto decoded = ChunkSummary::Decode(std::span<const uint8_t>(buf.data(), buf.size()));
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  auto summary = std::make_shared<const ChunkSummary>(std::move(decoded.value()));
+  if (summary_cache_ != nullptr) {
+    summary_cache_->Insert(addr, len, summary);
+  }
+  return summary;
 }
 
-Status Loom::CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
-                                       std::vector<ChunkSummary>& out) const {
+void Loom::MaybeInvalidateCacheForRetention(uint64_t floor) const {
+  if (summary_cache_ == nullptr || floor == 0) {
+    return;
+  }
+  uint64_t seen = cache_invalidated_floor_.load(std::memory_order_relaxed);
+  while (floor > seen) {
+    if (cache_invalidated_floor_.compare_exchange_weak(seen, floor,
+                                                       std::memory_order_relaxed)) {
+      summary_cache_->InvalidateBelowRecordFloor(floor);
+      return;
+    }
+  }
+}
+
+Status Loom::CollectCandidateSummaries(
+    const Snapshot& snap, TimeRange t_range,
+    std::vector<std::shared_ptr<const ChunkSummary>>& out) const {
   out.clear();
   if (!options_.enable_chunk_index || snap.chunk_tail == 0) {
     return Status::Ok();
   }
   // Chunks below the retention floor no longer have data; skip their
-  // summaries.
+  // summaries. When the floor advanced since the last query, reclaim the
+  // cached summaries of dropped chunks (query-thread work — ingest never
+  // touches the cache).
   const uint64_t floor = record_log_->retained_floor();
+  MaybeInvalidateCacheForRetention(floor);
 
   if (!options_.enable_timestamp_index) {
     // Ablation mode: no time index, so scan the whole chunk index log
@@ -452,7 +526,7 @@ Status Loom::CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
       const ChunkSummary& s = summary.value();
       if (s.chunk_addr >= floor && s.chunk_addr + s.chunk_len <= snap.indexed_tail &&
           s.max_ts >= t_range.start && s.min_ts <= t_range.end) {
-        out.push_back(std::move(summary.value()));
+        out.push_back(std::make_shared<const ChunkSummary>(std::move(summary.value())));
       }
       addr += 4 + len;
     }
@@ -471,6 +545,11 @@ Status Loom::CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
   // is finalized after it). Chunks are time-ordered and non-overlapping, so
   // one forward event suffices; if none is found, fall back to the last
   // chunk event overall.
+  // One windowed reader serves both the bounded forward scan and the
+  // backward chain walk: timestamp entries are 32 bytes, so per-entry
+  // HybridLog::Read calls would pay the snapshot-validation protocol ~2000x
+  // per window; fetching through a window amortizes it.
+  CachedLogReader ts_reader(ts_log_.get(), snap.ts_tail, kScanWindow);
   std::optional<TimestampIndexEntry> head;
   auto pos = tsr.FirstEntryAfter(t_range.end);
   if (!pos.ok()) {
@@ -479,12 +558,14 @@ Status Loom::CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
   if (pos.value().has_value()) {
     const uint64_t cap = std::min<uint64_t>(n, *pos.value() + kChunkEventScanCap);
     for (uint64_t i = *pos.value(); i < cap; ++i) {
-      auto e = tsr.ReadIndex(i);
-      if (!e.ok()) {
-        return e.status();
+      auto bytes = ts_reader.Fetch(i * TimestampIndexEntry::kEncodedSize,
+                                   TimestampIndexEntry::kEncodedSize);
+      if (!bytes.ok()) {
+        return bytes.status();
       }
-      if (e.value().kind == TimestampIndexEntry::Kind::kChunk) {
-        head = e.value();
+      const TimestampIndexEntry e = TimestampIndexEntry::Decode(bytes.value().data());
+      if (e.kind == TimestampIndexEntry::Kind::kChunk) {
+        head = e;
         break;
       }
     }
@@ -510,7 +591,7 @@ Status Loom::CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
     if (!summary.ok()) {
       return summary.status();
     }
-    const ChunkSummary& s = summary.value();
+    const ChunkSummary& s = *summary.value();
     if (s.max_ts < t_range.start || s.chunk_addr < floor) {
       break;  // older chunks are either out of range or dropped by retention
     }
@@ -520,12 +601,13 @@ Status Loom::CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
     if (prev_event == kNullAddr) {
       break;
     }
-    auto e = tsr.ReadAt(prev_event);
-    if (!e.ok()) {
-      return e.status();
+    auto bytes = ts_reader.Fetch(prev_event, TimestampIndexEntry::kEncodedSize);
+    if (!bytes.ok()) {
+      return bytes.status();
     }
-    event_addr = e.value().target_addr;
-    prev_event = e.value().prev_addr;
+    const TimestampIndexEntry e = TimestampIndexEntry::Decode(bytes.value().data());
+    event_addr = e.target_addr;
+    prev_event = e.prev_addr;
   }
   std::reverse(out.begin(), out.end());
   return Status::Ok();
@@ -595,6 +677,12 @@ Status Loom::RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback
 
 Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_range,
                          ValueRange v_range, const RecordCallback& cb) const {
+  return IndexedScanValues(source_id, index_id, t_range, v_range,
+                           [&cb](double, const RecordView& view) { return cb(view); });
+}
+
+Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                               ValueRange v_range, const ValueCallback& cb) const {
   auto idx = GetIndexSnapshot(index_id);
   if (!idx.ok()) {
     return idx.status();
@@ -612,6 +700,9 @@ Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_rang
   const auto [first_bin, last_bin] = spec.BinsOverlapping(v_range.lo, v_range.hi);
 
   bool stopped = false;
+  // The index function runs once per candidate record; its value is handed
+  // to the callback so composed queries (drill-downs, distributed
+  // percentile) never re-evaluate it.
   auto emit_matches = [&](const RecordView& view) -> bool {
     if (view.source_id != source_id || !t_range.Contains(view.ts)) {
       return true;
@@ -620,7 +711,7 @@ Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_rang
     if (!value.has_value() || !v_range.Contains(*value)) {
       return true;
     }
-    if (!cb(view)) {
+    if (!cb(*value, view)) {
       stopped = true;
       return false;
     }
@@ -628,9 +719,10 @@ Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_rang
   };
 
   if (options_.enable_chunk_index) {
-    std::vector<ChunkSummary> candidates;
+    std::vector<std::shared_ptr<const ChunkSummary>> candidates;
     LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
-    for (const ChunkSummary& s : candidates) {
+    for (const auto& candidate : candidates) {
+      const ChunkSummary& s = *candidate;
       bool has_presence = false;
       uint64_t presence_count = 0;
       uint64_t evaluated_count = 0;
@@ -713,7 +805,7 @@ Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_rang
     if (!value.has_value() || !v_range.Contains(*value)) {
       return true;
     }
-    return cb(view);
+    return cb(*value, view);
   });
 }
 
@@ -747,11 +839,12 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
   };
 
   std::vector<const ChunkSummary*>& fully_merged = out->fully_merged;
-  std::vector<ChunkSummary>& candidates = out->candidates;
+  std::vector<std::shared_ptr<const ChunkSummary>>& candidates = out->candidates;
 
   if (options_.enable_chunk_index) {
     LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
-    for (const ChunkSummary& s : candidates) {
+    for (const auto& candidate : candidates) {
+      const ChunkSummary& s = *candidate;
       bool has_presence = false;
       uint64_t presence_count = 0;
       uint64_t evaluated_count = 0;
@@ -834,9 +927,10 @@ Result<uint64_t> Loom::CountRecords(uint32_t source_id, TimeRange t_range) const
     }
     return count;
   }
-  std::vector<ChunkSummary> candidates;
+  std::vector<std::shared_ptr<const ChunkSummary>> candidates;
   LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
-  for (const ChunkSummary& s : candidates) {
+  for (const auto& candidate : candidates) {
+    const ChunkSummary& s = *candidate;
     const ChunkSummary::Entry* presence = nullptr;
     for (const ChunkSummary::Entry& e : s.entries) {
       if (e.source_id == source_id && e.index_id == kPresenceIndexId) {
@@ -857,22 +951,6 @@ Result<uint64_t> Loom::CountRecords(uint32_t source_id, TimeRange t_range) const
   }
   LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, count_scan));
   return count;
-}
-
-Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange t_range,
-                               ValueRange v_range, const ValueCallback& cb) const {
-  auto idx = GetIndexSnapshot(index_id);
-  if (!idx.ok()) {
-    return idx.status();
-  }
-  const IndexFunc func = idx.value().func;
-  return IndexedScan(source_id, index_id, t_range, v_range, [&](const RecordView& r) {
-    std::optional<double> value = func(r.payload);
-    if (!value.has_value()) {
-      return true;
-    }
-    return cb(*value, r);
-  });
 }
 
 Result<std::vector<uint64_t>> Loom::IndexedHistogram(uint32_t source_id, uint32_t index_id,
@@ -1011,6 +1089,9 @@ LoomStats Loom::stats() const {
   s.record_log = record_log_->stats();
   s.chunk_index_log = chunk_log_->stats();
   s.ts_index_log = ts_log_->stats();
+  if (summary_cache_ != nullptr) {
+    s.summary_cache = summary_cache_->stats();
+  }
   return s;
 }
 

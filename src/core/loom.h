@@ -40,6 +40,7 @@
 #include "src/hybridlog/hybrid_log.h"
 #include "src/index/chunk_summary.h"
 #include "src/index/histogram.h"
+#include "src/index/summary_cache.h"
 #include "src/index/timestamp_index.h"
 
 namespace loom {
@@ -74,6 +75,14 @@ struct LoomOptions {
   bool enable_chunk_index = true;
   bool enable_timestamp_index = true;
 
+  // Decoded chunk-summary cache byte budget (0 disables). Finalized summaries
+  // are immutable and addressed by stable chunk-log offsets, so repeated
+  // queries over overlapping ranges skip the per-summary log reads + decode.
+  // Only query threads touch the cache (try-lock shards); ingest never does.
+  size_t summary_cache_bytes = 8 << 20;
+  // LRU shard count for the summary cache (rounded up to a power of two).
+  size_t summary_cache_shards = 8;
+
   // Timestamp source; defaults to a process-wide monotonic clock.
   Clock* clock = nullptr;
 };
@@ -86,6 +95,7 @@ struct LoomStats {
   HybridLogStats record_log;
   HybridLogStats chunk_index_log;
   HybridLogStats ts_index_log;
+  SummaryCacheStats summary_cache;
 };
 
 // Inclusive time range [start, end] in Loom-internal (arrival) timestamps.
@@ -145,6 +155,12 @@ class Loom {
   // Appends one record. The payload is opaque bytes; Loom timestamps it with
   // the internal monotonic clock on arrival (§5.2).
   Status Push(uint32_t source_id, std::span<const uint8_t> payload);
+
+  // Appends a batch of records for one source, amortizing the source lookup,
+  // the clock read, and the publish fence across the batch. All records in
+  // the batch carry the same arrival timestamp. Stops at the first failing
+  // record (everything appended before it stays published).
+  Status PushBatch(uint32_t source_id, std::span<const std::span<const uint8_t>> payloads);
 
   // Makes all records pushed so far visible to queriers. (Push already
   // publishes each record; Sync exists for API parity and forces the
@@ -243,6 +259,7 @@ class Loom {
        std::unique_ptr<HybridLog> chunk_log, std::unique_ptr<HybridLog> ts_log);
 
   // Write-path internals (ingest thread).
+  Status AppendRecord(SourceState& src, std::span<const uint8_t> payload, TimestampNanos now);
   Status FinalizeChunk(TimestampNanos now);
   Status MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t record_addr);
   void PublishAll(SourceState& src);
@@ -253,9 +270,10 @@ class Loom {
   const SourceState* FindSource(uint32_t source_id) const;
 
   // Collects summaries of fully-indexed chunks overlapping `t_range`
-  // (oldest-first), honoring the snapshot boundary.
+  // (oldest-first), honoring the snapshot boundary. Summaries are shared
+  // with the decoded-summary cache — never mutated.
   Status CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
-                                   std::vector<ChunkSummary>& out) const;
+                                   std::vector<std::shared_ptr<const ChunkSummary>>& out) const;
 
   // Shared accumulation phase of IndexedAggregate / IndexedHistogram: folds
   // chunk summaries where possible and scans partial/unindexed/active data.
@@ -265,14 +283,24 @@ class Loom {
     std::vector<uint64_t> bin_counts;
     // Values from records that had to be scanned (bounded: a few chunks).
     std::vector<double> loose_values;
-    std::vector<ChunkSummary> candidates;
+    // Collected once per query; the percentile path reuses this vector for
+    // its second (target-bin materialization) stage instead of re-reading.
+    std::vector<std::shared_ptr<const ChunkSummary>> candidates;
     // Candidates folded purely from summary bins (percentile stage 2 rescans
-    // only these when their bins hold the target rank).
+    // only these when their bins hold the target rank). Point into
+    // `candidates`, which keeps them alive.
     std::vector<const ChunkSummary*> fully_merged;
   };
   Status AccumulateIndexed(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
                            TimeRange t_range, BinAccumulation* out) const;
-  Result<ChunkSummary> ReadSummary(uint64_t addr, uint64_t chunk_tail) const;
+  // Returns the summary frame at `addr`, from the decoded-summary cache when
+  // possible, falling back to two log reads + decode (and then populating
+  // the cache).
+  Result<std::shared_ptr<const ChunkSummary>> ReadSummary(uint64_t addr,
+                                                          uint64_t chunk_tail) const;
+  // Lazily drops cached summaries for chunks the record log no longer
+  // retains. Called from query threads when the floor advanced.
+  void MaybeInvalidateCacheForRetention(uint64_t floor) const;
 
   // Scans records in [from, to) of the record log, invoking `fn` for every
   // record (all sources). `fn` returns false to stop.
@@ -302,6 +330,11 @@ class Loom {
 
   // Record log address of the active (not yet summarized) chunk's start.
   std::atomic<uint64_t> published_indexed_tail_{0};
+
+  // Decoded chunk-summary cache (null when disabled). Query threads only.
+  std::unique_ptr<SummaryCache> summary_cache_;
+  // Highest record-log retention floor already pushed to the cache.
+  mutable std::atomic<uint64_t> cache_invalidated_floor_{0};
 
   uint64_t active_chunk_start_ = 0;
   uint64_t records_ingested_ = 0;

@@ -122,7 +122,7 @@ void MonitoringDaemon::Flush() {
           break;
         }
       }
-      if (empty && pending_.empty()) {
+      if (empty && pending_.empty() && !ingest_busy_) {
         return;
       }
     }
@@ -154,28 +154,48 @@ void MonitoringDaemon::IngestMain() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       channel_count = channels_.size();
+      ingest_busy_ = true;
     }
     uint64_t drained = 0;
+    std::vector<SourceChannel::Slot> slots;
+    std::vector<std::span<const uint8_t>> payloads;
     for (size_t i = 0; i < channel_count; ++i) {
       SourceChannel* channel;
       {
         std::lock_guard<std::mutex> lock(mu_);
         channel = channels_[(rr + i) % channel_count].get();
       }
+      // Drain up to one batch, then hand the whole batch to the engine in a
+      // single PushBatch: one source lookup, one clock read, one publish
+      // fence instead of one each per record.
+      slots.clear();
+      payloads.clear();
       for (int batch = 0; batch < 128; ++batch) {
         auto slot = channel->queue_.TryPop();
         if (!slot.has_value()) {
           break;
         }
-        Status st = loom_->Push(channel->source_id(),
-                                std::span<const uint8_t>(slot->bytes.data(), slot->len));
-        if (st.ok()) {
-          records_ingested_.fetch_add(1, std::memory_order_relaxed);
-        }
-        ++drained;
+        slots.push_back(std::move(*slot));
       }
+      if (slots.empty()) {
+        continue;
+      }
+      payloads.reserve(slots.size());
+      for (const SourceChannel::Slot& slot : slots) {
+        payloads.emplace_back(slot.bytes.data(), slot.len);
+      }
+      Status st = loom_->PushBatch(channel->source_id(),
+                                   std::span<const std::span<const uint8_t>>(payloads));
+      if (st.ok()) {
+        records_ingested_.fetch_add(slots.size(), std::memory_order_relaxed);
+      }
+      drained += slots.size();
     }
     rr = channel_count == 0 ? 0 : (rr + 1) % channel_count;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ingest_busy_ = false;
+    }
 
     if (drained == 0) {
       if (stop_.load(std::memory_order_acquire)) {

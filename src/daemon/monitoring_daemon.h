@@ -120,6 +120,11 @@ class MonitoringDaemon {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<SourceChannel>> channels_;
 
+  // True while the ingest thread holds popped-but-not-yet-pushed slots, so
+  // Flush() does not mistake a drained queue for a completed batch. Guarded
+  // by mu_.
+  bool ingest_busy_ = false;
+
   // Pending schema ops executed on the ingest thread (DefineIndex must run
   // there per the engine's threading contract).
   struct PendingIndex {

@@ -221,4 +221,19 @@ Status LoomCoordinator::Correlate(
   return Status::Ok();
 }
 
+SummaryCacheStats LoomCoordinator::AggregateCacheStats() const {
+  SummaryCacheStats total;
+  for (const LoomNode& node : nodes_) {
+    const SummaryCacheStats s = node.engine->stats().summary_cache;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.invalidated += s.invalidated;
+    total.contention_fallbacks += s.contention_fallbacks;
+    total.bytes_used += s.bytes_used;
+    total.entries += s.entries;
+  }
+  return total;
+}
+
 }  // namespace loom

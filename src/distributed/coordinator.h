@@ -76,6 +76,10 @@ class LoomCoordinator {
                    const std::function<bool(const NodeRecord& anchor,
                                             const NodeRecord& correlated)>& cb) const;
 
+  // Fleet-wide summary-cache counters: the sum of every node engine's cache
+  // stats, for answering "are repeated fleet queries actually cache-served?".
+  SummaryCacheStats AggregateCacheStats() const;
+
   size_t num_nodes() const { return nodes_.size(); }
 
  private:

@@ -5,12 +5,14 @@
 namespace loom {
 
 Result<std::span<const uint8_t>> CachedLogReader::Fetch(uint64_t addr, size_t len) {
+  ++fetches_;
   if (addr + len > limit_) {
     return Status::OutOfRange("fetch past snapshot tail");
   }
   if (buf_len_ != 0 && addr >= buf_addr_ && addr + len <= buf_addr_ + buf_len_) {
     return std::span<const uint8_t>(buf_.data() + (addr - buf_addr_), len);
   }
+  ++window_loads_;
   // Load the aligned window containing `addr`; extend if the request spans
   // window boundaries (records never span chunks, but callers may use
   // windows smaller than a chunk). The window must not dip below the

@@ -21,8 +21,8 @@ namespace loom {
 
 class CachedLogReader {
  public:
-  // `limit` is the snapshot tail: reads never go at or beyond it.
-  // `window` must be a power-of-two-free positive size; reads are aligned to
+  // `limit` is the snapshot tail: reads never go beyond it. `window` is any
+  // positive size (a power of two is not required); window loads start at
   // multiples of it.
   CachedLogReader(const HybridLog* log, uint64_t limit, size_t window)
       : log_(log), limit_(limit), window_(window) {}
@@ -32,6 +32,11 @@ class CachedLogReader {
 
   uint64_t limit() const { return limit_; }
 
+  // Fetch calls served, and how many of them had to load a window from the
+  // log (the rest were satisfied from the resident buffer).
+  uint64_t fetches() const { return fetches_; }
+  uint64_t window_loads() const { return window_loads_; }
+
  private:
   const HybridLog* log_;
   uint64_t limit_;
@@ -39,6 +44,8 @@ class CachedLogReader {
   std::vector<uint8_t> buf_;
   uint64_t buf_addr_ = 0;
   size_t buf_len_ = 0;
+  uint64_t fetches_ = 0;
+  uint64_t window_loads_ = 0;
 };
 
 }  // namespace loom

@@ -5,9 +5,30 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/common/macros.h"
+
 namespace loom {
 
 namespace {
+
+// The seqlock snapshot deliberately copies bytes the ingest thread may be
+// overwriting; a failed version check discards the copy and falls back to
+// disk. TSan cannot see that validation, so the speculative read must stay
+// uninstrumented (the surrounding atomics remain instrumented). Under TSan
+// this cannot be a memcpy call — the interceptor checks it regardless of the
+// caller's no_sanitize — so a volatile byte loop keeps the compiler from
+// re-materializing one. Non-sanitized builds keep the fast memcpy.
+LOOM_NO_SANITIZE_THREAD
+void SeqlockSpeculativeCopy(uint8_t* dst, const uint8_t* src, size_t n) {
+#if LOOM_TSAN_ENABLED
+  const volatile uint8_t* vsrc = src;
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = vsrc[i];
+  }
+#else
+  std::memcpy(dst, src, n);
+#endif
+}
 
 uint64_t SteadyNowNanos() {
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -238,7 +259,7 @@ Status HybridLog::ReadWithinBlock(uint64_t addr, std::span<uint8_t> out) const {
   const uint64_t v1 = slot_version_[slot].load(std::memory_order_acquire);
   if (v1 == block_no) {
     const uint8_t* src = slots_[slot].get() + (addr % bs);
-    std::memcpy(out.data(), src, out.size());
+    SeqlockSpeculativeCopy(out.data(), src, out.size());
     std::atomic_thread_fence(std::memory_order_acquire);
     const uint64_t v2 = slot_version_[slot].load(std::memory_order_relaxed);
     if (v2 == block_no) {

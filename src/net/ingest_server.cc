@@ -18,30 +18,14 @@ namespace {
 
 constexpr size_t kMaxPayload = 1 << 20;
 
+// Connection framing-buffer sizing: one blocking receive pulls up to
+// kRecvChunk bytes, and the opportunistic non-blocking drain stops growing a
+// wave past kMaxBatchBytes of unparsed data.
+constexpr size_t kRecvChunk = 64 << 10;
+constexpr size_t kMaxBatchBytes = 256 << 10;
+
 Status ErrnoStatus(const char* op) {
   return Status::IoError(std::string(op) + ": " + strerror(errno));
-}
-
-// Reads exactly n bytes; returns false on clean EOF at a message boundary.
-Result<bool> ReadFull(int fd, uint8_t* dst, size_t n, bool allow_eof_at_start) {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t r = ::recv(fd, dst + done, n - done, 0);
-    if (r < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Status::IoError(std::string("recv: ") + strerror(errno));
-    }
-    if (r == 0) {
-      if (done == 0 && allow_eof_at_start) {
-        return false;
-      }
-      return Status::DataLoss("connection closed mid-message");
-    }
-    done += static_cast<size_t>(r);
-  }
-  return true;
 }
 
 Status WriteFull(int fd, const uint8_t* src, size_t n) {
@@ -143,48 +127,115 @@ void IngestServer::AcceptLoop() {
 }
 
 void IngestServer::ConnectionLoop(int fd) {
-  std::vector<uint8_t> payload;
-  uint8_t header[8];
+  // Clients buffer many records per send (IngestClient::kBufferSize), so a
+  // wave of records usually arrives in one TCP segment burst. Parse the wave
+  // out of a framing buffer and publish runs of same-source records under a
+  // single producer-lock acquisition, instead of one header read + one
+  // payload read + one lock per record.
+  std::vector<uint8_t> buf;  // [start, buf.size()) holds unparsed bytes
+  size_t start = 0;
+  struct Frame {
+    uint32_t source_id;
+    size_t off;  // payload offset in buf
+    uint32_t len;
+  };
+  std::vector<Frame> frames;
+
+  // Appends up to kRecvChunk bytes. Returns false when no data is available
+  // (EOF, or EAGAIN in non-blocking mode).
+  auto fill = [&](bool nonblocking) -> Result<bool> {
+    const size_t old = buf.size();
+    buf.resize(old + kRecvChunk);
+    for (;;) {
+      ssize_t r = ::recv(fd, buf.data() + old, kRecvChunk, nonblocking ? MSG_DONTWAIT : 0);
+      if (r < 0) {
+        buf.resize(old);
+        if (errno == EINTR) {
+          continue;
+        }
+        if (nonblocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          return false;
+        }
+        return Status::IoError(std::string("recv: ") + strerror(errno));
+      }
+      if (r == 0) {
+        buf.resize(old);
+        return false;  // EOF (mid-frame leftovers just drop the connection)
+      }
+      buf.resize(old + static_cast<size_t>(r));
+      return true;
+    }
+  };
+
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) {
       break;
     }
-    auto got_header = ReadFull(fd, header, sizeof(header), /*allow_eof_at_start=*/true);
-    if (!got_header.ok() || !got_header.value()) {
+    // Compact the partial frame (if any) to the front, then block for the
+    // next wave and drain whatever else is already on the wire.
+    if (start > 0) {
+      buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(start));
+      start = 0;
+    }
+    auto got = fill(/*nonblocking=*/false);
+    if (!got.ok() || !got.value()) {
       break;
     }
-    const uint32_t source_id = LoadU32(header);
-    const uint32_t payload_len = LoadU32(header + 4);
-    if (payload_len > kMaxPayload) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      break;  // protocol violation: drop the connection
-    }
-    payload.resize(payload_len);
-    if (payload_len > 0) {
-      auto got_payload = ReadFull(fd, payload.data(), payload_len, false);
-      if (!got_payload.ok()) {
+    while (buf.size() - start < kMaxBatchBytes) {
+      auto more = fill(/*nonblocking=*/true);
+      if (!more.ok() || !more.value()) {
         break;
       }
     }
-    SourceChannel* channel = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = channels_.find(source_id);
-      if (it != channels_.end()) {
-        channel = it->second;
+
+    // Parse complete frames; a partial frame stays for the next wave.
+    frames.clear();
+    bool protocol_error = false;
+    while (buf.size() - start >= 8) {
+      const uint32_t source_id = LoadU32(buf.data() + start);
+      const uint32_t payload_len = LoadU32(buf.data() + start + 4);
+      if (payload_len > kMaxPayload) {
+        protocol_error = true;  // drop the connection after this wave
+        break;
       }
+      if (buf.size() - start < 8ull + payload_len) {
+        break;
+      }
+      frames.push_back(Frame{source_id, start + 8, payload_len});
+      start += 8 + payload_len;
     }
-    if (channel == nullptr) {
+
+    // Publish runs of consecutive same-source frames under one lock.
+    size_t i = 0;
+    while (i < frames.size()) {
+      size_t j = i;
+      while (j < frames.size() && frames[j].source_id == frames[i].source_id) {
+        ++j;
+      }
+      uint64_t run_bytes = 0;
+      {
+        // Serialize producers: the daemon channel is single-producer.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = channels_.find(frames[i].source_id);
+        if (it == channels_.end()) {
+          rejected_.fetch_add(j - i, std::memory_order_relaxed);
+          i = j;
+          continue;
+        }
+        for (size_t k = i; k < j; ++k) {
+          it->second->Publish(std::span<const uint8_t>(buf.data() + frames[k].off,
+                                                       frames[k].len));
+          run_bytes += frames[k].len;
+        }
+      }
+      records_.fetch_add(j - i, std::memory_order_relaxed);
+      bytes_.fetch_add(run_bytes, std::memory_order_relaxed);
+      i = j;
+    }
+    if (protocol_error) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      continue;
+      break;
     }
-    {
-      // Serialize producers: the daemon channel is single-producer.
-      std::lock_guard<std::mutex> lock(mu_);
-      channel->Publish(std::span<const uint8_t>(payload.data(), payload.size()));
-    }
-    records_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(payload_len, std::memory_order_relaxed);
   }
   ::close(fd);
 }

@@ -108,6 +108,38 @@ TEST_F(CoordinatorTest, DistributiveAggregatesMergeAcrossNodes) {
   EXPECT_NEAR(mean.value(), sum / static_cast<double>(values.size()), 1e-9);
 }
 
+TEST_F(CoordinatorTest, AggregateCacheStatsSumsNodeEngines) {
+  Rng rng(11);
+  TimestampNanos ts = 0;
+  // Enough data that every node finalizes chunks and serves summaries.
+  for (int i = 0; i < 12000; ++i) {
+    ts += 1 + rng.NextBounded(3);
+    Push(static_cast<int>(rng.NextBounded(3)), ts, rng.NextUniform(0, 1000));
+  }
+  LoomCoordinator coordinator(nodes_);
+  TimeRange range{0, ts};
+
+  ASSERT_TRUE(coordinator.Aggregate(kSource, index_id_, range, AggregateMethod::kCount).ok());
+  const SummaryCacheStats cold = coordinator.AggregateCacheStats();
+  EXPECT_GT(cold.misses, 0u);
+  ASSERT_TRUE(coordinator.Aggregate(kSource, index_id_, range, AggregateMethod::kMax).ok());
+  const SummaryCacheStats warm = coordinator.AggregateCacheStats();
+  EXPECT_GT(warm.hits, cold.hits);
+
+  SummaryCacheStats manual;
+  for (const auto& engine : engines_) {
+    const SummaryCacheStats s = engine->stats().summary_cache;
+    manual.hits += s.hits;
+    manual.misses += s.misses;
+    manual.entries += s.entries;
+    manual.bytes_used += s.bytes_used;
+  }
+  EXPECT_EQ(warm.hits, manual.hits);
+  EXPECT_EQ(warm.misses, manual.misses);
+  EXPECT_EQ(warm.entries, manual.entries);
+  EXPECT_EQ(warm.bytes_used, manual.bytes_used);
+}
+
 TEST_F(CoordinatorTest, PercentileRejectsAggregateEntryPoint) {
   LoomCoordinator coordinator(nodes_);
   EXPECT_FALSE(

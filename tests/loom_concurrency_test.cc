@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <thread>
@@ -182,6 +183,152 @@ TEST(LoomConcurrencyTest, ManyReadersOneWriter) {
     t.join();
   }
   EXPECT_EQ(errors.load(), 0u);
+}
+
+TEST(LoomConcurrencyTest, CachedQueriesMatchColdReadsUnderRetention) {
+  TempDir dir;
+  LoomOptions opts;
+  opts.dir = dir.FilePath("loom");
+  opts.record_block_size = 16 << 10;
+  opts.chunk_size = 4 << 10;
+  opts.record_retain_bytes = 128 << 10;  // retention races the queries
+  opts.summary_cache_bytes = 4 << 20;
+  auto loom = Loom::Open(opts);
+  ASSERT_TRUE(loom.ok());
+  Loom* l = loom->get();
+  ASSERT_TRUE(l->DefineSource(1).ok());
+  auto spec = HistogramSpec::Uniform(0, 1000, 16).value();
+  auto idx = l->DefineIndex(1, SeqFunc(), spec);
+  ASSERT_TRUE(idx.ok());
+
+  constexpr uint64_t kRecords = 120'000;  // ~7 MiB of records >> 128 KiB retained
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> queries{0};
+
+  // Reader: repeated whole-range aggregates while ingest runs and retention
+  // drops chunks underneath the cache. Counts are NOT monotone here (old
+  // records disappear), but every snapshot must be internally consistent.
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto count = l->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+      if (!count.ok()) {
+        errors.fetch_add(1);
+        continue;
+      }
+      if (count.value() > 0) {
+        auto max = l->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kMax);
+        if (!max.ok() || max.value() > 999.0) {
+          errors.fetch_add(1);
+        }
+      }
+      queries.fetch_add(1);
+    }
+  });
+
+  for (uint64_t i = 1; i <= kRecords; ++i) {
+    ASSERT_TRUE(l->Push(1, SeqPayload(i)).ok());
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_GT(queries.load(), 10u);
+
+  // Quiesce: wait for the background flusher to stop advancing retention.
+  uint64_t flushed = l->stats().record_log.blocks_flushed;
+  for (int spin = 0; spin < 1000; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const uint64_t now_flushed = l->stats().record_log.blocks_flushed;
+    if (now_flushed == flushed) {
+      break;
+    }
+    flushed = now_flushed;
+  }
+
+  // Cache-served results must match a cold read path that never touches the
+  // cache: RawScan re-reads records from the log. Retry in case a straggling
+  // floor advance lands between the two reads.
+  bool matched = false;
+  for (int attempt = 0; attempt < 5 && !matched; ++attempt) {
+    uint64_t raw_count = 0;
+    double raw_max = -1.0;
+    ASSERT_TRUE(l->RawScan(1, {0, ~0ULL},
+                           [&](const RecordView& r) {
+                             ++raw_count;
+                             const double v =
+                                 static_cast<double>(PayloadSeq(r.payload) % 1000);
+                             raw_max = std::max(raw_max, v);
+                             return true;
+                           })
+                    .ok());
+    auto warm_count = l->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+    auto warm_max = l->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kMax);
+    ASSERT_TRUE(warm_count.ok());
+    ASSERT_TRUE(warm_max.ok());
+    matched = warm_count.value() == static_cast<double>(raw_count) &&
+              warm_max.value() == raw_max;
+  }
+  EXPECT_TRUE(matched);
+
+  // The race exercised the cache: queries hit it, and retention invalidated
+  // dropped chunks' summaries from query threads.
+  const SummaryCacheStats cache = l->stats().summary_cache;
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_GT(cache.invalidated, 0u);
+  EXPECT_LE(cache.bytes_used, opts.summary_cache_bytes);
+}
+
+TEST(LoomConcurrencyTest, PushBatchDuringQueriesKeepsSnapshots) {
+  TempDir dir;
+  LoomOptions opts;
+  opts.dir = dir.FilePath("loom");
+  opts.record_block_size = 64 << 10;
+  opts.chunk_size = 4 << 10;
+  auto loom = Loom::Open(opts);
+  ASSERT_TRUE(loom.ok());
+  Loom* l = loom->get();
+  ASSERT_TRUE(l->DefineSource(1).ok());
+  auto spec = HistogramSpec::Uniform(0, 1000, 16).value();
+  auto idx = l->DefineIndex(1, SeqFunc(), spec);
+  ASSERT_TRUE(idx.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> errors{0};
+  std::thread reader([&] {
+    double prev_count = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      auto count = l->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+      if (!count.ok() || count.value() < prev_count) {
+        errors.fetch_add(1);
+        continue;
+      }
+      prev_count = count.value();
+    }
+  });
+
+  // Batches publish once at the end: a reader must never observe a torn
+  // batch prefix inconsistency (counts stay monotone, data stays dense).
+  constexpr uint64_t kBatches = 2000;
+  constexpr size_t kBatchSize = 64;
+  uint64_t seq = 0;
+  for (uint64_t b = 0; b < kBatches; ++b) {
+    std::vector<std::vector<uint8_t>> payloads;
+    std::vector<std::span<const uint8_t>> spans;
+    payloads.reserve(kBatchSize);
+    spans.reserve(kBatchSize);
+    for (size_t i = 0; i < kBatchSize; ++i) {
+      payloads.push_back(SeqPayload(++seq));
+      spans.emplace_back(payloads.back());
+    }
+    ASSERT_TRUE(l->PushBatch(1, std::span<const std::span<const uint8_t>>(spans)).ok());
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(errors.load(), 0u);
+
+  auto final_count = l->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(final_count.value(), static_cast<double>(kBatches * kBatchSize));
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <map>
@@ -619,6 +620,118 @@ TEST_F(LoomEngineTest, StatsReflectIngest) {
   EXPECT_EQ(stats.bytes_ingested, 100u * 48);
   EXPECT_GT(stats.chunks_finalized, 0u);
   EXPECT_GT(stats.ts_entries, 0u);
+}
+
+// --- Summary cache (engine level) -------------------------------------------------
+
+TEST_F(LoomEngineTest, RepeatedAggregatesHitSummaryCache) {
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  auto idx = loom_->DefineIndex(1, ValueIndexFunc(), HistogramSpec::Uniform(0, 100, 8).value());
+  ASSERT_TRUE(idx.ok());
+  std::vector<double> values(500);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i % 100);
+  }
+  PushValues(1, values);
+
+  // First query decodes summaries cold and populates the cache.
+  auto first = loom_->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+  ASSERT_TRUE(first.ok());
+  const SummaryCacheStats after_cold = loom_->stats().summary_cache;
+  EXPECT_GT(after_cold.misses, 0u);
+  EXPECT_GT(after_cold.entries, 0u);
+
+  // Repeats are served from the cache and agree with the cold result.
+  for (int i = 0; i < 3; ++i) {
+    auto warm = loom_->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm.value(), first.value());
+  }
+  const SummaryCacheStats after_warm = loom_->stats().summary_cache;
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+  EXPECT_EQ(after_warm.misses, after_cold.misses);
+}
+
+TEST_F(LoomEngineTest, SummaryCacheDisabledByZeroBudget) {
+  LoomOptions opts;
+  opts.dir = dir_.FilePath("loom-nocache");
+  opts.chunk_size = 1024;
+  opts.record_block_size = 8192;
+  opts.summary_cache_bytes = 0;
+  opts.clock = &clock_;
+  auto loom = Loom::Open(opts);
+  ASSERT_TRUE(loom.ok());
+  ASSERT_TRUE((*loom)->DefineSource(1).ok());
+  auto idx =
+      (*loom)->DefineIndex(1, ValueIndexFunc(), HistogramSpec::Uniform(0, 100, 8).value());
+  ASSERT_TRUE(idx.ok());
+  for (int i = 0; i < 300; ++i) {
+    clock_.AdvanceNanos(1000);
+    ASSERT_TRUE((*loom)->Push(1, ValuePayload(i % 100)).ok());
+  }
+
+  // Queries stay correct with the cache off, and the counters stay zero.
+  for (int i = 0; i < 2; ++i) {
+    auto count = (*loom)->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count.value(), 300.0);
+  }
+  const SummaryCacheStats cache = (*loom)->stats().summary_cache;
+  EXPECT_EQ(cache.hits, 0u);
+  EXPECT_EQ(cache.misses, 0u);
+  EXPECT_EQ(cache.entries, 0u);
+}
+
+TEST_F(LoomEngineTest, PushBatchMatchesPushResults) {
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  auto idx = loom_->DefineIndex(1, ValueIndexFunc(), HistogramSpec::Uniform(0, 100, 8).value());
+  ASSERT_TRUE(idx.ok());
+
+  // Push 200 records through batches of 16; one clock tick per batch.
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<std::span<const uint8_t>> spans;
+  uint64_t pushed = 0;
+  while (pushed < 200) {
+    payloads.clear();
+    spans.clear();
+    for (int i = 0; i < 16 && pushed < 200; ++i) {
+      payloads.push_back(ValuePayload(static_cast<double>(pushed % 100)));
+      ++pushed;
+    }
+    for (const auto& p : payloads) {
+      spans.emplace_back(p);
+    }
+    clock_.AdvanceNanos(1000);
+    ASSERT_TRUE(loom_->PushBatch(1, std::span<const std::span<const uint8_t>>(spans)).ok());
+  }
+
+  auto count = loom_->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 200.0);
+  auto counted = loom_->CountRecords(1, {0, ~0ULL});
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted.value(), 200u);
+
+  // Records of one batch share an arrival timestamp; raw order is preserved.
+  std::vector<TimestampNanos> stamps;
+  ASSERT_TRUE(loom_->RawScan(1, {0, ~0ULL},
+                             [&](const RecordView& r) {
+                               stamps.push_back(r.ts);
+                               return true;
+                             })
+                  .ok());
+  ASSERT_EQ(stamps.size(), 200u);
+  for (size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_GE(stamps[i - 1], stamps[i]);  // newest-first, non-increasing
+  }
+  EXPECT_EQ(stamps.front(), stamps[7]);  // final batch of 8 shares one timestamp
+}
+
+TEST_F(LoomEngineTest, PushBatchToUnknownSourceFails) {
+  std::vector<uint8_t> payload = ValuePayload(1.0);
+  std::array<std::span<const uint8_t>, 1> spans = {std::span<const uint8_t>(payload)};
+  EXPECT_EQ(loom_->PushBatch(9, std::span<const std::span<const uint8_t>>(spans)).code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+#include "src/index/summary_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace loom {
+namespace {
+
+std::shared_ptr<const ChunkSummary> MakeSummary(uint64_t chunk_addr, uint32_t chunk_len,
+                                                size_t num_entries = 4) {
+  ChunkSummary s;
+  s.chunk_addr = chunk_addr;
+  s.chunk_len = chunk_len;
+  s.min_ts = 100;
+  s.max_ts = 200;
+  s.entries.resize(num_entries);
+  for (size_t i = 0; i < num_entries; ++i) {
+    s.entries[i].source_id = 1;
+    s.entries[i].index_id = static_cast<uint32_t>(i);
+    s.entries[i].stats.count = chunk_addr + i;  // recognizable content
+  }
+  return std::make_shared<const ChunkSummary>(std::move(s));
+}
+
+TEST(SummaryCacheTest, LookupMissThenHit) {
+  SummaryCacheOptions opts;
+  SummaryCache cache(opts);
+  EXPECT_EQ(cache.Lookup(0, nullptr), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  auto summary = MakeSummary(0, 4096);
+  cache.Insert(0, 128, summary);
+  uint32_t frame_len = 0;
+  auto hit = cache.Lookup(0, &frame_len);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), summary.get());
+  EXPECT_EQ(frame_len, 128u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SummaryCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  SummaryCacheOptions opts;
+  opts.shards = 5;
+  SummaryCache cache(opts);
+  EXPECT_EQ(cache.shard_count(), 8u);
+
+  opts.shards = 0;
+  SummaryCache one(opts);
+  EXPECT_EQ(one.shard_count(), 1u);
+}
+
+TEST(SummaryCacheTest, ZeroCapacityDisables) {
+  SummaryCacheOptions opts;
+  opts.capacity_bytes = 0;
+  SummaryCache cache(opts);
+  cache.Insert(0, 64, MakeSummary(0, 4096));
+  EXPECT_EQ(cache.Lookup(0, nullptr), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SummaryCacheTest, LruEvictsOldestWhenOverBudget) {
+  SummaryCacheOptions opts;
+  // One shard so the LRU order is global; budget fits ~3 small summaries.
+  opts.shards = 1;
+  opts.capacity_bytes = 3 * SummaryCache::EntryFootprint(*MakeSummary(0, 4096));
+  SummaryCache cache(opts);
+
+  cache.Insert(0, 64, MakeSummary(0, 4096));
+  cache.Insert(100, 64, MakeSummary(100, 4096));
+  cache.Insert(200, 64, MakeSummary(200, 4096));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch addr 0 so it is most recent; inserting a fourth evicts addr 100.
+  ASSERT_NE(cache.Lookup(0, nullptr), nullptr);
+  cache.Insert(300, 64, MakeSummary(300, 4096));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup(100, nullptr), nullptr);
+  EXPECT_NE(cache.Lookup(0, nullptr), nullptr);
+  EXPECT_NE(cache.Lookup(200, nullptr), nullptr);
+  EXPECT_NE(cache.Lookup(300, nullptr), nullptr);
+}
+
+TEST(SummaryCacheTest, EvictedEntrySurvivesThroughSharedPtr) {
+  SummaryCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_bytes = SummaryCache::EntryFootprint(*MakeSummary(0, 4096));
+  SummaryCache cache(opts);
+
+  cache.Insert(0, 64, MakeSummary(0, 4096));
+  auto held = cache.Lookup(0, nullptr);
+  ASSERT_NE(held, nullptr);
+  cache.Insert(100, 64, MakeSummary(100, 4096));  // evicts addr 0
+  EXPECT_EQ(cache.Lookup(0, nullptr), nullptr);
+  // The reference keeps the decoded object alive and intact.
+  EXPECT_EQ(held->chunk_addr, 0u);
+  EXPECT_EQ(held->entries.size(), 4u);
+}
+
+TEST(SummaryCacheTest, OversizedEntryNotInserted) {
+  SummaryCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_bytes = 256;  // smaller than any real entry footprint
+  SummaryCache cache(opts);
+  cache.Insert(0, 64, MakeSummary(0, 4096, /*num_entries=*/1000));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(0, nullptr), nullptr);
+}
+
+TEST(SummaryCacheTest, BytesUsedTracksInsertAndEvict) {
+  SummaryCacheOptions opts;
+  opts.shards = 1;
+  const size_t footprint = SummaryCache::EntryFootprint(*MakeSummary(0, 4096));
+  opts.capacity_bytes = 2 * footprint;
+  SummaryCache cache(opts);
+
+  cache.Insert(0, 64, MakeSummary(0, 4096));
+  EXPECT_EQ(cache.stats().bytes_used, footprint);
+  cache.Insert(100, 64, MakeSummary(100, 4096));
+  EXPECT_EQ(cache.stats().bytes_used, 2 * footprint);
+  cache.Insert(200, 64, MakeSummary(200, 4096));
+  EXPECT_EQ(cache.stats().bytes_used, 2 * footprint);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SummaryCacheTest, DuplicateInsertKeepsResidentCopy) {
+  SummaryCacheOptions opts;
+  opts.shards = 1;
+  SummaryCache cache(opts);
+  auto first = MakeSummary(0, 4096);
+  cache.Insert(0, 64, first);
+  cache.Insert(0, 64, MakeSummary(0, 4096));  // racing duplicate
+  EXPECT_EQ(cache.stats().entries, 1u);
+  auto hit = cache.Lookup(0, nullptr);
+  EXPECT_EQ(hit.get(), first.get());
+}
+
+TEST(SummaryCacheTest, InvalidationDropsFullyDroppedChunksOnly) {
+  SummaryCacheOptions opts;
+  opts.shards = 4;
+  SummaryCache cache(opts);
+  // Chunks of 4 KiB at 0, 4096, 8192, 12288.
+  for (uint64_t addr : {0u, 4096u, 8192u, 12288u}) {
+    cache.Insert(addr, 64, MakeSummary(addr, 4096));
+  }
+  // Floor at 8192: chunks [0,4096) and [4096,8192) are gone; the rest stay.
+  cache.InvalidateBelowRecordFloor(8192);
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.Lookup(0, nullptr), nullptr);
+  EXPECT_EQ(cache.Lookup(4096, nullptr), nullptr);
+  EXPECT_NE(cache.Lookup(8192, nullptr), nullptr);
+  EXPECT_NE(cache.Lookup(12288, nullptr), nullptr);
+
+  // A floor inside a chunk keeps that chunk's summary (partial data remains
+  // unreachable, but the summary still describes retained bytes).
+  cache.InvalidateBelowRecordFloor(8192 + 100);
+  EXPECT_NE(cache.Lookup(8192, nullptr), nullptr);
+}
+
+TEST(SummaryCacheTest, ShardingSpreadsEntries) {
+  SummaryCacheOptions opts;
+  opts.shards = 8;
+  SummaryCache cache(opts);
+  // Insert many consecutive frame addresses; with the mixed hash they should
+  // land across shards without overflowing any single shard's budget slice.
+  const size_t n = 256;
+  for (size_t i = 0; i < n; ++i) {
+    cache.Insert(i * 132, 128, MakeSummary(i * 132, 4096));
+  }
+  // All fit: per-shard budget is capacity/8 = 1 MiB, far above 256 entries.
+  EXPECT_EQ(cache.stats().entries, n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NE(cache.Lookup(i * 132, nullptr), nullptr);
+  }
+}
+
+TEST(SummaryCacheTest, ConcurrentLookupInsertInvalidateIsSafe) {
+  SummaryCacheOptions opts;
+  opts.shards = 4;
+  opts.capacity_bytes = 64 << 10;  // small enough to force evictions
+  SummaryCache cache(opts);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 2000; ++i) {
+        const uint64_t addr = (i * 7 + static_cast<uint64_t>(t)) % 512 * 4096;
+        uint32_t frame_len = 0;
+        auto hit = cache.Lookup(addr, &frame_len);
+        if (hit == nullptr) {
+          cache.Insert(addr, 64, MakeSummary(addr, 4096));
+        } else {
+          // Cached object must be coherent (immutable snapshot).
+          EXPECT_EQ(hit->chunk_addr, addr);
+        }
+        if (i % 500 == 0) {
+          cache.InvalidateBelowRecordFloor(i * 8);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const SummaryCacheStats s = cache.stats();
+  EXPECT_GT(s.hits + s.misses, 0u);
+  EXPECT_LE(s.bytes_used, cache.capacity_bytes());
+}
+
+}  // namespace
+}  // namespace loom
