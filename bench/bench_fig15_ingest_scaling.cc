@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "src/benchutil/bench_json.h"
 #include "src/benchutil/table.h"
 #include "src/btreestore/btree_store.h"
 #include "src/common/file.h"
@@ -66,7 +67,8 @@ CellResult RunHybridLog(const std::string& file_path, size_t record_size, uint64
 // through PushBatch in daemon-sized batches of 128. Shows what the engine
 // keeps of the raw hybrid-log ceiling once indexing rides along, and what
 // batching the source lookup / clock read / publish fence buys.
-CellResult RunLoomEngine(const std::string& dir, size_t record_size, uint64_t records) {
+CellResult RunLoomEngine(const std::string& dir, size_t record_size, uint64_t records,
+                         MetricsSnapshot* metrics_out) {
   LoomOptions opts;
   opts.dir = dir;
   opts.record_block_size = 16 << 20;
@@ -88,7 +90,11 @@ CellResult RunLoomEngine(const std::string& dir, size_t record_size, uint64_t re
     (void)(*engine)->PushBatch(1, std::span<const std::span<const uint8_t>>(batch.data(), n));
     remaining -= n;
   }
-  return Finish(records, record_size, timer.Seconds());
+  CellResult result = Finish(records, record_size, timer.Seconds());
+  if (metrics_out != nullptr) {
+    *metrics_out = (*engine)->metrics()->Snapshot();
+  }
+  return result;
 }
 
 CellResult RunFishStore(const std::string& dir, size_t record_size, uint64_t records) {
@@ -148,13 +154,16 @@ int main() {
   TablePrinter table({"record size", "hybrid log (Loom)", "Loom engine (batched)",
                       "FishStore log", "LSM (RocksDB-like)", "B+tree (LMDB-like)",
                       "hybrid log MiB/s"});
+  JsonWriter json;
+  MetricsSnapshot engine_metrics;
   int cell = 0;
   for (size_t size : {size_t{8}, size_t{64}, size_t{256}, size_t{1024}}) {
     // Volume capped so small-record cells stay tractable on one core.
     const uint64_t records = std::min<uint64_t>(kTotalBytes / size, 4'000'000);
     auto hybrid =
         RunHybridLog(dir.FilePath("hybrid-" + std::to_string(cell) + ".log"), size, records);
-    auto engine = RunLoomEngine(dir.FilePath("e" + std::to_string(cell)), size, records);
+    auto engine =
+        RunLoomEngine(dir.FilePath("e" + std::to_string(cell)), size, records, &engine_metrics);
     auto fish = RunFishStore(dir.FilePath("f" + std::to_string(cell)), size, records);
     auto lsm = RunLsm(dir.FilePath("l" + std::to_string(cell)), size, records / 4);
     auto btree = RunBTree(dir.FilePath("b" + std::to_string(cell)), size, records / 2);
@@ -162,10 +171,23 @@ int main() {
                   FormatRate(engine.records_per_second), FormatRate(fish.records_per_second),
                   FormatRate(lsm.records_per_second), FormatRate(btree.records_per_second),
                   FormatDouble(hybrid.mib_per_second, 0) + " MiB/s"});
+    json.BeginObject("record_size_" + std::to_string(size));
+    json.Field("records", records);
+    json.Field("hybrid_log_records_per_second", hybrid.records_per_second);
+    json.Field("loom_engine_records_per_second", engine.records_per_second);
+    json.Field("fishstore_records_per_second", fish.records_per_second);
+    json.Field("lsm_records_per_second", lsm.records_per_second);
+    json.Field("btree_records_per_second", btree.records_per_second);
+    json.Field("hybrid_log_mib_per_second", hybrid.mib_per_second);
+    json.EndObject();
     ++cell;
   }
   table.Print();
   printf("\nNote: all structures run with one ingest thread on one core (the paper scales "
          "FishStore to 3 and RocksDB to 8 cores to match Loom's single-core throughput).\n");
+  // Self-telemetry of the last (1 KiB) engine cell: the push-batch latency
+  // histogram and flush counters that produced the row above.
+  json.MetricsSection("metrics", engine_metrics);
+  (void)json.WriteFile("BENCH_fig15_ingest.json");
   return 0;
 }

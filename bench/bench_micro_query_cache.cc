@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/benchutil/bench_json.h"
 #include "src/benchutil/table.h"
 #include "src/common/file.h"
 #include "src/common/rng.h"
@@ -169,34 +170,21 @@ int main() {
   printf("Warm speedup vs cold: %.2fx (target >= 2x) -- %s\n", speedup,
          ok ? "OK" : "BELOW TARGET");
 
-  FILE* json = fopen("BENCH_query_cache.json", "w");
-  if (json != nullptr) {
-    fprintf(json,
-            "{\n"
-            "  \"records\": %llu,\n"
-            "  \"chunk_size_bytes\": %d,\n"
-            "  \"disabled_avg_seconds\": %.6f,\n"
-            "  \"cold_seconds\": %.6f,\n"
-            "  \"warm_avg_seconds\": %.6f,\n"
-            "  \"warm_speedup_vs_cold\": %.3f,\n"
-            "  \"cache_hits\": %llu,\n"
-            "  \"cache_misses\": %llu,\n"
-            "  \"cache_hit_rate\": %.4f,\n"
-            "  \"cache_entries\": %llu,\n"
-            "  \"cache_bytes_used\": %llu,\n"
-            "  \"checksums_agree\": %s,\n"
-            "  \"target_met\": %s\n"
-            "}\n",
-            static_cast<unsigned long long>(kTotalRecords), 16 << 10, disabled_avg,
-            cold_seconds, warm_avg, speedup, static_cast<unsigned long long>(cache.hits),
-            static_cast<unsigned long long>(cache.misses), cache.HitRate(),
-            static_cast<unsigned long long>(cache.entries),
-            static_cast<unsigned long long>(cache.bytes_used),
-            (checksum_warm == checksum_cold && checksum_warm == checksum_off) ? "true"
-                                                                              : "false",
-            ok ? "true" : "false");
-    fclose(json);
-    printf("Wrote BENCH_query_cache.json\n");
-  }
+  JsonWriter json;
+  json.Field("records", kTotalRecords);
+  json.Field("chunk_size_bytes", 16 << 10);
+  json.Field("disabled_avg_seconds", disabled_avg);
+  json.Field("cold_seconds", cold_seconds);
+  json.Field("warm_avg_seconds", warm_avg);
+  json.Field("warm_speedup_vs_cold", speedup);
+  json.Field("cache_hits", cache.hits);
+  json.Field("cache_misses", cache.misses);
+  json.Field("cache_hit_rate", cache.HitRate());
+  json.Field("cache_entries", cache.entries);
+  json.Field("cache_bytes_used", cache.bytes_used);
+  json.Field("checksums_agree", checksum_warm == checksum_cold && checksum_warm == checksum_off);
+  json.Field("target_met", ok);
+  json.MetricsSection("metrics", on.loom->metrics()->Snapshot());
+  (void)json.WriteFile("BENCH_query_cache.json");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,185 @@
+#include "src/benchutil/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace loom {
+namespace {
+
+std::string FormatJsonDouble(double v) {
+  if (!std::isfinite(v)) {
+    return "null";  // JSON has no Infinity/NaN
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter() : out_("{\n") {}
+
+void JsonWriter::Comma() {
+  if (need_comma_) {
+    out_ += ",\n";
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::Key(const std::string& key) {
+  Comma();
+  out_.append(static_cast<size_t>(depth_) * 2, ' ');
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\": ";
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Key(key);
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Field(key, std::string(value));
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  out_ += FormatJsonDouble(value);
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Field(const std::string& key, int value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::BeginObject(const std::string& key) {
+  Key(key);
+  out_ += "{\n";
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  out_ += '\n';
+  --depth_;
+  out_.append(static_cast<size_t>(depth_) * 2, ' ');
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginArray(const std::string& key) {
+  Key(key);
+  out_ += '[';
+  need_comma_ = false;
+}
+
+void JsonWriter::ArrayValue(double value) {
+  if (need_comma_) {
+    out_ += ", ";
+  }
+  need_comma_ = true;
+  out_ += FormatJsonDouble(value);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::MetricsSection(const std::string& key, const MetricsSnapshot& snapshot) {
+  BeginObject(key);
+  BeginObject("counters");
+  for (const auto& [name, value] : snapshot.counters) {
+    Field(name, value);
+  }
+  EndObject();
+  BeginObject("gauges");
+  for (const auto& [name, value] : snapshot.gauges) {
+    Field(name, value);
+  }
+  EndObject();
+  BeginObject("histograms");
+  for (const auto& [name, hist] : snapshot.histograms) {
+    BeginObject(name);
+    Field("count", hist.count);
+    Field("sum", hist.sum);
+    Field("mean", hist.Mean());
+    Field("p50", hist.Percentile(50.0));
+    Field("p90", hist.Percentile(90.0));
+    Field("p99", hist.Percentile(99.0));
+    EndObject();
+  }
+  EndObject();
+  EndObject();
+}
+
+std::string JsonWriter::Finish() {
+  if (!finished_) {
+    out_ += "\n}\n";
+    finished_ = true;
+  }
+  return out_;
+}
+
+Status JsonWriter::WriteFile(const std::string& path) {
+  const std::string doc = Finish();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("open " + path + " for write failed");
+  }
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != doc.size() || close_rc != 0) {
+    return Status::IoError("write " + path + " failed");
+  }
+  std::printf("Wrote %s\n", path.c_str());
+  return Status::Ok();
+}
+
+}  // namespace loom

@@ -1,0 +1,71 @@
+// Minimal JSON writer for the BENCH_*.json result files.
+//
+// Every bench used to hand-roll fprintf JSON; this centralizes escaping,
+// comma placement, and number formatting, and adds one structured section
+// every bench now emits: a metrics-registry snapshot (counters, gauges, and
+// per-histogram count/sum/percentiles), so harness runs capture the engine's
+// self-telemetry alongside the figure numbers.
+//
+// Usage:
+//   JsonWriter w;
+//   w.Field("records", uint64_t{400000});
+//   w.Field("warm_speedup", 3.1);
+//   w.BeginObject("config");
+//   w.Field("chunk_size", 16384);
+//   w.EndObject();
+//   w.MetricsSection("metrics", engine->metrics()->Snapshot());
+//   w.WriteFile("BENCH_foo.json");
+
+#ifndef SRC_BENCHUTIL_BENCH_JSON_H_
+#define SRC_BENCHUTIL_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+
+namespace loom {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, int value);
+  void Field(const std::string& key, bool value);
+
+  void BeginObject(const std::string& key);
+  void EndObject();
+  void BeginArray(const std::string& key);
+  void ArrayValue(double value);
+  void EndArray();
+
+  // Emits `key: {counters: {...}, gauges: {...}, histograms: {name: {count,
+  // sum, mean, p50, p90, p99}}}` from a registry snapshot.
+  void MetricsSection(const std::string& key, const MetricsSnapshot& snapshot);
+
+  // Closes the document and returns it. The writer is spent afterwards.
+  std::string Finish();
+
+  // Finish() + write to `path` (also prints "Wrote <path>" on success).
+  Status WriteFile(const std::string& path);
+
+ private:
+  void Comma();
+  void Key(const std::string& key);
+
+  std::string out_;
+  int depth_ = 1;
+  bool need_comma_ = false;
+  bool finished_ = false;
+};
+
+std::string JsonEscape(const std::string& s);
+
+}  // namespace loom
+
+#endif  // SRC_BENCHUTIL_BENCH_JSON_H_

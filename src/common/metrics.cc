@@ -1,0 +1,267 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace loom {
+
+uint64_t MetricsNowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+size_t Counter::ThreadSlot() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t slot = next.fetch_add(1, std::memory_order_relaxed) & (kSlots - 1);
+  return slot;
+}
+
+uint64_t Gauge::ToBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::FromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+HistogramOptions HistogramOptions::Exponential(double min, double factor, size_t n) {
+  HistogramOptions opts;
+  opts.bounds.reserve(n);
+  double bound = min;
+  for (size_t i = 0; i < n; ++i) {
+    opts.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return opts;
+}
+
+HistogramOptions HistogramOptions::Linear(double start, double step, size_t n) {
+  HistogramOptions opts;
+  opts.bounds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    opts.bounds.push_back(start + step * static_cast<double>(i));
+  }
+  return opts;
+}
+
+HistogramOptions HistogramOptions::ExponentialSeconds() {
+  return Exponential(1e-7, 2.0, 31);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  p = std::min(100.0, std::max(0.0, p));
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  rank = std::max<uint64_t>(1, std::min(rank, count));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (cumulative + counts[b] >= rank) {
+      if (b >= bounds.size()) {
+        // Overflow bucket has no upper bound; clamp to the last finite one.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double fraction =
+          static_cast<double>(rank - cumulative) / static_cast<double>(counts[b]);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += counts[b];
+  }
+  return bounds.empty() ? 0.0 : bounds.back();  // unreachable when counts sum to count
+}
+
+Histogram::Histogram(HistogramOptions options) : bounds_(std::move(options.bounds)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double sum;
+    std::memcpy(&sum, &cur, sizeof(sum));
+    sum += value;
+    uint64_t next;
+    std::memcpy(&next, &sum, sizeof(next));
+    if (sum_bits_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  // Buckets first, then count: a racing Observe bumps the bucket before the
+  // count, so the snapshot's count never exceeds its bucket total.
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = 0;
+  for (uint64_t c : snap.counts) {
+    snap.count += c;
+  }
+  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  std::memcpy(&snap.sum, &bits, sizeof(snap.sum));
+  return snap;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] += value;
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, hist);
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    mine.count += hist.count;
+    mine.sum += hist.sum;
+    if (mine.bounds == hist.bounds && mine.counts.size() == hist.counts.size()) {
+      for (size_t i = 0; i < mine.counts.size(); ++i) {
+        mine.counts[i] += hist.counts[i];
+      }
+    }
+  }
+}
+
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::RenderPrometheus() const {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    AppendDouble(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      out += name + "_bucket{le=\"";
+      if (i < hist.bounds.size()) {
+        AppendDouble(out, hist.bounds[i]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum ";
+    AppendDouble(out, hist.sum);
+    out += "\n";
+    out += name + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    return nullptr;
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    return nullptr;
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name, HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    return nullptr;
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(std::move(options))).first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::AddCollectionHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollectionHook(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->first == id) {
+      hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, hook] : hooks_) {
+    hook();
+  }
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace loom

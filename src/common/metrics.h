@@ -1,0 +1,220 @@
+// Self-telemetry metrics registry.
+//
+// Loom's thesis is cheap capture of high-frequency telemetry; this registry
+// applies the same discipline to the engine's own operational metrics. Three
+// metric kinds cover the stack:
+//
+//   * Counter   — monotonic. The hot-path cost is one relaxed atomic add into
+//                 a per-thread-sharded, cache-line-padded slot, so the ingest
+//                 thread never bounces a line against query threads.
+//   * Gauge     — last-written value (queue depths, cache residency). Set
+//                 from collection hooks or directly; relaxed store.
+//   * Histogram — fixed-bucket latency/size distribution. Observe() is a
+//                 bounded binary search over the (immutable) bucket bounds
+//                 plus two relaxed atomic adds. Snapshots expose p50/p90/p99
+//                 via bucket interpolation.
+//
+// Registration (AddCounter/AddGauge/AddHistogram) takes a mutex and returns a
+// stable pointer; it happens at component construction, never on hot paths.
+// Metric names follow `loom_<subsystem>_<name>[_seconds|_bytes|_total]`
+// (enforced by tools/check_metrics_names.sh, wired as a ctest).
+//
+// Snapshots are plain structs that merge (MergeFrom sums counters, gauges,
+// and histogram buckets — the distributed coordinator uses this for
+// fleet-wide aggregation) and render in Prometheus text exposition format
+// (the daemon's GET /metrics endpoint).
+
+#ifndef SRC_COMMON_METRICS_H_
+#define SRC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace loom {
+
+// Steady-clock nanoseconds for latency measurement. Deliberately independent
+// of the engine's record-timestamp Clock: workload replays drive virtual
+// time, but self-observed latencies must be real.
+uint64_t MetricsNowNanos();
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    slots_[ThreadSlot()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kSlots = 8;  // power of two
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+
+  // Threads are assigned slots round-robin on first use; an ingest thread
+  // therefore keeps its slot's cache line to itself while readers sum.
+  static size_t ThreadSlot();
+
+  Slot slots_[kSlots];
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { bits_.store(ToBits(v), std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, ToBits(FromBits(cur) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return FromBits(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t ToBits(double v);
+  static double FromBits(uint64_t bits);
+
+  std::atomic<uint64_t> bits_{0};
+};
+
+struct HistogramOptions {
+  // Ascending bucket upper bounds ("le" semantics); an implicit overflow
+  // bucket catches everything past the last bound.
+  std::vector<double> bounds;
+
+  // bounds[i] = min * factor^i, n buckets.
+  static HistogramOptions Exponential(double min, double factor, size_t n);
+  // bounds[i] = start + step * i, n buckets.
+  static HistogramOptions Linear(double start, double step, size_t n);
+  // The default latency layout: 100 ns .. ~107 s, doubling (31 buckets).
+  static HistogramOptions ExponentialSeconds();
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  // Interpolated percentile, p in [0, 100]. Returns 0 when empty; values in
+  // the overflow bucket clamp to the last finite bound.
+  double Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+  void ObserveNanos(uint64_t nanos) { Observe(static_cast<double>(nanos) * 1e-9); }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> sum_bits_{0};                 // double, CAS-accumulated
+  std::atomic<uint64_t> count_{0};
+};
+
+// Times a scope into a histogram (in seconds). A null histogram disables the
+// timer entirely — no clock reads.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist)
+      : hist_(hist), start_nanos_(hist == nullptr ? 0 : MetricsNowNanos()) {}
+
+  ~ScopedLatencyTimer() {
+    if (hist_ != nullptr) {
+      hist_->ObserveNanos(MetricsNowNanos() - start_nanos_);
+    }
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_nanos_;
+};
+
+// Point-in-time copy of every metric in a registry. Plain data: mergeable
+// and serializable without touching the live registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Sums counters, gauges, and histogram buckets (fleet-wide merge). A
+  // histogram whose bucket layout disagrees with an already-merged one is
+  // folded by count/sum only (buckets skipped) — nodes built from the same
+  // binary never hit this.
+  void MergeFrom(const MetricsSnapshot& other);
+
+  // Prometheus text exposition format (TYPE lines, cumulative "le" buckets,
+  // _sum/_count per histogram).
+  std::string RenderPrometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration is idempotent: a second Add with the same name returns the
+  // existing metric (kind mismatches return nullptr). Pointers stay valid
+  // for the registry's lifetime.
+  Counter* AddCounter(const std::string& name);
+  Gauge* AddGauge(const std::string& name);
+  Histogram* AddHistogram(const std::string& name,
+                          HistogramOptions options = HistogramOptions::ExponentialSeconds());
+
+  // Collection hooks run at the start of every Snapshot(), letting
+  // components refresh gauges from externally-counted state (e.g. the
+  // summary cache's atomics). Hooks must not register metrics (deadlock).
+  // Returns an id for RemoveCollectionHook (components must deregister
+  // before they are destroyed if the registry outlives them).
+  uint64_t AddCollectionHook(std::function<void()> hook);
+  void RemoveCollectionHook(uint64_t id);
+
+  MetricsSnapshot Snapshot() const;
+  std::string RenderPrometheus() const { return Snapshot().RenderPrometheus(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::pair<uint64_t, std::function<void()>>> hooks_;
+  uint64_t next_hook_id_ = 1;
+};
+
+}  // namespace loom
+
+#endif  // SRC_COMMON_METRICS_H_

@@ -28,6 +28,25 @@ size_t RoundUp(size_t value, size_t multiple) {
   return (value + multiple - 1) / multiple * multiple;
 }
 
+// Accumulates scope wall time into trace->plan_nanos, only for detailed
+// (caller-requested) traces; internal bookkeeping never reads the clock.
+class PlanTimer {
+ public:
+  explicit PlanTimer(QueryTrace* trace)
+      : trace_(trace), t0_(trace->detailed ? MetricsNowNanos() : 0) {}
+  ~PlanTimer() {
+    if (trace_->detailed) {
+      trace_->plan_nanos += MetricsNowNanos() - t0_;
+    }
+  }
+  PlanTimer(const PlanTimer&) = delete;
+  PlanTimer& operator=(const PlanTimer&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  uint64_t t0_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
@@ -51,34 +70,52 @@ Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
     opts.clock = DefaultClock();
   }
 
+  // Resolve the metrics registry before the hybrid logs are created so they
+  // can register their flush/stall metrics against it.
+  std::unique_ptr<MetricsRegistry> owned_metrics;
+  if (opts.metrics == nullptr) {
+    owned_metrics = std::make_unique<MetricsRegistry>();
+    opts.metrics = owned_metrics.get();
+  }
+
   HybridLogOptions rec_opts;
   rec_opts.block_size = opts.record_block_size;
   rec_opts.retain_bytes = opts.record_retain_bytes;
+  rec_opts.metrics = opts.metrics;
+  rec_opts.metrics_prefix = "loom_hybridlog_record";
   auto record_log = HybridLog::Create(opts.dir + "/record.log", rec_opts);
   if (!record_log.ok()) {
     return record_log.status();
   }
   HybridLogOptions chunk_opts;
   chunk_opts.block_size = opts.chunk_index_block_size;
+  chunk_opts.metrics = opts.metrics;
+  chunk_opts.metrics_prefix = "loom_hybridlog_chunkidx";
   auto chunk_log = HybridLog::Create(opts.dir + "/chunk.idx", chunk_opts);
   if (!chunk_log.ok()) {
     return chunk_log.status();
   }
   HybridLogOptions ts_opts;
   ts_opts.block_size = opts.ts_index_block_size;
+  ts_opts.metrics = opts.metrics;
+  ts_opts.metrics_prefix = "loom_hybridlog_tsidx";
   auto ts_log = HybridLog::Create(opts.dir + "/ts.idx", ts_opts);
   if (!ts_log.ok()) {
     return ts_log.status();
   }
-  return std::unique_ptr<Loom>(new Loom(opts, std::move(record_log.value()),
+  return std::unique_ptr<Loom>(new Loom(opts, std::move(owned_metrics),
+                                        std::move(record_log.value()),
                                         std::move(chunk_log.value()),
                                         std::move(ts_log.value())));
 }
 
-Loom::Loom(const LoomOptions& options, std::unique_ptr<HybridLog> record_log,
-           std::unique_ptr<HybridLog> chunk_log, std::unique_ptr<HybridLog> ts_log)
+Loom::Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_metrics,
+           std::unique_ptr<HybridLog> record_log, std::unique_ptr<HybridLog> chunk_log,
+           std::unique_ptr<HybridLog> ts_log)
     : options_(options),
       clock_(options.clock),
+      metrics_(options.metrics),
+      owned_metrics_(std::move(owned_metrics)),
       record_log_(std::move(record_log)),
       chunk_log_(std::move(chunk_log)),
       ts_log_(std::move(ts_log)),
@@ -89,9 +126,79 @@ Loom::Loom(const LoomOptions& options, std::unique_ptr<HybridLog> record_log,
     cache_opts.shards = options_.summary_cache_shards;
     summary_cache_ = std::make_unique<SummaryCache>(cache_opts);
   }
+  RegisterMetrics();
 }
 
-Loom::~Loom() = default;
+Loom::~Loom() {
+  // A shared registry (LoomOptions.metrics) outlives this engine; the cache
+  // hook captures `summary_cache_` and must go first.
+  if (cache_hook_id_ != 0) {
+    metrics_->RemoveCollectionHook(cache_hook_id_);
+  }
+}
+
+void Loom::RegisterMetrics() {
+  m_.records_ingested = metrics_->AddCounter("loom_core_ingested_records_total");
+  m_.bytes_ingested = metrics_->AddCounter("loom_core_ingested_bytes");
+  m_.chunks_finalized = metrics_->AddCounter("loom_core_chunks_finalized_total");
+  m_.ts_entries = metrics_->AddCounter("loom_core_ts_entries_total");
+  m_.push_ops = metrics_->AddCounter("loom_core_push_total");
+  m_.push_batch_ops = metrics_->AddCounter("loom_core_push_batch_total");
+  m_.sync_ops = metrics_->AddCounter("loom_core_sync_total");
+  m_.push_seconds = metrics_->AddHistogram("loom_core_push_seconds");
+  m_.push_batch_seconds = metrics_->AddHistogram("loom_core_push_batch_seconds");
+  m_.sync_seconds = metrics_->AddHistogram("loom_core_sync_seconds");
+  m_.chunk_finalize_seconds = metrics_->AddHistogram("loom_index_chunk_finalize_seconds");
+  m_.query_chunks_considered = metrics_->AddCounter("loom_query_chunks_considered_total");
+  m_.query_chunks_pruned = metrics_->AddCounter("loom_query_chunks_pruned_total");
+  m_.query_chunks_scanned = metrics_->AddCounter("loom_query_chunks_scanned_total");
+  m_.query_records_examined = metrics_->AddCounter("loom_query_records_examined_total");
+  m_.query_bytes_read = metrics_->AddCounter("loom_query_read_bytes");
+  m_.raw_scan_seconds = metrics_->AddHistogram("loom_query_raw_scan_seconds");
+  m_.indexed_scan_seconds = metrics_->AddHistogram("loom_query_indexed_scan_seconds");
+  m_.aggregate_seconds = metrics_->AddHistogram("loom_query_aggregate_seconds");
+  m_.histogram_seconds = metrics_->AddHistogram("loom_query_histogram_seconds");
+  m_.count_seconds = metrics_->AddHistogram("loom_query_count_seconds");
+  if (summary_cache_ != nullptr) {
+    // The cache keeps its own atomics (query threads bump them with no
+    // registry in sight); a collection hook folds them into gauges at each
+    // Snapshot() so scrapes see current values without double counting.
+    Gauge* hits = metrics_->AddGauge("loom_cache_hits_total");
+    Gauge* misses = metrics_->AddGauge("loom_cache_misses_total");
+    Gauge* evictions = metrics_->AddGauge("loom_cache_evictions_total");
+    Gauge* invalidated = metrics_->AddGauge("loom_cache_invalidated_total");
+    Gauge* bytes_used = metrics_->AddGauge("loom_cache_used_bytes");
+    Gauge* entries = metrics_->AddGauge("loom_cache_entries_total");
+    SummaryCache* cache = summary_cache_.get();
+    cache_hook_id_ = metrics_->AddCollectionHook(
+        [cache, hits, misses, evictions, invalidated, bytes_used, entries] {
+          const SummaryCacheStats s = cache->stats();
+          hits->Set(static_cast<double>(s.hits));
+          misses->Set(static_cast<double>(s.misses));
+          evictions->Set(static_cast<double>(s.evictions));
+          invalidated->Set(static_cast<double>(s.invalidated));
+          bytes_used->Set(static_cast<double>(s.bytes_used));
+          entries->Set(static_cast<double>(s.entries));
+        });
+  }
+}
+
+void Loom::FoldTraceIntoMetrics(const QueryTrace& trace, Histogram* op_hist) const {
+  if (trace.chunks_considered > 0) {
+    m_.query_chunks_considered->Increment(trace.chunks_considered);
+    m_.query_chunks_pruned->Increment(trace.chunks_pruned);
+    m_.query_chunks_scanned->Increment(trace.chunks_scanned);
+  }
+  if (trace.records_examined > 0) {
+    m_.query_records_examined->Increment(trace.records_examined);
+  }
+  if (trace.bytes_read > 0) {
+    m_.query_bytes_read->Increment(trace.bytes_read);
+  }
+  if (options_.enable_latency_metrics && op_hist != nullptr) {
+    op_hist->ObserveNanos(trace.total_nanos);
+  }
+}
 
 // --- Schema operators ------------------------------------------------------
 
@@ -184,6 +291,12 @@ Status Loom::CloseIndex(uint32_t index_id) {
 // --- Ingest ------------------------------------------------------------------
 
 Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
+  // Timing every Push would cost two clock reads per record — more than the
+  // append itself for small payloads — so the latency histogram is fed by a
+  // 1-in-64 sample. Counters are always exact.
+  m_.push_ops->Increment();
+  const bool sampled = options_.enable_latency_metrics && (push_sample_tick_++ & 63) == 0;
+  const uint64_t t0 = sampled ? MetricsNowNanos() : 0;
   auto it = sources_.find(source_id);
   if (it == sources_.end() || !it->second->open) {
     return Status::NotFound("source not defined");
@@ -192,11 +305,16 @@ Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
   const TimestampNanos now = clock_->NowNanos();
   LOOM_RETURN_IF_ERROR(AppendRecord(src, payload, now));
   PublishAll(src);
+  if (sampled) {
+    m_.push_seconds->ObserveNanos(MetricsNowNanos() - t0);
+  }
   return Status::Ok();
 }
 
 Status Loom::PushBatch(uint32_t source_id,
                        std::span<const std::span<const uint8_t>> payloads) {
+  m_.push_batch_ops->Increment();
+  ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.push_batch_seconds : nullptr);
   auto it = sources_.find(source_id);
   if (it == sources_.end() || !it->second->open) {
     return Status::NotFound("source not defined");
@@ -261,8 +379,8 @@ Status Loom::AppendRecord(SourceState& src, std::span<const uint8_t> payload,
   }
   src.last_record_addr = addr;
   ++src.record_count;
-  ++records_ingested_;
-  bytes_ingested_ += payload.size();
+  m_.records_ingested->Increment();
+  m_.bytes_ingested->Increment(payload.size());
 
   // Update the active chunk summary (presence + every index on the source).
   builder_.UpdatePresence(src.presence_slot, now);
@@ -278,9 +396,12 @@ Status Loom::AppendRecord(SourceState& src, std::span<const uint8_t> payload,
 }
 
 Status Loom::FinalizeChunk(TimestampNanos now) {
+  // Per chunk, not per record: a full timer here is cheap and finalize
+  // latency (encode + two index appends) is a leading probe-effect signal.
+  ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.chunk_finalize_seconds : nullptr);
   ChunkSummary summary =
       builder_.Finalize(active_chunk_start_, static_cast<uint32_t>(options_.chunk_size));
-  ++chunks_finalized_;
+  m_.chunks_finalized->Increment();
   if (!options_.enable_chunk_index) {
     return Status::Ok();
   }
@@ -297,7 +418,7 @@ Status Loom::FinalizeChunk(TimestampNanos now) {
     if (!event.ok()) {
       return event.status();
     }
-    ++ts_entries_;
+    m_.ts_entries->Increment();
   }
   return Status::Ok();
 }
@@ -316,7 +437,7 @@ Status Loom::MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t reco
     return marker.status();
   }
   src.last_marker_addr = marker.value();
-  ++ts_entries_;
+  m_.ts_entries->Increment();
   return Status::Ok();
 }
 
@@ -331,6 +452,8 @@ void Loom::PublishAll(SourceState& src) {
 }
 
 Status Loom::Sync(uint32_t source_id) {
+  m_.sync_ops->Increment();
+  ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.sync_seconds : nullptr);
   auto it = sources_.find(source_id);
   if (it == sources_.end()) {
     return Status::NotFound("source not defined");
@@ -374,17 +497,39 @@ Result<Loom::IndexSnapshot> Loom::GetIndexSnapshot(uint32_t index_id) const {
 // --- Scan helpers ---------------------------------------------------------------
 
 Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
-                             const std::function<bool(const RecordView&)>& fn) const {
+                             const std::function<bool(const RecordView&)>& fn,
+                             QueryTrace* trace) const {
   // Data below the retention floor is gone; scan the retained suffix. Chunk
   // alignment survives because the floor advances in block multiples and
   // blocks are chunk-aligned.
-  from = std::max(from, record_log_->retained_floor());
+  uint64_t seen_floor = record_log_->retained_floor();
+  from = std::max(from, seen_floor);
   if (from >= to) {
     return Status::Ok();
   }
+  const uint64_t scan_t0 = trace->detailed ? MetricsNowNanos() : 0;
   CachedLogReader reader(record_log_.get(), to, kScanWindow);
   const uint64_t chunk_size = options_.chunk_size;
   uint64_t addr = from;
+  // Retention can advance mid-query: past the scan position, or merely past
+  // the start of the reader's aligned window while `addr` itself is still
+  // retained. The reclaimed data is gone either way, so whenever the floor
+  // moved, retry the fetch — skipping to the new floor (block-aligned, hence
+  // chunk-aligned) if it passed `addr`, re-clamping the window otherwise —
+  // instead of failing the query. A floor that did not move means the
+  // OutOfRange is real and propagates.
+  const auto reclaimed_mid_scan = [&](const Status& st) {
+    if (st.code() != StatusCode::kOutOfRange) {
+      return false;
+    }
+    const uint64_t new_floor = record_log_->retained_floor();
+    if (new_floor <= seen_floor) {
+      return false;
+    }
+    seen_floor = new_floor;
+    addr = std::max(addr, new_floor);
+    return true;
+  };
   while (addr + kRecordHeaderSize <= to) {
     const uint64_t chunk_end = std::min<uint64_t>(to, addr - (addr % chunk_size) + chunk_size);
     if (chunk_end - addr < kRecordHeaderSize) {
@@ -393,14 +538,8 @@ Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
     }
     auto peek = reader.Fetch(addr, 4);
     if (!peek.ok()) {
-      if (peek.status().code() == StatusCode::kOutOfRange) {
-        // Retention advanced past this scan position mid-query; resume at
-        // the new floor (block-aligned, hence chunk-aligned).
-        const uint64_t new_floor = record_log_->retained_floor();
-        if (new_floor > addr) {
-          addr = new_floor;
-          continue;
-        }
+      if (reclaimed_mid_scan(peek.status())) {
+        continue;
       }
       return peek.status();
     }
@@ -411,6 +550,9 @@ Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
     }
     auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
     if (!head_bytes.ok()) {
+      if (reclaimed_mid_scan(head_bytes.status())) {
+        continue;
+      }
       return head_bytes.status();
     }
     const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
@@ -419,6 +561,9 @@ Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
     }
     auto payload = reader.Fetch(addr + kRecordHeaderSize, header.payload_len);
     if (!payload.ok()) {
+      if (reclaimed_mid_scan(payload.status())) {
+        continue;
+      }
       return payload.status();
     }
     RecordView view;
@@ -426,16 +571,21 @@ Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
     view.ts = header.ts;
     view.addr = addr;
     view.payload = payload.value();
+    ++trace->records_examined;
+    trace->bytes_read += kRecordHeaderSize + header.payload_len;
     if (!fn(view)) {
-      return Status::Ok();
+      break;
     }
     addr += kRecordHeaderSize + header.payload_len;
+  }
+  if (trace->detailed) {
+    trace->scan_nanos += MetricsNowNanos() - scan_t0;
   }
   return Status::Ok();
 }
 
-Result<std::shared_ptr<const ChunkSummary>> Loom::ReadSummary(uint64_t addr,
-                                                              uint64_t chunk_tail) const {
+Result<std::shared_ptr<const ChunkSummary>> Loom::ReadSummary(uint64_t addr, uint64_t chunk_tail,
+                                                              QueryTrace* trace) const {
   if (addr + 4 > chunk_tail) {
     return Status::OutOfRange("summary past snapshot");
   }
@@ -446,9 +596,11 @@ Result<std::shared_ptr<const ChunkSummary>> Loom::ReadSummary(uint64_t addr,
     // always sits at a frame boundary; the length check alone bounds the hit
     // to this query's snapshot.
     if (hit != nullptr && addr + 4 + frame_len <= chunk_tail) {
+      ++trace->cache_hits;
       return hit;
     }
   }
+  ++trace->cache_misses;
   uint8_t len_buf[4];
   LOOM_RETURN_IF_ERROR(chunk_log_->Read(addr, std::span<uint8_t>(len_buf, 4)));
   const uint32_t len = LoadU32(len_buf);
@@ -484,11 +636,12 @@ void Loom::MaybeInvalidateCacheForRetention(uint64_t floor) const {
 
 Status Loom::CollectCandidateSummaries(
     const Snapshot& snap, TimeRange t_range,
-    std::vector<std::shared_ptr<const ChunkSummary>>& out) const {
+    std::vector<std::shared_ptr<const ChunkSummary>>& out, QueryTrace* trace) const {
   out.clear();
   if (!options_.enable_chunk_index || snap.chunk_tail == 0) {
     return Status::Ok();
   }
+  const PlanTimer plan_timer(trace);
   // Chunks below the retention floor no longer have data; skip their
   // summaries. When the floor advanced since the last query, reclaim the
   // cached summaries of dropped chunks (query-thread work — ingest never
@@ -587,7 +740,7 @@ Status Loom::CollectCandidateSummaries(
   uint64_t event_addr = head->target_addr;
   uint64_t prev_event = head->prev_addr;
   for (;;) {
-    auto summary = ReadSummary(event_addr, snap.chunk_tail);
+    auto summary = ReadSummary(event_addr, snap.chunk_tail, trace);
     if (!summary.ok()) {
       return summary.status();
     }
@@ -614,8 +767,30 @@ Status Loom::CollectCandidateSummaries(
 }
 
 // --- Query operators -------------------------------------------------------------
+//
+// Each public operator installs a trace (the caller's, or a local one so the
+// internals never branch on null), measures total latency, runs the *Impl
+// body, and folds the result into the registry exactly once.
 
-Status Loom::RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback& cb) const {
+Status Loom::RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback& cb,
+                     QueryTrace* trace) const {
+  QueryTrace local;
+  QueryTrace* t = trace != nullptr ? trace : &local;
+  *t = QueryTrace{};
+  t->op = "raw_scan";
+  t->detailed = trace != nullptr;
+  const bool timed = t->detailed || options_.enable_latency_metrics;
+  const uint64_t t0 = timed ? MetricsNowNanos() : 0;
+  Status st = RawScanImpl(source_id, t_range, cb, t);
+  if (timed) {
+    t->total_nanos = MetricsNowNanos() - t0;
+  }
+  FoldTraceIntoMetrics(*t, m_.raw_scan_seconds);
+  return st;
+}
+
+Status Loom::RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCallback& cb,
+                         QueryTrace* trace) const {
   const SourceState* src = FindSource(source_id);
   if (src == nullptr) {
     return Status::NotFound("source not defined");
@@ -639,6 +814,7 @@ Status Loom::RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback
     return Status::Ok();
   }
 
+  const uint64_t scan_t0 = trace->detailed ? MetricsNowNanos() : 0;
   CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow);
   uint64_t addr = start;
   while (addr != kNullAddr) {
@@ -653,6 +829,8 @@ Status Loom::RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback
       return head_bytes.status();
     }
     const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
+    ++trace->records_examined;
+    trace->bytes_read += kRecordHeaderSize;
     if (header.ts < t_range.start) {
       break;
     }
@@ -661,28 +839,53 @@ Status Loom::RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback
       if (!payload.ok()) {
         return payload.status();
       }
+      trace->bytes_read += header.payload_len;
       RecordView view;
       view.source_id = header.source_id;
       view.ts = header.ts;
       view.addr = addr;
       view.payload = payload.value();
+      ++trace->records_matched;
       if (!cb(view)) {
-        return Status::Ok();
+        break;
       }
     }
     addr = header.prev_addr;
+  }
+  if (trace->detailed) {
+    trace->scan_nanos += MetricsNowNanos() - scan_t0;
   }
   return Status::Ok();
 }
 
 Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_range,
-                         ValueRange v_range, const RecordCallback& cb) const {
+                         ValueRange v_range, const RecordCallback& cb,
+                         QueryTrace* trace) const {
   return IndexedScanValues(source_id, index_id, t_range, v_range,
-                           [&cb](double, const RecordView& view) { return cb(view); });
+                           [&cb](double, const RecordView& view) { return cb(view); }, trace);
 }
 
 Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange t_range,
-                               ValueRange v_range, const ValueCallback& cb) const {
+                               ValueRange v_range, const ValueCallback& cb,
+                               QueryTrace* trace) const {
+  QueryTrace local;
+  QueryTrace* t = trace != nullptr ? trace : &local;
+  *t = QueryTrace{};
+  t->op = "indexed_scan";
+  t->detailed = trace != nullptr;
+  const bool timed = t->detailed || options_.enable_latency_metrics;
+  const uint64_t t0 = timed ? MetricsNowNanos() : 0;
+  Status st = IndexedScanValuesImpl(source_id, index_id, t_range, v_range, cb, t);
+  if (timed) {
+    t->total_nanos = MetricsNowNanos() - t0;
+  }
+  FoldTraceIntoMetrics(*t, m_.indexed_scan_seconds);
+  return st;
+}
+
+Status Loom::IndexedScanValuesImpl(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                                   ValueRange v_range, const ValueCallback& cb,
+                                   QueryTrace* trace) const {
   auto idx = GetIndexSnapshot(index_id);
   if (!idx.ok()) {
     return idx.status();
@@ -711,6 +914,7 @@ Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange 
     if (!value.has_value() || !v_range.Contains(*value)) {
       return true;
     }
+    ++trace->records_matched;
     if (!cb(*value, view)) {
       stopped = true;
       return false;
@@ -720,9 +924,10 @@ Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange 
 
   if (options_.enable_chunk_index) {
     std::vector<std::shared_ptr<const ChunkSummary>> candidates;
-    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
+    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates, trace));
     for (const auto& candidate : candidates) {
       const ChunkSummary& s = *candidate;
+      ++trace->chunks_considered;
       bool has_presence = false;
       uint64_t presence_count = 0;
       uint64_t evaluated_count = 0;
@@ -747,6 +952,7 @@ Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange 
         }
       }
       if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
+        ++trace->chunks_pruned;
         continue;
       }
       // Chunks holding records that predate the index definition must be
@@ -755,16 +961,19 @@ Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange 
       // non-matching and need no scan.
       const bool has_unindexed = evaluated_count < presence_count;
       if (!bin_match && !has_unindexed) {
+        ++trace->chunks_pruned;
         continue;
       }
+      ++trace->chunks_scanned;
       const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, emit_matches));
+      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, emit_matches, trace));
       if (stopped) {
         return Status::Ok();
       }
     }
     // Active (not yet summarized) region.
-    LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, emit_matches));
+    LOOM_RETURN_IF_ERROR(
+        ScanRecordRange(snap.indexed_tail, snap.record_tail, emit_matches, trace));
     return Status::Ok();
   }
 
@@ -787,30 +996,42 @@ Status Loom::IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange 
       }
     }
     bool past_range = false;
-    LOOM_RETURN_IF_ERROR(
-        ScanRecordRange(start_addr, snap.record_tail, [&](const RecordView& view) -> bool {
+    LOOM_RETURN_IF_ERROR(ScanRecordRange(
+        start_addr, snap.record_tail,
+        [&](const RecordView& view) -> bool {
           if (view.ts > t_range.end) {
             past_range = true;
             return false;
           }
           return emit_matches(view);
-        }));
+        },
+        trace));
     (void)past_range;
     return Status::Ok();
   }
 
   // No indexes at all: backward chain walk with filtering (newest-first).
-  return RawScan(source_id, t_range, [&](const RecordView& view) -> bool {
-    std::optional<double> value = func(view.payload);
-    if (!value.has_value() || !v_range.Contains(*value)) {
-      return true;
-    }
-    return cb(*value, view);
-  });
+  // The chain walk counts every time-matched record as matched; overwrite
+  // with the value-filtered count this query actually delivered.
+  uint64_t delivered = 0;
+  Status st = RawScanImpl(
+      source_id, t_range,
+      [&](const RecordView& view) -> bool {
+        std::optional<double> value = func(view.payload);
+        if (!value.has_value() || !v_range.Contains(*value)) {
+          return true;
+        }
+        ++delivered;
+        return cb(*value, view);
+      },
+      trace);
+  trace->records_matched = delivered;
+  return st;
 }
 
 Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
-                               TimeRange t_range, BinAccumulation* out) const {
+                               TimeRange t_range, BinAccumulation* out,
+                               QueryTrace* trace) const {
   const SourceState* src = FindSource(source_id);
   if (src == nullptr) {
     return Status::NotFound("source not defined");
@@ -842,9 +1063,10 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
   std::vector<std::shared_ptr<const ChunkSummary>>& candidates = out->candidates;
 
   if (options_.enable_chunk_index) {
-    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
+    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates, trace));
     for (const auto& candidate : candidates) {
       const ChunkSummary& s = *candidate;
+      ++trace->chunks_considered;
       bool has_presence = false;
       uint64_t presence_count = 0;
       uint64_t evaluated_count = 0;
@@ -864,6 +1086,7 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
         }
       }
       if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
+        ++trace->chunks_pruned;
         continue;
       }
       const bool fully_covered = src_min_ts >= t_range.start && src_max_ts <= t_range.end;
@@ -878,32 +1101,57 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
           }
         }
         fully_merged.push_back(&s);
+        // Answered from summary bins alone: pruned from record reads. The
+        // percentile path may still rescan some of these in stage 2, which
+        // reclassifies them (see IndexedAggregateImpl).
+        ++trace->chunks_pruned;
+        ++trace->chunks_summary_folded;
       } else {
+        ++trace->chunks_scanned;
         const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-        LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, scan_accumulate));
+        LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, scan_accumulate, trace));
       }
     }
-    LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, scan_accumulate));
+    LOOM_RETURN_IF_ERROR(
+        ScanRecordRange(snap.indexed_tail, snap.record_tail, scan_accumulate, trace));
   } else {
     // Ablation modes: aggregate by scanning, bounded by the timestamp index
-    // where available.
-    LOOM_RETURN_IF_ERROR(IndexedScan(source_id, index_id, t_range,
-                                     ValueRange{-std::numeric_limits<double>::infinity(),
-                                                std::numeric_limits<double>::infinity()},
-                                     [&](const RecordView& view) -> bool {
-                                       std::optional<double> value = func(view.payload);
-                                       if (value.has_value()) {
-                                         merged.Update(*value, view.ts);
-                                         bin_counts[spec.BinOf(*value)]++;
-                                         loose_values.push_back(*value);
-                                       }
-                                       return true;
-                                     }));
+    // where available. Goes through the Impl so this query's trace keeps
+    // accumulating instead of folding twice into the registry.
+    LOOM_RETURN_IF_ERROR(IndexedScanValuesImpl(
+        source_id, index_id, t_range,
+        ValueRange{-std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity()},
+        [&](double value, const RecordView& view) -> bool {
+          merged.Update(value, view.ts);
+          bin_counts[spec.BinOf(value)]++;
+          loose_values.push_back(value);
+          return true;
+        },
+        trace));
   }
   return Status::Ok();
 }
 
-Result<uint64_t> Loom::CountRecords(uint32_t source_id, TimeRange t_range) const {
+Result<uint64_t> Loom::CountRecords(uint32_t source_id, TimeRange t_range,
+                                    QueryTrace* trace) const {
+  QueryTrace local;
+  QueryTrace* t = trace != nullptr ? trace : &local;
+  *t = QueryTrace{};
+  t->op = "count_records";
+  t->detailed = trace != nullptr;
+  const bool timed = t->detailed || options_.enable_latency_metrics;
+  const uint64_t t0 = timed ? MetricsNowNanos() : 0;
+  Result<uint64_t> result = CountRecordsImpl(source_id, t_range, t);
+  if (timed) {
+    t->total_nanos = MetricsNowNanos() - t0;
+  }
+  FoldTraceIntoMetrics(*t, m_.count_seconds);
+  return result;
+}
+
+Result<uint64_t> Loom::CountRecordsImpl(uint32_t source_id, TimeRange t_range,
+                                        QueryTrace* trace) const {
   const SourceState* src = FindSource(source_id);
   if (src == nullptr) {
     return Status::NotFound("source not defined");
@@ -918,19 +1166,23 @@ Result<uint64_t> Loom::CountRecords(uint32_t source_id, TimeRange t_range) const
   };
   if (!options_.enable_chunk_index) {
     // Ablation fallback: a raw chain walk bounded by the time range.
-    Status st = RawScan(source_id, t_range, [&](const RecordView&) {
-      ++count;
-      return true;
-    });
+    Status st = RawScanImpl(
+        source_id, t_range,
+        [&](const RecordView&) {
+          ++count;
+          return true;
+        },
+        trace);
     if (!st.ok()) {
       return st;
     }
     return count;
   }
   std::vector<std::shared_ptr<const ChunkSummary>> candidates;
-  LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates));
+  LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates, trace));
   for (const auto& candidate : candidates) {
     const ChunkSummary& s = *candidate;
+    ++trace->chunks_considered;
     const ChunkSummary::Entry* presence = nullptr;
     for (const ChunkSummary::Entry& e : s.entries) {
       if (e.source_id == source_id && e.index_id == kPresenceIndexId) {
@@ -940,35 +1192,74 @@ Result<uint64_t> Loom::CountRecords(uint32_t source_id, TimeRange t_range) const
     }
     if (presence == nullptr || presence->stats.max_ts < t_range.start ||
         presence->stats.min_ts > t_range.end) {
+      ++trace->chunks_pruned;
       continue;
     }
     if (presence->stats.min_ts >= t_range.start && presence->stats.max_ts <= t_range.end) {
       count += presence->stats.count;  // fully covered: summary answers
+      ++trace->chunks_pruned;
+      ++trace->chunks_summary_folded;
     } else {
+      ++trace->chunks_scanned;
       const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, count_scan));
+      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, count_scan, trace));
     }
   }
-  LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, count_scan));
+  LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, count_scan, trace));
   return count;
 }
 
 Result<std::vector<uint64_t>> Loom::IndexedHistogram(uint32_t source_id, uint32_t index_id,
-                                                     TimeRange t_range) const {
-  auto idx = GetIndexSnapshot(index_id);
-  if (!idx.ok()) {
-    return idx.status();
+                                                     TimeRange t_range,
+                                                     QueryTrace* trace) const {
+  QueryTrace local;
+  QueryTrace* t = trace != nullptr ? trace : &local;
+  *t = QueryTrace{};
+  t->op = "indexed_histogram";
+  t->detailed = trace != nullptr;
+  const bool timed = t->detailed || options_.enable_latency_metrics;
+  const uint64_t t0 = timed ? MetricsNowNanos() : 0;
+  Result<std::vector<uint64_t>> result = [&]() -> Result<std::vector<uint64_t>> {
+    auto idx = GetIndexSnapshot(index_id);
+    if (!idx.ok()) {
+      return idx.status();
+    }
+    if (idx.value().source_id != source_id) {
+      return Status::InvalidArgument("index does not cover source");
+    }
+    BinAccumulation acc;
+    LOOM_RETURN_IF_ERROR(AccumulateIndexed(source_id, index_id, idx.value(), t_range, &acc, t));
+    return std::move(acc.bin_counts);
+  }();
+  if (timed) {
+    t->total_nanos = MetricsNowNanos() - t0;
   }
-  if (idx.value().source_id != source_id) {
-    return Status::InvalidArgument("index does not cover source");
-  }
-  BinAccumulation acc;
-  LOOM_RETURN_IF_ERROR(AccumulateIndexed(source_id, index_id, idx.value(), t_range, &acc));
-  return std::move(acc.bin_counts);
+  FoldTraceIntoMetrics(*t, m_.histogram_seconds);
+  return result;
 }
 
 Result<double> Loom::IndexedAggregate(uint32_t source_id, uint32_t index_id, TimeRange t_range,
-                                      AggregateMethod method, double percentile) const {
+                                      AggregateMethod method, double percentile,
+                                      QueryTrace* trace) const {
+  QueryTrace local;
+  QueryTrace* t = trace != nullptr ? trace : &local;
+  *t = QueryTrace{};
+  t->op = "indexed_aggregate";
+  t->detailed = trace != nullptr;
+  const bool timed = t->detailed || options_.enable_latency_metrics;
+  const uint64_t t0 = timed ? MetricsNowNanos() : 0;
+  Result<double> result =
+      IndexedAggregateImpl(source_id, index_id, t_range, method, percentile, t);
+  if (timed) {
+    t->total_nanos = MetricsNowNanos() - t0;
+  }
+  FoldTraceIntoMetrics(*t, m_.aggregate_seconds);
+  return result;
+}
+
+Result<double> Loom::IndexedAggregateImpl(uint32_t source_id, uint32_t index_id,
+                                          TimeRange t_range, AggregateMethod method,
+                                          double percentile, QueryTrace* trace) const {
   auto idx = GetIndexSnapshot(index_id);
   if (!idx.ok()) {
     return idx.status();
@@ -982,7 +1273,7 @@ Result<double> Loom::IndexedAggregate(uint32_t source_id, uint32_t index_id, Tim
   const HistogramSpec& spec = idx.value().spec;
   const IndexFunc& func = idx.value().func;
   BinAccumulation acc;
-  LOOM_RETURN_IF_ERROR(AccumulateIndexed(source_id, index_id, idx.value(), t_range, &acc));
+  LOOM_RETURN_IF_ERROR(AccumulateIndexed(source_id, index_id, idx.value(), t_range, &acc, trace));
   const Snapshot& snap = acc.snap;
   BinStats& merged = acc.merged;
   std::vector<uint64_t>& bin_counts = acc.bin_counts;
@@ -1050,10 +1341,17 @@ Result<double> Loom::IndexedAggregate(uint32_t source_id, uint32_t index_id, Tim
     if (!has_bin) {
       continue;
     }
+    // The summary did not settle this chunk after all — stage 2 reads its
+    // records to materialize the target bin. Reclassify so the trace
+    // invariant (pruned + scanned == considered) keeps holding.
+    --trace->chunks_pruned;
+    --trace->chunks_summary_folded;
+    ++trace->chunks_scanned;
     const uint64_t end =
         std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
-    LOOM_RETURN_IF_ERROR(
-        ScanRecordRange(mc->chunk_addr, end, [&](const RecordView& view) -> bool {
+    LOOM_RETURN_IF_ERROR(ScanRecordRange(
+        mc->chunk_addr, end,
+        [&](const RecordView& view) -> bool {
           if (view.source_id != source_id || !t_range.Contains(view.ts)) {
             return true;
           }
@@ -1062,7 +1360,8 @@ Result<double> Loom::IndexedAggregate(uint32_t source_id, uint32_t index_id, Tim
             bin_values.push_back(*value);
           }
           return true;
-        }));
+        },
+        trace));
   }
   if (bin_values.size() < local_rank) {
     return Status::Internal("percentile bin materialization mismatch");
@@ -1082,10 +1381,10 @@ Result<HistogramSpec> Loom::IndexSpec(uint32_t index_id) const {
 
 LoomStats Loom::stats() const {
   LoomStats s;
-  s.records_ingested = records_ingested_;
-  s.bytes_ingested = bytes_ingested_;
-  s.chunks_finalized = chunks_finalized_;
-  s.ts_entries = ts_entries_;
+  s.records_ingested = m_.records_ingested->Value();
+  s.bytes_ingested = m_.bytes_ingested->Value();
+  s.chunks_finalized = m_.chunks_finalized->Value();
+  s.ts_entries = m_.ts_entries->Value();
   s.record_log = record_log_->stats();
   s.chunk_index_log = chunk_log_->stats();
   s.ts_index_log = ts_log_->stats();

@@ -35,7 +35,9 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/core/query_trace.h"
 #include "src/core/record_format.h"
 #include "src/hybridlog/hybrid_log.h"
 #include "src/index/chunk_summary.h"
@@ -85,8 +87,23 @@ struct LoomOptions {
 
   // Timestamp source; defaults to a process-wide monotonic clock.
   Clock* clock = nullptr;
+
+  // Metrics land here when set (e.g. the daemon shares one registry across
+  // engine, channels, and network front door); otherwise the engine creates
+  // and owns a private registry, reachable via metrics().
+  MetricsRegistry* metrics = nullptr;
+
+  // Latency histograms need clock reads around each operation; counters are
+  // always on (a relaxed atomic add each). Turning this off removes the
+  // timer reads for overhead-critical replays; per-record Push additionally
+  // samples its timer 1-in-64 so the ingest hot path never pays two clock
+  // reads per record.
+  bool enable_latency_metrics = true;
 };
 
+// Legacy counter snapshot, now materialized from the metrics registry (the
+// registry is the source of truth; see Loom::metrics() for the full picture
+// including latency histograms).
 struct LoomStats {
   uint64_t records_ingested = 0;
   uint64_t bytes_ingested = 0;  // payload bytes
@@ -169,41 +186,51 @@ class Loom {
 
   // --- Query operators (any thread) ---------------------------------------
 
+  // Every query operator takes an optional `trace` out-parameter; when
+  // non-null it receives the per-query execution trace (chunks considered /
+  // pruned / scanned, records examined, cache hits, stage timings) — see
+  // src/core/query_trace.h.
+
   // Scans records of `source_id` whose arrival time is in `t_range`, from
   // most to least recent (back-pointer chain order, §4.3).
-  Status RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback& cb) const;
+  Status RawScan(uint32_t source_id, TimeRange t_range, const RecordCallback& cb,
+                 QueryTrace* trace = nullptr) const;
 
   // Scans records of `source_id` in `t_range` whose indexed value (per
   // `index_id`) is in `v_range`, using the chunk index to skip chunks.
   // Records are delivered in log (oldest-first) order.
   Status IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_range, ValueRange v_range,
-                     const RecordCallback& cb) const;
+                     const RecordCallback& cb, QueryTrace* trace = nullptr) const;
 
   // Aggregates the indexed values of `source_id` in `t_range`. Distributive
   // aggregates are served from chunk summaries where chunks are fully inside
   // the range; holistic percentile uses the summary bins as a CDF and scans
   // only chunks contributing to the target bin (§4.3).
   Result<double> IndexedAggregate(uint32_t source_id, uint32_t index_id, TimeRange t_range,
-                                  AggregateMethod method, double percentile = 0.0) const;
+                                  AggregateMethod method, double percentile = 0.0,
+                                  QueryTrace* trace = nullptr) const;
 
   // Like IndexedScan, but also delivers the extracted index value, so
   // callers need not know the index function. Used by composed drill-down
   // queries and the distributed coordinator's two-phase percentile (§8).
   using ValueCallback = std::function<bool(double value, const RecordView& record)>;
   Status IndexedScanValues(uint32_t source_id, uint32_t index_id, TimeRange t_range,
-                           ValueRange v_range, const ValueCallback& cb) const;
+                           ValueRange v_range, const ValueCallback& cb,
+                           QueryTrace* trace = nullptr) const;
 
   // Counts records of `source_id` in `t_range` using the always-maintained
   // per-source presence statistics in chunk summaries — no user-defined
   // index required. Falls back to scanning in ablation modes.
-  Result<uint64_t> CountRecords(uint32_t source_id, TimeRange t_range) const;
+  Result<uint64_t> CountRecords(uint32_t source_id, TimeRange t_range,
+                                QueryTrace* trace = nullptr) const;
 
   // Returns the per-bin record counts of `index_id` over `t_range` (one
   // entry per histogram bin, including the outlier bins). Served from chunk
   // summaries plus partial-chunk scans; this is the "histogram" query class
   // from §3 and the building block for distributed percentile merging (§8).
   Result<std::vector<uint64_t>> IndexedHistogram(uint32_t source_id, uint32_t index_id,
-                                                 TimeRange t_range) const;
+                                                 TimeRange t_range,
+                                                 QueryTrace* trace = nullptr) const;
 
   // --- Introspection -------------------------------------------------------
 
@@ -213,6 +240,10 @@ class Loom {
   LoomStats stats() const;
   TimestampNanos Now() const { return clock_->NowNanos(); }
   const LoomOptions& options() const { return options_; }
+
+  // The engine's metrics registry (shared with the owner when
+  // LoomOptions.metrics was set). Never null.
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct IndexState {
@@ -255,8 +286,12 @@ class Loom {
     uint64_t record_tail = 0;
   };
 
-  Loom(const LoomOptions& options, std::unique_ptr<HybridLog> record_log,
-       std::unique_ptr<HybridLog> chunk_log, std::unique_ptr<HybridLog> ts_log);
+  // `options.metrics` is already resolved (never null) by Open(); when the
+  // engine owns the registry, Open passes it in via `owned_metrics` so the
+  // hybrid logs could register against it before construction.
+  Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_metrics,
+       std::unique_ptr<HybridLog> record_log, std::unique_ptr<HybridLog> chunk_log,
+       std::unique_ptr<HybridLog> ts_log);
 
   // Write-path internals (ingest thread).
   Status AppendRecord(SourceState& src, std::span<const uint8_t> payload, TimestampNanos now);
@@ -264,7 +299,21 @@ class Loom {
   Status MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t record_addr);
   void PublishAll(SourceState& src);
 
-  // Query internals.
+  // Query internals. Public query operators are thin wrappers that install a
+  // trace (local when the caller passed none), time the call, run the *Impl
+  // body, and fold the finished trace into the metrics registry. Internal
+  // composition (ablation fallbacks, percentile stage 2) calls the Impl
+  // directly so one query folds exactly once.
+  Status RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCallback& cb,
+                     QueryTrace* trace) const;
+  Status IndexedScanValuesImpl(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                               ValueRange v_range, const ValueCallback& cb,
+                               QueryTrace* trace) const;
+  Result<uint64_t> CountRecordsImpl(uint32_t source_id, TimeRange t_range,
+                                    QueryTrace* trace) const;
+  Result<double> IndexedAggregateImpl(uint32_t source_id, uint32_t index_id, TimeRange t_range,
+                                      AggregateMethod method, double percentile,
+                                      QueryTrace* trace) const;
   Snapshot TakeSnapshot(const SourceState* src) const;
   Result<IndexSnapshot> GetIndexSnapshot(uint32_t index_id) const;
   const SourceState* FindSource(uint32_t source_id) const;
@@ -273,7 +322,8 @@ class Loom {
   // (oldest-first), honoring the snapshot boundary. Summaries are shared
   // with the decoded-summary cache — never mutated.
   Status CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
-                                   std::vector<std::shared_ptr<const ChunkSummary>>& out) const;
+                                   std::vector<std::shared_ptr<const ChunkSummary>>& out,
+                                   QueryTrace* trace) const;
 
   // Shared accumulation phase of IndexedAggregate / IndexedHistogram: folds
   // chunk summaries where possible and scans partial/unindexed/active data.
@@ -292,24 +342,33 @@ class Loom {
     std::vector<const ChunkSummary*> fully_merged;
   };
   Status AccumulateIndexed(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
-                           TimeRange t_range, BinAccumulation* out) const;
+                           TimeRange t_range, BinAccumulation* out, QueryTrace* trace) const;
   // Returns the summary frame at `addr`, from the decoded-summary cache when
   // possible, falling back to two log reads + decode (and then populating
   // the cache).
-  Result<std::shared_ptr<const ChunkSummary>> ReadSummary(uint64_t addr,
-                                                          uint64_t chunk_tail) const;
+  Result<std::shared_ptr<const ChunkSummary>> ReadSummary(uint64_t addr, uint64_t chunk_tail,
+                                                          QueryTrace* trace) const;
   // Lazily drops cached summaries for chunks the record log no longer
   // retains. Called from query threads when the floor advanced.
   void MaybeInvalidateCacheForRetention(uint64_t floor) const;
 
   // Scans records in [from, to) of the record log, invoking `fn` for every
-  // record (all sources). `fn` returns false to stop.
+  // record (all sources). `fn` returns false to stop. Records examined and
+  // bytes decoded accumulate into `trace` (never null on internal paths).
   Status ScanRecordRange(uint64_t from, uint64_t to,
-                         const std::function<bool(const RecordView&)>& fn) const;
+                         const std::function<bool(const RecordView&)>& fn,
+                         QueryTrace* trace) const;
 
   const LoomOptions options_;
   Clock* clock_;
   std::unique_ptr<Clock> owned_clock_;
+
+  // Metrics. `metrics_` points at the shared registry from LoomOptions or at
+  // `owned_metrics_`. Declared before the logs: their flusher threads observe
+  // registry histograms until joined in ~HybridLog, so the owned registry
+  // must be destroyed after them (members destroy in reverse order).
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
 
   std::unique_ptr<HybridLog> record_log_;
   std::unique_ptr<HybridLog> chunk_log_;
@@ -337,10 +396,45 @@ class Loom {
   mutable std::atomic<uint64_t> cache_invalidated_floor_{0};
 
   uint64_t active_chunk_start_ = 0;
-  uint64_t records_ingested_ = 0;
-  uint64_t bytes_ingested_ = 0;
-  uint64_t chunks_finalized_ = 0;
-  uint64_t ts_entries_ = 0;
+
+  // Individual metric pointers, registered once in the constructor; they
+  // stay valid for the registry's lifetime.
+  struct CoreMetrics {
+    Counter* records_ingested = nullptr;
+    Counter* bytes_ingested = nullptr;
+    Counter* chunks_finalized = nullptr;
+    Counter* ts_entries = nullptr;
+    Counter* push_ops = nullptr;
+    Counter* push_batch_ops = nullptr;
+    Counter* sync_ops = nullptr;
+    Histogram* push_seconds = nullptr;        // sampled 1-in-64
+    Histogram* push_batch_seconds = nullptr;  // per batch
+    Histogram* sync_seconds = nullptr;
+    Histogram* chunk_finalize_seconds = nullptr;
+    // Query-side, folded from finished QueryTraces.
+    Counter* query_chunks_considered = nullptr;
+    Counter* query_chunks_pruned = nullptr;
+    Counter* query_chunks_scanned = nullptr;
+    Counter* query_records_examined = nullptr;
+    Counter* query_bytes_read = nullptr;
+    Histogram* raw_scan_seconds = nullptr;
+    Histogram* indexed_scan_seconds = nullptr;
+    Histogram* aggregate_seconds = nullptr;
+    Histogram* histogram_seconds = nullptr;
+    Histogram* count_seconds = nullptr;
+  };
+  CoreMetrics m_;
+  // Collection hook refreshing the summary-cache gauges; removed in the
+  // destructor because a shared registry may outlive this engine.
+  uint64_t cache_hook_id_ = 0;
+  // Writer-local sampling counter for the 1-in-64 Push latency timer.
+  uint64_t push_sample_tick_ = 0;
+
+  // Registers all core metrics with `metrics_` and installs the cache hook.
+  void RegisterMetrics();
+  // Adds a finished trace's counters to the registry and observes
+  // `total_nanos` into `op_hist` (when latency metrics are enabled).
+  void FoldTraceIntoMetrics(const QueryTrace& trace, Histogram* op_hist) const;
 };
 
 }  // namespace loom

@@ -1,16 +1,63 @@
 #include "src/daemon/monitoring_daemon.h"
 
 #include <chrono>
+#include <cstring>
 
 namespace loom {
+
+uint32_t SelfMetricId(std::string_view metric_name) {
+  // FNV-1a, 32-bit.
+  uint32_t h = 2166136261u;
+  for (char c : metric_name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+namespace {
+
+// Self-telemetry sample payload: u32 metric id | f64 value (host-endian,
+// in-process only — samples never cross machines unencoded).
+constexpr size_t kSelfSampleBytes = 12;
+
+void EncodeSelfSample(uint32_t id, double value, uint8_t* out) {
+  std::memcpy(out, &id, 4);
+  std::memcpy(out + 4, &value, 8);
+}
+
+}  // namespace
+
+Loom::IndexFunc SelfValueIndexFunc(const std::string& metric_name) {
+  const uint32_t want = SelfMetricId(metric_name);
+  return [want](std::span<const uint8_t> payload) -> std::optional<double> {
+    if (payload.size() != kSelfSampleBytes) {
+      return std::nullopt;
+    }
+    uint32_t id;
+    std::memcpy(&id, payload.data(), 4);
+    if (id != want) {
+      return std::nullopt;
+    }
+    double value;
+    std::memcpy(&value, payload.data() + 4, 8);
+    return value;
+  };
+}
 
 SourceChannel::SourceChannel(uint32_t source_id, size_t capacity, size_t max_bytes)
     : source_id_(source_id), max_bytes_(max_bytes), queue_(capacity) {}
 
 bool SourceChannel::Offer(std::span<const uint8_t> payload) {
   offered_.fetch_add(1, std::memory_order_relaxed);
+  if (offered_metric_ != nullptr) {
+    offered_metric_->Increment();
+  }
   if (payload.size() > max_bytes_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_metric_ != nullptr) {
+      dropped_metric_->Increment();
+    }
     return false;
   }
   Slot slot;
@@ -18,9 +65,15 @@ bool SourceChannel::Offer(std::span<const uint8_t> payload) {
   slot.bytes.assign(payload.begin(), payload.end());
   if (!queue_.TryPush(std::move(slot))) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_metric_ != nullptr) {
+      dropped_metric_->Increment();
+    }
     return false;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (accepted_metric_ != nullptr) {
+    accepted_metric_->Increment();
+  }
   return true;
 }
 
@@ -45,6 +98,7 @@ Result<std::unique_ptr<MonitoringDaemon>> MonitoringDaemon::Start(const DaemonOp
     return loom.status();
   }
   daemon->loom_ = std::move(loom.value());
+  daemon->RegisterMetrics();
   daemon->ingest_ = std::thread([raw = daemon.get()] { raw->IngestMain(); });
   return daemon;
 }
@@ -54,6 +108,31 @@ MonitoringDaemon::~MonitoringDaemon() {
   if (ingest_.joinable()) {
     ingest_.join();
   }
+  // The registry may be shared (DaemonOptions.loom.metrics) and outlive this
+  // daemon; the queue-depth hook walks channels_ and must go before they do.
+  if (queue_depth_hook_id_ != 0) {
+    metrics()->RemoveCollectionHook(queue_depth_hook_id_);
+  }
+}
+
+void MonitoringDaemon::RegisterMetrics() {
+  MetricsRegistry* reg = metrics();
+  offered_metric_ = reg->AddCounter("loom_daemon_offered_records_total");
+  accepted_metric_ = reg->AddCounter("loom_daemon_accepted_records_total");
+  dropped_metric_ = reg->AddCounter("loom_daemon_dropped_records_total");
+  self_samples_metric_ = reg->AddCounter("loom_daemon_self_samples_total");
+  // Batch handoffs carry at most the 128-record drain cap.
+  batch_records_ = reg->AddHistogram("loom_daemon_batch_records",
+                                     HistogramOptions::Exponential(1.0, 2.0, 9));
+  Gauge* depth = reg->AddGauge("loom_daemon_queue_depth");
+  queue_depth_hook_id_ = reg->AddCollectionHook([this, depth] {
+    size_t total = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& channel : channels_) {
+      total += channel->QueueDepthApprox();
+    }
+    depth->Set(static_cast<double>(total));
+  });
 }
 
 Result<SourceChannel*> MonitoringDaemon::AddSource(uint32_t source_id) {
@@ -63,6 +142,9 @@ Result<SourceChannel*> MonitoringDaemon::AddSource(uint32_t source_id) {
   }
   std::unique_ptr<SourceChannel> channel(
       new SourceChannel(source_id, capacity, options_.max_record_bytes));
+  channel->offered_metric_ = offered_metric_;
+  channel->accepted_metric_ = accepted_metric_;
+  channel->dropped_metric_ = dropped_metric_;
   SourceChannel* raw = channel.get();
 
   // DefineSource must run on the ingest thread; enqueue and wait.
@@ -130,8 +212,58 @@ void MonitoringDaemon::Flush() {
   }
 }
 
+void MonitoringDaemon::PushSelfTelemetrySamples() {
+  // Runs on the ingest thread (the engine's single-writer contract). The
+  // snapshot runs the registry's collection hooks, so gauges are current.
+  const MetricsSnapshot snap = metrics()->Snapshot();
+  std::vector<uint8_t> bytes;
+  bytes.reserve((snap.counters.size() + snap.gauges.size() + snap.histograms.size()) *
+                kSelfSampleBytes);
+  size_t n = 0;
+  auto add = [&](const std::string& name, double value) {
+    bytes.resize((n + 1) * kSelfSampleBytes);
+    EncodeSelfSample(SelfMetricId(name), value, bytes.data() + n * kSelfSampleBytes);
+    ++n;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    uint64_t& prev = prev_counters_[name];
+    add(name, static_cast<double>(value - prev));
+    prev = value;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    add(name, value);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    auto& [prev_sum, prev_count] = prev_hist_[name];
+    if (hist.count > prev_count) {
+      add(name + ":mean",
+          (hist.sum - prev_sum) / static_cast<double>(hist.count - prev_count));
+    }
+    prev_sum = hist.sum;
+    prev_count = hist.count;
+  }
+  if (n == 0) {
+    return;
+  }
+  std::vector<std::span<const uint8_t>> payloads;
+  payloads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    payloads.emplace_back(bytes.data() + i * kSelfSampleBytes, kSelfSampleBytes);
+  }
+  Status st = loom_->PushBatch(kSelfTelemetrySourceId,
+                               std::span<const std::span<const uint8_t>>(payloads));
+  if (st.ok()) {
+    self_samples_metric_->Increment(n);
+    records_ingested_.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
 void MonitoringDaemon::IngestMain() {
   size_t rr = 0;  // round-robin cursor over channels
+  if (options_.self_telemetry) {
+    (void)loom_->DefineSource(kSelfTelemetrySourceId);
+    last_self_sample_nanos_ = MetricsNowNanos();
+  }
   for (;;) {
     // 1. Run pending schema ops.
     std::vector<PendingIndex> ops;
@@ -189,12 +321,23 @@ void MonitoringDaemon::IngestMain() {
       if (st.ok()) {
         records_ingested_.fetch_add(slots.size(), std::memory_order_relaxed);
       }
+      batch_records_->Observe(static_cast<double>(slots.size()));
       drained += slots.size();
     }
     rr = channel_count == 0 ? 0 : (rr + 1) % channel_count;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ingest_busy_ = false;
+    }
+
+    // 3. Self-telemetry: on the sampling period, feed the registry's current
+    // readings back into the engine as ordinary records.
+    if (options_.self_telemetry) {
+      const uint64_t now = MetricsNowNanos();
+      if (now - last_self_sample_nanos_ >= options_.self_telemetry_period_nanos) {
+        last_self_sample_nanos_ = now;
+        PushSelfTelemetrySamples();
+      }
     }
 
     if (drained == 0) {

@@ -22,8 +22,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/spsc_queue.h"
@@ -32,13 +34,34 @@
 
 namespace loom {
 
+// Source id reserved for the daemon's own metric samples (SelfTelemetry
+// mode). High enough to stay clear of user sources, below the padding
+// sentinel (0xFFFFFFFF).
+inline constexpr uint32_t kSelfTelemetrySourceId = 0xFFFFFF00u;
+
 struct DaemonOptions {
   LoomOptions loom;
   // Per-source channel capacity (records). Rounded up to a power of two.
   size_t channel_capacity = 1 << 14;
   // Largest record accepted through a channel.
   size_t max_record_bytes = 4096;
+  // SelfTelemetry: the daemon periodically samples its own metrics registry
+  // and pushes the samples into source `kSelfTelemetrySourceId`, so Loom's
+  // query operators (e.g. IndexedAggregate with SelfValueIndexFunc) run over
+  // the engine's own operational metrics. Counters are sampled as deltas,
+  // gauges as values, histograms as mean-over-period under "<name>:mean".
+  bool self_telemetry = false;
+  uint64_t self_telemetry_period_nanos = 50'000'000;  // 50 ms
 };
+
+// Stable 32-bit id (FNV-1a) of a metric name; the first field of every
+// self-telemetry sample payload.
+uint32_t SelfMetricId(std::string_view metric_name);
+
+// Index function matching self-telemetry samples of one metric: returns the
+// sample's value for records whose id equals SelfMetricId(metric_name),
+// nullopt otherwise. Histogram means are published as "<name>:mean".
+Loom::IndexFunc SelfValueIndexFunc(const std::string& metric_name);
 
 struct DaemonSourceStats {
   uint64_t offered = 0;
@@ -71,12 +94,19 @@ class SourceChannel {
 
   SourceChannel(uint32_t source_id, size_t capacity, size_t max_bytes);
 
+  size_t QueueDepthApprox() const { return queue_.SizeApprox(); }
+
   uint32_t source_id_;
   size_t max_bytes_;
   SpscQueue<Slot> queue_;
   std::atomic<uint64_t> offered_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> dropped_{0};
+  // Daemon-wide registry counters (shared across channels; set by the owning
+  // daemon before the channel is handed out).
+  Counter* offered_metric_ = nullptr;
+  Counter* accepted_metric_ = nullptr;
+  Counter* dropped_metric_ = nullptr;
 };
 
 class MonitoringDaemon {
@@ -102,12 +132,24 @@ class MonitoringDaemon {
   // IndexedAggregate are safe from any thread).
   Loom* engine() { return loom_.get(); }
 
+  // The engine's metrics registry (shared with DaemonOptions.loom.metrics
+  // when that was set).
+  MetricsRegistry* metrics() const { return loom_->metrics(); }
+
+  // Prometheus text exposition of every metric in the registry — the same
+  // bytes the network front door serves for GET /metrics.
+  std::string DumpMetrics() const { return metrics()->RenderPrometheus(); }
+
   uint64_t records_ingested() const { return records_ingested_.load(std::memory_order_relaxed); }
 
  private:
   explicit MonitoringDaemon(const DaemonOptions& options) : options_(options) {}
 
   void IngestMain();
+  void RegisterMetrics();
+  // Samples the registry and pushes the delta/value records into the
+  // self-telemetry source. Ingest thread only.
+  void PushSelfTelemetrySamples();
 
   DaemonOptions options_;
   std::unique_ptr<Loom> loom_;
@@ -135,6 +177,22 @@ class MonitoringDaemon {
     std::atomic<bool>* done;
   };
   std::vector<PendingIndex> pending_;
+
+  // Registry-backed metrics (registered against the engine's registry).
+  Counter* offered_metric_ = nullptr;
+  Counter* accepted_metric_ = nullptr;
+  Counter* dropped_metric_ = nullptr;
+  Counter* self_samples_metric_ = nullptr;
+  Histogram* batch_records_ = nullptr;  // records per PushBatch handoff
+  // Collection hook refreshing the aggregate queue-depth gauge; removed in
+  // the destructor (the registry may be external and outlive the daemon).
+  uint64_t queue_depth_hook_id_ = 0;
+
+  // Self-telemetry sampler state (ingest thread only): previous counter /
+  // histogram readings for delta computation.
+  uint64_t last_self_sample_nanos_ = 0;
+  std::unordered_map<std::string, uint64_t> prev_counters_;
+  std::unordered_map<std::string, std::pair<double, uint64_t>> prev_hist_;  // sum, count
 };
 
 }  // namespace loom

@@ -236,4 +236,27 @@ SummaryCacheStats LoomCoordinator::AggregateCacheStats() const {
   return total;
 }
 
+MetricsSnapshot LoomCoordinator::AggregateMetrics() const {
+  MetricsSnapshot merged;
+  std::vector<const MetricsRegistry*> seen;
+  for (const LoomNode& node : nodes_) {
+    const MetricsRegistry* reg = node.engine->metrics();
+    // Test fleets sometimes hand several engines one shared registry; merging
+    // it once per engine would multiply every counter.
+    bool duplicate = false;
+    for (const MetricsRegistry* s : seen) {
+      if (s == reg) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+    seen.push_back(reg);
+    merged.MergeFrom(reg->Snapshot());
+  }
+  return merged;
+}
+
 }  // namespace loom

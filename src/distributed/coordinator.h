@@ -80,6 +80,11 @@ class LoomCoordinator {
   // stats, for answering "are repeated fleet queries actually cache-served?".
   SummaryCacheStats AggregateCacheStats() const;
 
+  // Fleet-wide metrics: every node's registry snapshot merged into one
+  // (counters and histogram buckets sum, so fleet percentiles come straight
+  // out of the merged buckets). Nodes sharing one registry are deduplicated.
+  MetricsSnapshot AggregateMetrics() const;
+
   size_t num_nodes() const { return nodes_.size(); }
 
  private:

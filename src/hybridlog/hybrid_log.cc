@@ -68,6 +68,16 @@ HybridLog::HybridLog(File file, const HybridLogOptions& options)
     // Slot i initially holds block number i (the first lap needs no recycle).
     slot_version_[i].store(i, std::memory_order_relaxed);
   }
+  if (options_.metrics != nullptr && !options_.metrics_prefix.empty()) {
+    MetricsRegistry* reg = options_.metrics;
+    const std::string& p = options_.metrics_prefix;
+    flush_seconds_ = reg->AddHistogram(p + "_flush_seconds");
+    writer_stall_seconds_ = reg->AddHistogram(p + "_writer_stall_seconds");
+    blocks_flushed_metric_ = reg->AddCounter(p + "_blocks_flushed_total");
+    disk_reads_metric_ = reg->AddCounter(p + "_disk_reads_total");
+    memory_reads_metric_ = reg->AddCounter(p + "_memory_reads_total");
+    snapshot_fallbacks_metric_ = reg->AddCounter(p + "_snapshot_fallbacks_total");
+  }
   flusher_ = std::thread([this] { FlusherMain(); });
 }
 
@@ -139,7 +149,11 @@ void HybridLog::RecycleSlot(uint64_t block_no) {
     while (flushed_block_count_.load(std::memory_order_acquire) < must_be_flushed) {
       std::this_thread::yield();
     }
-    writer_stall_nanos_ += SteadyNowNanos() - t0;
+    const uint64_t stalled = SteadyNowNanos() - t0;
+    writer_stall_nanos_ += stalled;
+    if (writer_stall_seconds_ != nullptr) {
+      writer_stall_seconds_->ObserveNanos(stalled);
+    }
   }
   // Readers racing with this store fall back to disk, which already holds the
   // previous occupant (the flusher completed its pwrite before counting it).
@@ -161,6 +175,7 @@ void HybridLog::FlusherMain() {
       return;
     }
     const uint8_t* src = slots_[block_no % options_.num_blocks].get();
+    const uint64_t flush_t0 = flush_seconds_ != nullptr ? SteadyNowNanos() : 0;
     Status st = file_.PWriteAll(block_no * bs, std::span<const uint8_t>(src, bs));
     // I/O errors here would lose historical data but must not corrupt the
     // reader protocol: only count the block as flushed on success, which
@@ -168,6 +183,12 @@ void HybridLog::FlusherMain() {
     if (st.ok()) {
       if (options_.sync_on_flush) {
         (void)file_.Sync();
+      }
+      if (flush_seconds_ != nullptr) {
+        flush_seconds_->ObserveNanos(SteadyNowNanos() - flush_t0);
+      }
+      if (blocks_flushed_metric_ != nullptr) {
+        blocks_flushed_metric_->Increment();
       }
       flushed_bytes_.store((block_no + 1) * bs, std::memory_order_release);
       flushed_block_count_.store(block_no + 1, std::memory_order_release);
@@ -250,6 +271,9 @@ Status HybridLog::ReadWithinBlock(uint64_t addr, std::span<uint8_t> out) const {
 
   if (addr + out.size() <= flushed_bytes_.load(std::memory_order_acquire)) {
     disk_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (disk_reads_metric_ != nullptr) {
+      disk_reads_metric_->Increment();
+    }
     return file_.PReadAll(addr, out);
   }
 
@@ -264,11 +288,20 @@ Status HybridLog::ReadWithinBlock(uint64_t addr, std::span<uint8_t> out) const {
     const uint64_t v2 = slot_version_[slot].load(std::memory_order_relaxed);
     if (v2 == block_no) {
       memory_reads_.fetch_add(1, std::memory_order_relaxed);
+      if (memory_reads_metric_ != nullptr) {
+        memory_reads_metric_->Increment();
+      }
       return Status::Ok();
     }
     snapshot_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (snapshot_fallbacks_metric_ != nullptr) {
+      snapshot_fallbacks_metric_->Increment();
+    }
   }
   disk_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (disk_reads_metric_ != nullptr) {
+    disk_reads_metric_->Increment();
+  }
   return file_.PReadAll(addr, out);
 }
 

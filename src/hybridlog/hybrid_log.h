@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/common/file.h"
+#include "src/common/metrics.h"
 #include "src/common/spsc_queue.h"
 #include "src/common/status.h"
 
@@ -57,6 +58,11 @@ struct HybridLogOptions {
   // it, so disk space is reclaimed). 0 = retain everything. Retention is
   // applied at block granularity after flushes.
   uint64_t retain_bytes = 0;
+  // When set, the log registers its metrics (block flush latency, writer
+  // stall time, read-path counters) under `metrics_prefix`, e.g.
+  // "loom_hybridlog_record". The registry must outlive the log.
+  MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix;
 };
 
 struct HybridLogStats {
@@ -171,6 +177,16 @@ class HybridLog {
   mutable std::atomic<uint64_t> snapshot_fallbacks_{0};
   mutable std::atomic<uint64_t> disk_reads_{0};
   mutable std::atomic<uint64_t> memory_reads_{0};
+
+  // Registry-backed metrics (all null when options.metrics is unset). These
+  // are per-block or per-fallback events, so the clock reads and relaxed
+  // adds never sit on the per-record append path.
+  Histogram* flush_seconds_ = nullptr;         // per-block PWriteAll (+sync)
+  Histogram* writer_stall_seconds_ = nullptr;  // per stall episode in RecycleSlot
+  Counter* blocks_flushed_metric_ = nullptr;
+  Counter* disk_reads_metric_ = nullptr;
+  Counter* memory_reads_metric_ = nullptr;
+  Counter* snapshot_fallbacks_metric_ = nullptr;
 };
 
 }  // namespace loom

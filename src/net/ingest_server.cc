@@ -9,6 +9,8 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
+#include <string>
 
 #include "src/common/codec.h"
 
@@ -48,6 +50,12 @@ Status WriteFull(int fd, const uint8_t* src, size_t n) {
 Result<std::unique_ptr<IngestServer>> IngestServer::Start(MonitoringDaemon* daemon,
                                                           uint16_t port) {
   std::unique_ptr<IngestServer> server(new IngestServer(daemon));
+  MetricsRegistry* reg = daemon->metrics();
+  server->connections_metric_ = reg->AddCounter("loom_net_connections_total");
+  server->records_metric_ = reg->AddCounter("loom_net_records_total");
+  server->bytes_metric_ = reg->AddCounter("loom_net_received_bytes");
+  server->rejected_metric_ = reg->AddCounter("loom_net_rejected_total");
+  server->scrapes_metric_ = reg->AddCounter("loom_net_scrapes_total");
   server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server->listen_fd_ < 0) {
     return ErrnoStatus("socket");
@@ -120,6 +128,7 @@ void IngestServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_metric_->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     connection_fds_.push_back(fd);
     connection_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
@@ -167,6 +176,7 @@ void IngestServer::ConnectionLoop(int fd) {
     }
   };
 
+  bool first_wave = true;
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) {
       break;
@@ -181,6 +191,16 @@ void IngestServer::ConnectionLoop(int fd) {
     if (!got.ok() || !got.value()) {
       break;
     }
+    // HTTP scrape detection: the binary framing starts with a source id, and
+    // no real source decodes to ASCII "GET " (0x20544547). Serve the metrics
+    // page and close — one scrape per connection, like Prometheus expects
+    // from an HTTP/1.0 target.
+    if (first_wave && buf.size() >= 4 && std::memcmp(buf.data(), "GET ", 4) == 0) {
+      ServeMetrics(fd);
+      ::close(fd);
+      return;
+    }
+    first_wave = false;
     while (buf.size() - start < kMaxBatchBytes) {
       auto more = fill(/*nonblocking=*/true);
       if (!more.ok() || !more.value()) {
@@ -219,6 +239,7 @@ void IngestServer::ConnectionLoop(int fd) {
         auto it = channels_.find(frames[i].source_id);
         if (it == channels_.end()) {
           rejected_.fetch_add(j - i, std::memory_order_relaxed);
+          rejected_metric_->Increment(j - i);
           i = j;
           continue;
         }
@@ -229,15 +250,31 @@ void IngestServer::ConnectionLoop(int fd) {
         }
       }
       records_.fetch_add(j - i, std::memory_order_relaxed);
+      records_metric_->Increment(j - i);
       bytes_.fetch_add(run_bytes, std::memory_order_relaxed);
+      bytes_metric_->Increment(run_bytes);
       i = j;
     }
     if (protocol_error) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_metric_->Increment();
       break;
     }
   }
   ::close(fd);
+}
+
+void IngestServer::ServeMetrics(int fd) {
+  scrapes_metric_->Increment();
+  const std::string body = daemon_->DumpMetrics();
+  std::string response;
+  response.reserve(body.size() + 128);
+  response += "HTTP/1.0 200 OK\r\n";
+  response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  (void)WriteFull(fd, reinterpret_cast<const uint8_t*>(response.data()), response.size());
 }
 
 IngestServerStats IngestServer::stats() const {
@@ -296,6 +333,53 @@ Status IngestClient::Flush() {
   Status st = WriteFull(fd_, buffer_.data(), buffer_.size());
   buffer_.clear();
   return st;
+}
+
+Result<std::string> FetchMetricsOverHttp(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = ErrnoStatus("connect");
+    ::close(fd);
+    return st;
+  }
+  const std::string request = "GET /metrics HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  Status st = WriteFull(fd, reinterpret_cast<const uint8_t*>(request.data()), request.size());
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return ErrnoStatus("recv");
+    }
+    if (r == 0) {
+      break;  // server closes after one response
+    }
+    response.append(chunk, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  const size_t body_at = response.find("\r\n\r\n");
+  if (!response.starts_with("HTTP/") || body_at == std::string::npos) {
+    return Status::DataLoss("malformed HTTP response");
+  }
+  return response.substr(body_at + 4);
 }
 
 }  // namespace loom

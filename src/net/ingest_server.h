@@ -15,6 +15,12 @@
 // This is deliberately minimal — no TLS, no auth, loopback-oriented — it
 // exists to exercise the daemon the way a real collector is driven, and to
 // give tests a process-boundary-shaped path.
+//
+// The same port doubles as the daemon's metrics exposition endpoint: a
+// connection whose first bytes are "GET " is answered with an HTTP response
+// carrying the registry in Prometheus text format and then closed (the
+// binary framing above can never start with those bytes — they would decode
+// as source id 0x20544547). `curl http://127.0.0.1:<port>/metrics` works.
 
 #ifndef SRC_NET_INGEST_SERVER_H_
 #define SRC_NET_INGEST_SERVER_H_
@@ -63,6 +69,8 @@ class IngestServer {
 
   void AcceptLoop();
   void ConnectionLoop(int fd);
+  // Serves one HTTP metrics scrape on `fd` (headers + Prometheus body).
+  void ServeMetrics(int fd);
 
   MonitoringDaemon* daemon_;
   int listen_fd_ = -1;
@@ -79,6 +87,13 @@ class IngestServer {
   std::atomic<uint64_t> records_{0};
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> rejected_{0};
+
+  // Registry-backed mirrors (registered against the daemon's registry).
+  Counter* connections_metric_ = nullptr;
+  Counter* records_metric_ = nullptr;
+  Counter* bytes_metric_ = nullptr;
+  Counter* rejected_metric_ = nullptr;
+  Counter* scrapes_metric_ = nullptr;
 };
 
 // Client side: buffers records and writes them to the server.
@@ -102,6 +117,10 @@ class IngestClient {
   int fd_;
   std::vector<uint8_t> buffer_;
 };
+
+// Issues an HTTP/1.0 GET against the server's metrics endpoint and returns
+// the response body (the Prometheus text exposition). Test/tool helper.
+Result<std::string> FetchMetricsOverHttp(const std::string& host, uint16_t port);
 
 }  // namespace loom
 

@@ -4,6 +4,16 @@
 
 namespace loom {
 
+TraceSink::TraceSink(Loom* engine, TimestampNanos window_nanos, SummaryCallback on_window)
+    : engine_(engine), window_nanos_(window_nanos), on_window_(std::move(on_window)) {
+  MetricsRegistry* reg = engine_->metrics();
+  if (reg != nullptr) {
+    windows_emitted_metric_ = reg->AddCounter("loom_sink_windows_emitted_total");
+    windows_skipped_metric_ = reg->AddCounter("loom_sink_windows_skipped_total");
+    late_events_metric_ = reg->AddCounter("loom_sink_late_events_total");
+  }
+}
+
 Status TraceSink::AddSource(uint32_t source_id, Loom::IndexFunc value_func, HistogramSpec spec) {
   if (sources_.count(source_id) != 0) {
     return Status::AlreadyExists("source already traced");
@@ -32,8 +42,21 @@ Status TraceSink::OnEvent(uint32_t source_id, std::span<const uint8_t> payload) 
   LOOM_RETURN_IF_ERROR(engine_->Push(source_id, payload));
   const TimestampNanos now = engine_->Now();
 
+  if (agg.open && now < agg.window_start && late_events_metric_ != nullptr) {
+    // The engine clock is monotonic, but injected test clocks (and fleet
+    // members with skew) can hand us an event before its open window. It is
+    // still aggregated; the counter makes the skew visible.
+    late_events_metric_->Increment();
+  }
   if (agg.open && now >= agg.window_start + window_nanos_) {
-    Emit(source_id, agg, agg.window_start + window_nanos_);
+    const TimestampNanos emitted_end = agg.window_start + window_nanos_;
+    Emit(source_id, agg, emitted_end);
+    // Windows that fully elapsed between the emitted one and the one this
+    // event lands in produced no summary — the streaming model silently
+    // shows nothing for them, so count them.
+    if (window_nanos_ != 0 && windows_skipped_metric_ != nullptr && now >= emitted_end) {
+      windows_skipped_metric_->Increment((now - emitted_end) / window_nanos_);
+    }
   }
   if (!agg.open) {
     agg.open = true;
@@ -66,6 +89,9 @@ void TraceSink::Emit(uint32_t source_id, SourceAgg& agg, TimestampNanos window_e
   agg.current.window_end = window_end;
   if (on_window_) {
     on_window_(agg.current);
+  }
+  if (windows_emitted_metric_ != nullptr) {
+    windows_emitted_metric_->Increment();
   }
   agg.open = false;
 }

@@ -41,8 +41,7 @@ class TraceSink {
 
   // `engine` must outlive the sink. Events are timestamped by the engine on
   // Push; window boundaries use the same clock.
-  TraceSink(Loom* engine, TimestampNanos window_nanos, SummaryCallback on_window)
-      : engine_(engine), window_nanos_(window_nanos), on_window_(std::move(on_window)) {}
+  TraceSink(Loom* engine, TimestampNanos window_nanos, SummaryCallback on_window);
 
   // Registers a traced source: defines it (and a histogram index) on the
   // engine and starts aggregating its values. Ingest thread only.
@@ -75,6 +74,13 @@ class TraceSink {
   TimestampNanos window_nanos_;
   SummaryCallback on_window_;
   std::unordered_map<uint32_t, SourceAgg> sources_;
+
+  // Registered against the engine's registry: emitted window summaries,
+  // windows that elapsed with no summary (the streaming model's blind spots),
+  // and events timestamped before their open window (clock skew).
+  Counter* windows_emitted_metric_ = nullptr;
+  Counter* windows_skipped_metric_ = nullptr;
+  Counter* late_events_metric_ = nullptr;
 };
 
 }  // namespace loom

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 
+#include "src/benchutil/bench_json.h"
 #include "src/benchutil/table.h"
 
 namespace loom {
@@ -51,6 +53,58 @@ TEST(TablePrinterTest, PrintsWithoutCrashing) {
   table.AddRow({"1", "2"});                    // short row padded
   table.AddRow({"wide cell content", "x", "y"});
   table.Print();  // visual output; correctness is "does not crash/assert"
+}
+
+TEST(JsonWriterTest, EscapesAndNestsFields) {
+  JsonWriter w;
+  w.Field("name", "line\none \"quoted\" \\slash");
+  w.Field("count", uint64_t{42});
+  w.Field("rate", 2.5);
+  w.Field("ok", true);
+  w.BeginObject("nested");
+  w.Field("inner", 7);
+  w.EndObject();
+  w.BeginArray("values");
+  w.ArrayValue(1.0);
+  w.ArrayValue(2.5);
+  w.EndArray();
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"name\": \"line\\none \\\"quoted\\\" \\\\slash\""), std::string::npos);
+  EXPECT_NE(doc.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(doc.find("\"rate\": 2.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(doc.find("\"inner\": 7"), std::string::npos);
+  EXPECT_NE(doc.find("[1, 2.5]"), std::string::npos);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc[doc.size() - 2], '}');  // "...}\n"
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.Field("inf", std::numeric_limits<double>::infinity());
+  w.Field("nan", std::numeric_limits<double>::quiet_NaN());
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+}
+
+TEST(JsonWriterTest, MetricsSectionRendersRegistrySnapshot) {
+  MetricsRegistry reg;
+  reg.AddCounter("loom_test_ops_total")->Increment(9);
+  reg.AddGauge("loom_test_depth")->Set(3.5);
+  Histogram* h = reg.AddHistogram("loom_test_latency_seconds");
+  h->Observe(0.001);
+  h->Observe(0.002);
+
+  JsonWriter w;
+  w.Field("bench", "unit");
+  w.MetricsSection("metrics", reg.Snapshot());
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"loom_test_ops_total\": 9"), std::string::npos);
+  EXPECT_NE(doc.find("\"loom_test_depth\": 3.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"loom_test_latency_seconds\""), std::string::npos);
+  EXPECT_NE(doc.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
 }
 
 }  // namespace

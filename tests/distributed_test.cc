@@ -140,6 +140,50 @@ TEST_F(CoordinatorTest, AggregateCacheStatsSumsNodeEngines) {
   EXPECT_EQ(warm.bytes_used, manual.bytes_used);
 }
 
+TEST_F(CoordinatorTest, AggregateMetricsMergesRegistrySnapshots) {
+  Rng rng(13);
+  TimestampNanos ts = 0;
+  for (int i = 0; i < 3000; ++i) {
+    ts += 1 + rng.NextBounded(3);
+    Push(static_cast<int>(rng.NextBounded(3)), ts, rng.NextUniform(0, 1000));
+  }
+  LoomCoordinator coordinator(nodes_);
+
+  const MetricsSnapshot merged = coordinator.AggregateMetrics();
+  // Fleet-wide counter = sum of per-node counters = everything we pushed.
+  EXPECT_EQ(merged.counters.at("loom_core_ingested_records_total"), 3000u);
+  uint64_t manual = 0;
+  for (const auto& engine : engines_) {
+    manual += engine->metrics()->Snapshot().counters.at("loom_core_ingested_records_total");
+  }
+  EXPECT_EQ(merged.counters.at("loom_core_ingested_records_total"), manual);
+
+  // Histogram buckets merge: per-node push latency distributions sum into
+  // one fleet distribution whose count matches the push total.
+  const HistogramSnapshot& pushes = merged.histograms.at("loom_core_push_seconds");
+  uint64_t manual_pushes = 0;
+  for (const auto& engine : engines_) {
+    manual_pushes += engine->metrics()->Snapshot().histograms.at("loom_core_push_seconds").count;
+  }
+  EXPECT_EQ(pushes.count, manual_pushes);
+  EXPECT_GT(pushes.count, 0u);  // 1-in-64 sampling over 1000+ pushes per node
+  uint64_t bucket_total = 0;
+  for (uint64_t b : pushes.counts) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, pushes.count);
+  // The merged snapshot renders like any single-node one.
+  EXPECT_NE(merged.RenderPrometheus().find("loom_core_ingested_records_total"),
+            std::string::npos);
+
+  // Engines sharing one registry are merged once, not once per node.
+  std::vector<LoomNode> doubled = nodes_;
+  doubled.push_back(LoomNode{engines_.front().get(), 99});
+  LoomCoordinator dup_coordinator(doubled);
+  EXPECT_EQ(dup_coordinator.AggregateMetrics().counters.at("loom_core_ingested_records_total"),
+            3000u);
+}
+
 TEST_F(CoordinatorTest, PercentileRejectsAggregateEntryPoint) {
   LoomCoordinator coordinator(nodes_);
   EXPECT_FALSE(

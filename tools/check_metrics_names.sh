@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Lints every metric name registered in src/ against the naming convention
+# documented in src/common/metrics.h:
+#
+#   loom_<subsystem>_<name>[_seconds|_bytes|_total]
+#
+# Enforced rules:
+#   * every full name matches ^loom_[a-z0-9]+(_[a-z0-9]+)+$ (lower-snake,
+#     loom_ prefix, at least a subsystem and a name part);
+#   * counters end in _total or _bytes (monotonic counts / byte counts);
+#   * histograms end in _seconds (latencies) or _records (size
+#     distributions);
+#   * hybrid-log style name fragments ("_flush_seconds" appended to a
+#     metrics_prefix variable) follow the same suffix rules, and every
+#     metrics_prefix literal is itself loom_<subsystem>[_<name>...].
+#
+# Wired as a ctest (check_metrics_names); run manually from anywhere:
+#   tools/check_metrics_names.sh
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+src="$root/src"
+fail=0
+total=0
+
+# Prints the quoted first argument of Add<Kind>( call sites. Call sites keep
+# the name literal (or prefix + "_fragment" expression) on the call line.
+extract() { # $1 = Counter|Gauge|Histogram
+  grep -rhoE "Add$1\(\"[^\"]+\"" "$src" --include='*.cc' --include='*.h' |
+    sed -E 's/.*"([^"]+)"$/\1/'
+}
+
+extract_fragments() { # $1 = Counter|Gauge|Histogram
+  grep -rhoE "Add$1\([A-Za-z_][A-Za-z0-9_.>-]* \+ \"[^\"]+\"" "$src" \
+    --include='*.cc' --include='*.h' |
+    sed -E 's/.*"([^"]+)"$/\1/'
+}
+
+check() { # $1 = name, $2 = regex, $3 = message
+  total=$((total + 1))
+  if ! [[ "$1" =~ $2 ]]; then
+    echo "BAD  $1  ($3)" >&2
+    fail=1
+  fi
+}
+
+base='^loom_[a-z0-9]+(_[a-z0-9]+)+$'
+counter_suffix='(_total|_bytes)$'
+histogram_suffix='(_seconds|_records)$'
+fragment_base='^(_[a-z0-9]+)+$'
+
+while read -r name; do
+  [ -z "$name" ] && continue
+  check "$name" "$base" "counter must be loom_<subsystem>_<name>..."
+  check "$name" "$counter_suffix" "counter must end in _total or _bytes"
+done < <(extract Counter | sort -u)
+
+while read -r name; do
+  [ -z "$name" ] && continue
+  check "$name" "$base" "gauge must be loom_<subsystem>_<name>..."
+done < <(extract Gauge | sort -u)
+
+while read -r name; do
+  [ -z "$name" ] && continue
+  check "$name" "$base" "histogram must be loom_<subsystem>_<name>..."
+  check "$name" "$histogram_suffix" "histogram must end in _seconds or _records"
+done < <(extract Histogram | sort -u)
+
+# Fragments appended to a prefix variable (the hybrid log's per-instance
+# metric families).
+while read -r frag; do
+  [ -z "$frag" ] && continue
+  check "$frag" "$fragment_base" "fragment must be _<name>..."
+  check "$frag" "$counter_suffix" "counter fragment must end in _total or _bytes"
+done < <(extract_fragments Counter | sort -u)
+
+while read -r frag; do
+  [ -z "$frag" ] && continue
+  check "$frag" "$fragment_base" "fragment must be _<name>..."
+  check "$frag" "$histogram_suffix" "histogram fragment must end in _seconds or _records"
+done < <(extract_fragments Histogram | sort -u)
+
+# The prefixes those fragments attach to.
+while read -r prefix; do
+  [ -z "$prefix" ] && continue
+  check "$prefix" "$base" "metrics_prefix must be loom_<subsystem>_<name>..."
+done < <(grep -rhoE 'metrics_prefix = "[^"]+"' "$src" --include='*.cc' --include='*.h' |
+  sed -E 's/.*"([^"]+)"$/\1/' | sort -u)
+
+if [ "$total" -lt 30 ]; then
+  echo "BAD  extraction found only $total checked names; the grep patterns no longer match" \
+    "the registration call sites" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "metric name lint FAILED" >&2
+  exit 1
+fi
+echo "metric name lint OK ($total checks)"
