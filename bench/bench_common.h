@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -19,6 +21,22 @@
 #include "src/workload/records.h"
 
 namespace loom {
+
+// Parses `--seed=N` (or `--seed N`) from a bench's argv so harness runs can
+// pin the workload-generator seed explicitly; every bench records the seed it
+// actually used in its BENCH_*.json, making any run reproducible bit-for-bit.
+inline uint64_t ParseBenchSeed(int argc, char** argv, uint64_t default_seed) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      return std::strtoull(arg + 7, nullptr, 10);
+    }
+    if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return default_seed;
+}
 
 // A pre-generated workload event stream (so ingest measurements exclude
 // generation cost and every system sees identical data).
@@ -65,11 +83,15 @@ struct LoomIndexes {
 
 // Standard Loom instance for the case studies: one source per telemetry
 // stream, exponential latency histograms, and an exact-match dport index.
+// `query_threads` sizes the morsel-driven parallel query executor (0 = the
+// serial executor).
 inline std::unique_ptr<Loom> MakeCaseStudyLoom(const std::string& dir, ManualClock* clock,
-                                               LoomIndexes* idx, bool redis) {
+                                               LoomIndexes* idx, bool redis,
+                                               size_t query_threads = 0) {
   LoomOptions opts;
   opts.dir = dir;
   opts.clock = clock;
+  opts.query_threads = query_threads;
   auto loom = Loom::Open(opts);
   if (!loom.ok()) {
     return nullptr;

@@ -45,7 +45,7 @@ QueryResult Timed(Fn&& fn) {
 }  // namespace
 }  // namespace loom
 
-int main() {
+int main(int argc, char** argv) {
   using namespace loom;
   PrintBanner("Figure 13", "RocksDB workload aggregation query latencies (P1-P3)",
               "Loom serves max and tail-percentile queries mostly from chunk summaries; "
@@ -55,6 +55,8 @@ int main() {
   RocksdbWorkloadConfig config;
   config.scale = 0.01;  // ~2M records total
   config.phase_seconds = 10.0;
+  config.seed = ParseBenchSeed(argc, argv, config.seed);
+  printf("Workload seed: %llu\n", static_cast<unsigned long long>(config.seed));
   RocksdbWorkload gen(config);
   const TimeRange p1{gen.PhaseStart(1), gen.PhaseEnd(1)};
   const TimeRange p2{gen.PhaseStart(2), gen.PhaseEnd(2)};
@@ -70,6 +72,14 @@ int main() {
   LoomIndexes idx;
   auto l = MakeCaseStudyLoom(dir.FilePath("loom"), &loom_clock, &idx, /*redis=*/false);
   const double loom_ingest = ReplayIntoLoom(replay, l.get(), &loom_clock);
+
+  // Same engine configuration with the parallel query executor (4 pool
+  // threads); only meaningful on multi-core machines, reported either way.
+  ManualClock loom_mt_clock(1);
+  LoomIndexes idx_mt;
+  auto lmt = MakeCaseStudyLoom(dir.FilePath("loom_mt"), &loom_mt_clock, &idx_mt, /*redis=*/false,
+                               /*query_threads=*/4);
+  (void)ReplayIntoLoom(replay, lmt.get(), &loom_mt_clock);
 
   ManualClock fs_clock(1);
   FishStorePsfs psfs;
@@ -114,7 +124,7 @@ int main() {
   struct Spec {
     const char* phase;
     const char* name;
-    QueryResult loom, fish, tsdb;
+    QueryResult loom, loom_mt, fish, tsdb;
   };
   std::vector<Spec> specs;
 
@@ -142,6 +152,11 @@ int main() {
                          .value_or(0);
                    }),
                    Timed([&] {
+                     return lmt->IndexedAggregate(kAppSource, idx_mt.app_latency, p1,
+                                                  AggregateMethod::kMax)
+                         .value_or(0);
+                   }),
+                   Timed([&] {
                      auto values = fish_chain_values(psfs.by_source, kAppSource, p1, false);
                      return values.empty() ? 0.0
                                            : *std::max_element(values.begin(), values.end());
@@ -154,6 +169,11 @@ int main() {
                    timed_loom([&] {
                      return l->IndexedAggregate(kAppSource, idx.app_latency, p1,
                                                 AggregateMethod::kPercentile, 99.99)
+                         .value_or(0);
+                   }),
+                   Timed([&] {
+                     return lmt->IndexedAggregate(kAppSource, idx_mt.app_latency, p1,
+                                                  AggregateMethod::kPercentile, 99.99)
                          .value_or(0);
                    }),
                    Timed([&] {
@@ -174,6 +194,11 @@ int main() {
                          .value_or(0);
                    }),
                    Timed([&] {
+                     return lmt->IndexedAggregate(kSyscallSource, idx_mt.pread64_latency, p2,
+                                                  AggregateMethod::kMax)
+                         .value_or(0);
+                   }),
+                   Timed([&] {
                      auto values =
                          fish_chain_values(psfs.by_syscall, kSyscallPread64, p2, true);
                      return values.empty() ? 0.0
@@ -187,6 +212,11 @@ int main() {
                    timed_loom([&] {
                      return l->IndexedAggregate(kSyscallSource, idx.pread64_latency, p2,
                                                 AggregateMethod::kPercentile, 99.99)
+                         .value_or(0);
+                   }),
+                   Timed([&] {
+                     return lmt->IndexedAggregate(kSyscallSource, idx_mt.pread64_latency, p2,
+                                                  AggregateMethod::kPercentile, 99.99)
                          .value_or(0);
                    }),
                    Timed([&] {
@@ -208,6 +238,11 @@ int main() {
                          .value_or(0);
                    }),
                    Timed([&] {
+                     return lmt->IndexedAggregate(kPageCacheSource, idx_mt.pagecache_event, p3,
+                                                  AggregateMethod::kCount)
+                         .value_or(0);
+                   }),
+                   Timed([&] {
                      uint64_t count = 0;
                      (void)fs->PsfScan(psfs.by_pc_event, 1, [&](const FishStore::Record& rec) {
                        if (rec.ts < p3.start) {
@@ -224,13 +259,15 @@ int main() {
                      return (*tsdb)->QueryCount(kPcSeries, p3.start, p3.end).value_or(0);
                    })});
 
-  TablePrinter table({"phase", "query", "Loom", "FishStore", "InfluxDB-idealized",
+  TablePrinter table({"phase", "query", "Loom", "Loom 4T", "FishStore", "InfluxDB-idealized",
                       "speedup vs FS", "speedup vs TSDB", "cache hit%", "results agree"});
   for (size_t i = 0; i < specs.size(); ++i) {
     const Spec& s = specs[i];
     const bool agree = std::abs(s.loom.value - s.fish.value) < 1e-6 * (1 + std::abs(s.loom.value)) &&
-                       std::abs(s.loom.value - s.tsdb.value) < 1e-6 * (1 + std::abs(s.loom.value));
+                       std::abs(s.loom.value - s.tsdb.value) < 1e-6 * (1 + std::abs(s.loom.value)) &&
+                       s.loom.value == s.loom_mt.value;
     table.AddRow({s.phase, s.name, FormatSeconds(s.loom.seconds),
+                  FormatSeconds(s.loom_mt.seconds),
                   FormatSeconds(s.fish.seconds), FormatSeconds(s.tsdb.seconds),
                   FormatDouble(s.fish.seconds / std::max(1e-9, s.loom.seconds), 1) + "x",
                   FormatDouble(s.tsdb.seconds / std::max(1e-9, s.loom.seconds), 1) + "x",

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/benchutil/bench_json.h"
 #include "src/benchutil/table.h"
 #include "src/btreestore/btree_store.h"
@@ -44,7 +45,8 @@ std::vector<uint8_t> MakePayload(size_t size, Rng& rng) {
   return payload;
 }
 
-CellResult RunHybridLog(const std::string& file_path, size_t record_size, uint64_t records) {
+CellResult RunHybridLog(const std::string& file_path, size_t record_size, uint64_t records,
+                        uint64_t seed) {
   HybridLogOptions opts;
   opts.block_size = 16 << 20;
   auto log = HybridLog::Create(file_path, opts);
@@ -52,7 +54,7 @@ CellResult RunHybridLog(const std::string& file_path, size_t record_size, uint64
     fprintf(stderr, "hybrid log open failed: %s\n", log.status().ToString().c_str());
     return {};
   }
-  Rng rng(1);
+  Rng rng(seed);
   auto payload = MakePayload(record_size, rng);
   WallTimer timer;
   for (uint64_t i = 0; i < records; ++i) {
@@ -68,7 +70,7 @@ CellResult RunHybridLog(const std::string& file_path, size_t record_size, uint64
 // keeps of the raw hybrid-log ceiling once indexing rides along, and what
 // batching the source lookup / clock read / publish fence buys.
 CellResult RunLoomEngine(const std::string& dir, size_t record_size, uint64_t records,
-                         MetricsSnapshot* metrics_out) {
+                         uint64_t seed, MetricsSnapshot* metrics_out) {
   LoomOptions opts;
   opts.dir = dir;
   opts.record_block_size = 16 << 20;
@@ -78,7 +80,7 @@ CellResult RunLoomEngine(const std::string& dir, size_t record_size, uint64_t re
     return {};
   }
   (void)(*engine)->DefineSource(1);
-  Rng rng(5);
+  Rng rng(seed);
   auto payload = MakePayload(record_size, rng);
   constexpr size_t kBatch = 128;
   std::vector<std::span<const uint8_t>> batch(kBatch,
@@ -97,11 +99,12 @@ CellResult RunLoomEngine(const std::string& dir, size_t record_size, uint64_t re
   return result;
 }
 
-CellResult RunFishStore(const std::string& dir, size_t record_size, uint64_t records) {
+CellResult RunFishStore(const std::string& dir, size_t record_size, uint64_t records,
+                        uint64_t seed) {
   FishStoreOptions opts;
   opts.dir = dir;
   auto store = FishStore::Open(opts);
-  Rng rng(2);
+  Rng rng(seed);
   auto payload = MakePayload(record_size, rng);
   WallTimer timer;
   for (uint64_t i = 0; i < records; ++i) {
@@ -110,11 +113,12 @@ CellResult RunFishStore(const std::string& dir, size_t record_size, uint64_t rec
   return Finish(records, record_size, timer.Seconds());
 }
 
-CellResult RunLsm(const std::string& dir, size_t record_size, uint64_t records) {
+CellResult RunLsm(const std::string& dir, size_t record_size, uint64_t records,
+                  uint64_t seed) {
   LsmOptions opts;
   opts.dir = dir;
   auto store = LsmStore::Open(opts);
-  Rng rng(3);
+  Rng rng(seed);
   auto payload = MakePayload(record_size, rng);
   char key[32];
   WallTimer timer;
@@ -126,12 +130,13 @@ CellResult RunLsm(const std::string& dir, size_t record_size, uint64_t records) 
   return Finish(records, record_size, timer.Seconds());
 }
 
-CellResult RunBTree(const std::string& dir, size_t record_size, uint64_t records) {
+CellResult RunBTree(const std::string& dir, size_t record_size, uint64_t records,
+                    uint64_t seed) {
   BTreeOptions opts;
   auto value_size = record_size > 12 ? record_size - 12 : 1;  // key+len overhead parity
   opts.dir = dir;
   auto store = BTreeStore::Open(opts);
-  Rng rng(4);
+  Rng rng(seed);
   auto payload = MakePayload(value_size, rng);
   WallTimer timer;
   for (uint64_t i = 0; i < records; ++i) {
@@ -144,29 +149,34 @@ CellResult RunBTree(const std::string& dir, size_t record_size, uint64_t records
 }  // namespace
 }  // namespace loom
 
-int main() {
+int main(int argc, char** argv) {
   using namespace loom;
   PrintBanner("Figure 15", "Data-structure ingest throughput vs record size (8 B - 1 KiB)",
               "hybrid log fastest at 8/64 B (small writes are CPU-bound); FishStore and the "
               "LSM close the gap at 256-1024 B; the B+tree trails throughout");
 
+  // Payload-content seed; each structure derives its own stream from it.
+  const uint64_t seed = ParseBenchSeed(argc, argv, 1);
   TempDir dir;
   TablePrinter table({"record size", "hybrid log (Loom)", "Loom engine (batched)",
                       "FishStore log", "LSM (RocksDB-like)", "B+tree (LMDB-like)",
                       "hybrid log MiB/s"});
   JsonWriter json;
+  json.Field("seed", seed);
   MetricsSnapshot engine_metrics;
   int cell = 0;
   for (size_t size : {size_t{8}, size_t{64}, size_t{256}, size_t{1024}}) {
     // Volume capped so small-record cells stay tractable on one core.
     const uint64_t records = std::min<uint64_t>(kTotalBytes / size, 4'000'000);
     auto hybrid =
-        RunHybridLog(dir.FilePath("hybrid-" + std::to_string(cell) + ".log"), size, records);
+        RunHybridLog(dir.FilePath("hybrid-" + std::to_string(cell) + ".log"), size, records,
+                     seed);
     auto engine =
-        RunLoomEngine(dir.FilePath("e" + std::to_string(cell)), size, records, &engine_metrics);
-    auto fish = RunFishStore(dir.FilePath("f" + std::to_string(cell)), size, records);
-    auto lsm = RunLsm(dir.FilePath("l" + std::to_string(cell)), size, records / 4);
-    auto btree = RunBTree(dir.FilePath("b" + std::to_string(cell)), size, records / 2);
+        RunLoomEngine(dir.FilePath("e" + std::to_string(cell)), size, records, seed + 1,
+                      &engine_metrics);
+    auto fish = RunFishStore(dir.FilePath("f" + std::to_string(cell)), size, records, seed + 2);
+    auto lsm = RunLsm(dir.FilePath("l" + std::to_string(cell)), size, records / 4, seed + 3);
+    auto btree = RunBTree(dir.FilePath("b" + std::to_string(cell)), size, records / 2, seed + 4);
     table.AddRow({std::to_string(size) + " B", FormatRate(hybrid.records_per_second),
                   FormatRate(engine.records_per_second), FormatRate(fish.records_per_second),
                   FormatRate(lsm.records_per_second), FormatRate(btree.records_per_second),

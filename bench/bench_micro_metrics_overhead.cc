@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/benchutil/bench_json.h"
 #include "src/benchutil/table.h"
 #include "src/common/file.h"
@@ -32,7 +33,8 @@ constexpr int kRepeats = 5;
 
 // One full ingest run; returns records/second. `metrics_out`, when given,
 // receives the engine's final registry snapshot.
-double RunIngest(const std::string& dir, bool latency_metrics, MetricsSnapshot* metrics_out) {
+double RunIngest(const std::string& dir, bool latency_metrics, uint64_t seed,
+                 MetricsSnapshot* metrics_out) {
   LoomOptions opts;
   opts.dir = dir;
   opts.record_block_size = 16 << 20;
@@ -43,7 +45,7 @@ double RunIngest(const std::string& dir, bool latency_metrics, MetricsSnapshot* 
     return 0.0;
   }
   (void)(*engine)->DefineSource(1);
-  Rng rng(11);
+  Rng rng(seed);
   std::vector<uint8_t> payload(kRecordSize);
   for (auto& b : payload) {
     b = static_cast<uint8_t>(rng.Next64());
@@ -66,12 +68,13 @@ double RunIngest(const std::string& dir, bool latency_metrics, MetricsSnapshot* 
 }  // namespace
 }  // namespace loom
 
-int main() {
+int main(int argc, char** argv) {
   using namespace loom;
   PrintBanner("Micro", "Self-telemetry overhead on batched ingest",
               "full instrumentation (latency histograms + sampled push timing) should cost "
               "no more than 3% of counters-only ingest throughput");
 
+  const uint64_t seed = ParseBenchSeed(argc, argv, 11);
   TempDir dir;
   double best_off = 0.0;
   double best_on = 0.0;
@@ -82,7 +85,7 @@ int main() {
     for (int leg = 0; leg < 2; ++leg) {
       const bool latency_on = (rep + leg) % 2 == 1;
       const double rate =
-          RunIngest(dir.FilePath("run" + std::to_string(cell++)), latency_on,
+          RunIngest(dir.FilePath("run" + std::to_string(cell++)), latency_on, seed,
                     latency_on ? &instrumented_metrics : nullptr);
       if (latency_on) {
         best_on = std::max(best_on, rate);
@@ -106,6 +109,7 @@ int main() {
          ok ? "OK" : "ABOVE TARGET");
 
   JsonWriter json;
+  json.Field("seed", seed);
   json.Field("records", kRecords);
   json.Field("record_size_bytes", static_cast<uint64_t>(kRecordSize));
   json.Field("batch_size", static_cast<uint64_t>(kBatch));

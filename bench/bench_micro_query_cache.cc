@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/benchutil/bench_json.h"
 #include "src/benchutil/table.h"
 #include "src/common/file.h"
@@ -36,9 +37,9 @@ struct Dataset {
   std::vector<TimestampNanos> stamps;
 };
 
-Dataset MakeDataset() {
+Dataset MakeDataset(uint64_t seed) {
   Dataset d;
-  Rng rng(777);
+  Rng rng(seed);
   TimestampNanos ts = 1;
   for (uint64_t i = 0; i < kTotalRecords; ++i) {
     SyscallRecord rec;
@@ -105,13 +106,14 @@ double QueryPass(const Engine& e, const TimeRange& range) {
 }  // namespace
 }  // namespace loom
 
-int main() {
+int main(int argc, char** argv) {
   using namespace loom;
   PrintBanner("Micro", "Decoded chunk-summary cache: cold vs warm query latency",
               "warm repeats of the same aggregate should run at least ~2x faster than the "
               "cold pass, with the hit/miss counters proving the summary cache served them");
 
-  Dataset data = MakeDataset();
+  const uint64_t seed = ParseBenchSeed(argc, argv, 777);
+  Dataset data = MakeDataset(seed);
   const TimeRange range{1, data.stamps.back() + 1};
 
   TempDir dir;
@@ -171,6 +173,7 @@ int main() {
          ok ? "OK" : "BELOW TARGET");
 
   JsonWriter json;
+  json.Field("seed", seed);
   json.Field("records", kTotalRecords);
   json.Field("chunk_size_bytes", 16 << 10);
   json.Field("disabled_avg_seconds", disabled_avg);

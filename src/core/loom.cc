@@ -1,10 +1,13 @@
 #include "src/core/loom.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <thread>
+#include <utility>
 
 #include "src/hybridlog/cached_reader.h"
 
@@ -18,6 +21,13 @@ constexpr size_t kScanWindow = 64 << 10;
 // Forward scans of the timestamp index looking for the next chunk event are
 // bounded; past this many entries the query falls back to the chain walk.
 constexpr uint64_t kChunkEventScanCap = 8192;
+
+// Queries with fewer candidates than this stay serial — pool coordination
+// costs more than it buys on tiny plans.
+constexpr size_t kMinParallelCandidates = 4;
+
+// Parallel RawScan needs at least this many chain segments to fan out.
+constexpr size_t kMinParallelSegments = 4;
 
 Clock* DefaultClock() {
   static MonotonicClock clock;
@@ -47,25 +57,63 @@ class PlanTimer {
   uint64_t t0_;
 };
 
+// Partitions n candidates into contiguous morsels sized for `workers`
+// threads: enough morsels for load balance (about four per thread, caller
+// included), each within [1, 64] candidates.
+std::vector<std::pair<size_t, size_t>> MakeMorsels(size_t n, size_t workers) {
+  std::vector<std::pair<size_t, size_t>> morsels;
+  if (n == 0) {
+    return morsels;
+  }
+  const size_t target = (workers + 1) * 4;
+  const size_t size = std::max<size_t>(1, std::min<size_t>(64, (n + target - 1) / target));
+  morsels.reserve((n + size - 1) / size);
+  for (size_t b = 0; b < n; b += size) {
+    morsels.emplace_back(b, std::min(n, b + size));
+  }
+  return morsels;
+}
+
 }  // namespace
+
+Status LoomOptions::Validate() {
+  if (dir.empty()) {
+    return Status::InvalidArgument("LoomOptions.dir must be set");
+  }
+  if (chunk_size < 2 * kRecordHeaderSize) {
+    return Status::InvalidArgument("chunk_size too small");
+  }
+  if (summary_cache_bytes > 0 && summary_cache_shards == 0) {
+    return Status::InvalidArgument(
+        "summary_cache_shards must be nonzero when summary_cache_bytes > 0");
+  }
+  if (summary_cache_bytes == 0) {
+    summary_cache_shards = 0;  // canonical "cache disabled"
+  }
+  if (ts_marker_period == 0) {
+    ts_marker_period = 1;
+  }
+  record_block_size = RoundUp(std::max(record_block_size, chunk_size), chunk_size);
+  ts_index_block_size =
+      RoundUp(std::max<size_t>(ts_index_block_size, 1024), TimestampIndexEntry::kEncodedSize);
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  if (query_threads > hw * 4) {
+    query_threads = hw * 4;  // oversubscribing further only adds contention
+  }
+  return Status::Ok();
+}
 
 Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
   LoomOptions opts = options;
-  if (opts.dir.empty()) {
-    return Status::InvalidArgument("LoomOptions.dir must be set");
-  }
-  if (opts.chunk_size < 2 * kRecordHeaderSize) {
-    return Status::InvalidArgument("chunk_size too small");
-  }
+  LOOM_RETURN_IF_ERROR(opts.Validate());
   std::error_code ec;
   std::filesystem::create_directories(opts.dir, ec);
   if (ec) {
     return Status::IoError("create_directories " + opts.dir + ": " + ec.message());
   }
-  opts.record_block_size = RoundUp(std::max(opts.record_block_size, opts.chunk_size),
-                                   opts.chunk_size);
-  opts.ts_index_block_size =
-      RoundUp(std::max<size_t>(opts.ts_index_block_size, 1024), TimestampIndexEntry::kEncodedSize);
   if (opts.clock == nullptr) {
     opts.clock = DefaultClock();
   }
@@ -126,14 +174,20 @@ Loom::Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_me
     cache_opts.shards = options_.summary_cache_shards;
     summary_cache_ = std::make_unique<SummaryCache>(cache_opts);
   }
+  if (options_.query_threads > 0) {
+    query_pool_ = std::make_unique<QueryThreadPool>(options_.query_threads);
+  }
   RegisterMetrics();
 }
 
 Loom::~Loom() {
-  // A shared registry (LoomOptions.metrics) outlives this engine; the cache
-  // hook captures `summary_cache_` and must go first.
+  // A shared registry (LoomOptions.metrics) outlives this engine; the hooks
+  // capture `summary_cache_` / `query_pool_` and must go first.
   if (cache_hook_id_ != 0) {
     metrics_->RemoveCollectionHook(cache_hook_id_);
+  }
+  if (pool_hook_id_ != 0) {
+    metrics_->RemoveCollectionHook(pool_hook_id_);
   }
 }
 
@@ -159,6 +213,19 @@ void Loom::RegisterMetrics() {
   m_.aggregate_seconds = metrics_->AddHistogram("loom_query_aggregate_seconds");
   m_.histogram_seconds = metrics_->AddHistogram("loom_query_histogram_seconds");
   m_.count_seconds = metrics_->AddHistogram("loom_query_count_seconds");
+  m_.parallel_queries = metrics_->AddCounter("loom_query_parallel_queries_total");
+  m_.parallel_morsels = metrics_->AddCounter("loom_query_parallel_morsels_total");
+  m_.parallel_worker_runs = metrics_->AddCounter("loom_query_parallel_worker_runs_total");
+  m_.parallel_merge_seconds = metrics_->AddHistogram("loom_query_parallel_merge_seconds");
+  if (query_pool_ != nullptr) {
+    Gauge* pool_threads = metrics_->AddGauge("loom_query_parallel_pool_threads");
+    Gauge* queue_depth = metrics_->AddGauge("loom_query_parallel_pool_queue_depth");
+    QueryThreadPool* pool = query_pool_.get();
+    pool_threads->Set(static_cast<double>(pool->num_threads()));
+    pool_hook_id_ = metrics_->AddCollectionHook([pool, queue_depth] {
+      queue_depth->Set(static_cast<double>(pool->QueueDepthApprox()));
+    });
+  }
   if (summary_cache_ != nullptr) {
     // The cache keeps its own atomics (query threads bump them with no
     // registry in sight); a collection hook folds them into gauges at each
@@ -194,6 +261,14 @@ void Loom::FoldTraceIntoMetrics(const QueryTrace& trace, Histogram* op_hist) con
   }
   if (trace.bytes_read > 0) {
     m_.query_bytes_read->Increment(trace.bytes_read);
+  }
+  if (trace.parallel_morsels > 0) {
+    m_.parallel_queries->Increment();
+    m_.parallel_morsels->Increment(trace.parallel_morsels);
+    m_.parallel_worker_runs->Increment(trace.parallel_workers);
+    if (options_.enable_latency_metrics) {
+      m_.parallel_merge_seconds->ObserveNanos(trace.merge_nanos);
+    }
   }
   if (options_.enable_latency_metrics && op_hist != nullptr) {
     op_hist->ObserveNanos(trace.total_nanos);
@@ -634,10 +709,11 @@ void Loom::MaybeInvalidateCacheForRetention(uint64_t floor) const {
   }
 }
 
-Status Loom::CollectCandidateSummaries(
-    const Snapshot& snap, TimeRange t_range,
-    std::vector<std::shared_ptr<const ChunkSummary>>& out, QueryTrace* trace) const {
-  out.clear();
+Status Loom::PlanCandidates(const Snapshot& snap, TimeRange t_range, CandidatePlan* plan,
+                            QueryTrace* trace) const {
+  plan->addrs.clear();
+  plan->preloaded.clear();
+  plan->use_preloaded = false;
   if (!options_.enable_chunk_index || snap.chunk_tail == 0) {
     return Status::Ok();
   }
@@ -645,13 +721,15 @@ Status Loom::CollectCandidateSummaries(
   // Chunks below the retention floor no longer have data; skip their
   // summaries. When the floor advanced since the last query, reclaim the
   // cached summaries of dropped chunks (query-thread work — ingest never
-  // touches the cache).
+  // touches the cache). Workers re-check the floor per candidate, so the
+  // plan itself only needs it for the ablation sweep below.
   const uint64_t floor = record_log_->retained_floor();
   MaybeInvalidateCacheForRetention(floor);
 
   if (!options_.enable_timestamp_index) {
     // Ablation mode: no time index, so scan the whole chunk index log
     // sequentially and filter by timestamp range (still skips record data).
+    plan->use_preloaded = true;
     CachedLogReader reader(chunk_log_.get(), snap.chunk_tail, kScanWindow);
     const size_t bs = chunk_log_->block_size();
     uint64_t addr = 0;
@@ -679,7 +757,7 @@ Status Loom::CollectCandidateSummaries(
       const ChunkSummary& s = summary.value();
       if (s.chunk_addr >= floor && s.chunk_addr + s.chunk_len <= snap.indexed_tail &&
           s.max_ts >= t_range.start && s.min_ts <= t_range.end) {
-        out.push_back(std::make_shared<const ChunkSummary>(std::move(summary.value())));
+        plan->preloaded.push_back(std::make_shared<const ChunkSummary>(std::move(summary.value())));
       }
       addr += 4 + len;
     }
@@ -692,18 +770,23 @@ Status Loom::CollectCandidateSummaries(
     return Status::Ok();
   }
 
-  // Find the newest chunk event whose summary could still overlap the range:
-  // binary search to the first entry after t_range.end, then a bounded
-  // forward scan for the next chunk event (the chunk containing t_range.end
-  // is finalized after it). Chunks are time-ordered and non-overlapping, so
-  // one forward event suffices; if none is found, fall back to the last
-  // chunk event overall.
-  // One windowed reader serves both the bounded forward scan and the
-  // backward chain walk: timestamp entries are 32 bytes, so per-entry
-  // HybridLog::Read calls would pay the snapshot-validation protocol ~2000x
-  // per window; fetching through a window amortizes it.
+  // The plan deliberately reads no summaries: it derives the candidate set
+  // purely from timestamp-index entries, so the expensive summary
+  // load + decode runs per candidate on the executor (possibly fanned out
+  // across pool workers).
+  //
+  // Upper bound: binary search to the first entry after t_range.end, then a
+  // bounded forward scan for the next chunk event — the chunk containing
+  // t_range.end is finalized after it, and chunks are time-ordered and
+  // non-overlapping, so that event (inclusive) bounds the candidate set. No
+  // chunk event within the cap (or no entry past the range) means every
+  // chunk event up to the snapshot tail stays in play.
+  //
+  // One windowed reader serves the bounded scan and the collection sweep:
+  // timestamp entries are 32 bytes, so per-entry HybridLog::Read calls would
+  // pay the snapshot-validation protocol ~2000x per window.
   CachedLogReader ts_reader(ts_log_.get(), snap.ts_tail, kScanWindow);
-  std::optional<TimestampIndexEntry> head;
+  uint64_t hi = n;  // exclusive entry-index bound
   auto pos = tsr.FirstEntryAfter(t_range.end);
   if (!pos.ok()) {
     return pos.status();
@@ -716,54 +799,231 @@ Status Loom::CollectCandidateSummaries(
       if (!bytes.ok()) {
         return bytes.status();
       }
-      const TimestampIndexEntry e = TimestampIndexEntry::Decode(bytes.value().data());
-      if (e.kind == TimestampIndexEntry::Kind::kChunk) {
-        head = e;
+      if (TimestampIndexEntry::Decode(bytes.value().data()).kind ==
+          TimestampIndexEntry::Kind::kChunk) {
+        hi = i + 1;
         break;
       }
     }
   }
-  if (!head.has_value()) {
-    auto last = tsr.LastChunkEvent();
-    if (!last.ok()) {
-      return last.status();
+  // Lower bound: a chunk event's stamp is the finalize-time arrival clock,
+  // which is >= the chunk's max record timestamp (entries are written in
+  // monotone timestamp order), so chunk events before the first entry at or
+  // after t_range.start can only reference chunks entirely before the range
+  // — exactly the chunks the old backward chain walk stopped at.
+  uint64_t lo = 0;
+  if (t_range.start > 0) {
+    auto lower = tsr.FirstEntryAfter(t_range.start - 1);
+    if (!lower.ok()) {
+      return lower.status();
     }
-    head = last.value();
+    if (!lower.value().has_value()) {
+      return Status::Ok();  // every entry is before the range
+    }
+    lo = *lower.value();
   }
-  if (!head.has_value()) {
-    return Status::Ok();  // no chunks finalized yet
-  }
-
-  // Walk the chunk-event chain backward, collecting overlapping summaries.
-  // Chunk time ranges are ordered, so the walk stops at the first summary
-  // entirely before the range.
-  uint64_t event_addr = head->target_addr;
-  uint64_t prev_event = head->prev_addr;
-  for (;;) {
-    auto summary = ReadSummary(event_addr, snap.chunk_tail, trace);
-    if (!summary.ok()) {
-      return summary.status();
-    }
-    const ChunkSummary& s = *summary.value();
-    if (s.max_ts < t_range.start || s.chunk_addr < floor) {
-      break;  // older chunks are either out of range or dropped by retention
-    }
-    if (s.min_ts <= t_range.end && s.chunk_addr + s.chunk_len <= snap.indexed_tail) {
-      out.push_back(std::move(summary.value()));
-    }
-    if (prev_event == kNullAddr) {
-      break;
-    }
-    auto bytes = ts_reader.Fetch(prev_event, TimestampIndexEntry::kEncodedSize);
+  // Forward sweep [lo, hi): chunk-event targets are the summary addresses,
+  // already oldest-first.
+  for (uint64_t i = lo; i < hi; ++i) {
+    auto bytes = ts_reader.Fetch(i * TimestampIndexEntry::kEncodedSize,
+                                 TimestampIndexEntry::kEncodedSize);
     if (!bytes.ok()) {
       return bytes.status();
     }
     const TimestampIndexEntry e = TimestampIndexEntry::Decode(bytes.value().data());
-    event_addr = e.target_addr;
-    prev_event = e.prev_addr;
+    if (e.kind == TimestampIndexEntry::Kind::kChunk) {
+      plan->addrs.push_back(e.target_addr);
+    }
   }
-  std::reverse(out.begin(), out.end());
   return Status::Ok();
+}
+
+Result<std::shared_ptr<const ChunkSummary>> Loom::LoadCandidate(const CandidatePlan& plan,
+                                                                size_t c, const Snapshot& snap,
+                                                                TimeRange t_range,
+                                                                QueryTrace* trace) const {
+  std::shared_ptr<const ChunkSummary> summary;
+  if (plan.use_preloaded) {
+    summary = plan.preloaded[c];
+  } else {
+    auto loaded = ReadSummary(plan.addrs[c], snap.chunk_tail, trace);
+    if (!loaded.ok()) {
+      return loaded.status();
+    }
+    summary = std::move(loaded.value());
+  }
+  const ChunkSummary& s = *summary;
+  // The retention floor is re-read here — per candidate, on whichever thread
+  // processes it — so a floor that advances mid-query drops exactly the
+  // chunks whose record data is already gone.
+  if (s.chunk_addr < record_log_->retained_floor() ||
+      s.chunk_addr + s.chunk_len > snap.indexed_tail || s.max_ts < t_range.start ||
+      s.min_ts > t_range.end) {
+    return std::shared_ptr<const ChunkSummary>();  // filtered: not a candidate
+  }
+  return summary;
+}
+
+Status Loom::CollectCandidateSummaries(
+    const Snapshot& snap, TimeRange t_range,
+    std::vector<std::shared_ptr<const ChunkSummary>>& out, QueryTrace* trace) const {
+  out.clear();
+  CandidatePlan plan;
+  LOOM_RETURN_IF_ERROR(PlanCandidates(snap, t_range, &plan, trace));
+  for (size_t c = 0; c < plan.size(); ++c) {
+    auto summary = LoadCandidate(plan, c, snap, t_range, trace);
+    if (!summary.ok()) {
+      return summary.status();
+    }
+    if (summary.value() != nullptr) {
+      out.push_back(std::move(summary.value()));
+    }
+  }
+  return Status::Ok();
+}
+
+bool Loom::CanRunParallel() const {
+  // No nested parallelism: an index function or callback that re-enters the
+  // engine from a pool worker runs its query serially inline.
+  return query_pool_ != nullptr && !QueryThreadPool::OnWorkerThread();
+}
+
+Status Loom::ProcessAggregateCandidate(uint32_t source_id, uint32_t index_id,
+                                       const IndexSnapshot& idx, TimeRange t_range,
+                                       const Snapshot& snap, const CandidatePlan& plan, size_t c,
+                                       ChunkOutcome* out, QueryTrace* trace) const {
+  auto loaded = LoadCandidate(plan, c, snap, t_range, trace);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  if (loaded.value() == nullptr) {
+    out->kind = ChunkOutcome::Kind::kFiltered;
+    return Status::Ok();
+  }
+  out->summary = std::move(loaded.value());
+  const ChunkSummary& s = *out->summary;
+  bool has_presence = false;
+  uint64_t presence_count = 0;
+  uint64_t evaluated_count = 0;
+  TimestampNanos src_min_ts = 0;
+  TimestampNanos src_max_ts = 0;
+  for (const ChunkSummary::Entry& e : s.entries) {
+    if (e.source_id != source_id) {
+      continue;
+    }
+    if (e.index_id == kPresenceIndexId) {
+      has_presence = true;
+      presence_count = e.stats.count;
+      src_min_ts = e.stats.min_ts;
+      src_max_ts = e.stats.max_ts;
+    } else if (e.index_id == index_id && e.bin == kEvaluatedBin) {
+      evaluated_count = e.stats.count;
+    }
+  }
+  if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
+    out->kind = ChunkOutcome::Kind::kPruned;
+    return Status::Ok();
+  }
+  const bool fully_covered = src_min_ts >= t_range.start && src_max_ts <= t_range.end;
+  // Every source record in the chunk was seen by the index function, so the
+  // bins fully describe the chunk's indexed values (§5.3). The actual bin
+  // fold happens on the coordinator, in candidate order.
+  const bool all_indexed = evaluated_count == presence_count;
+  if (fully_covered && all_indexed) {
+    out->kind = ChunkOutcome::Kind::kFolded;
+    return Status::Ok();
+  }
+  out->kind = ChunkOutcome::Kind::kScanned;
+  const IndexFunc& func = idx.func;
+  const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
+  return ScanRecordRange(
+      s.chunk_addr, end,
+      [&](const RecordView& view) -> bool {
+        if (view.source_id != source_id || !t_range.Contains(view.ts)) {
+          return true;
+        }
+        std::optional<double> value = func(view.payload);
+        if (value.has_value()) {
+          out->values.emplace_back(*value, view.ts);
+        }
+        return true;
+      },
+      trace);
+}
+
+Status Loom::ProcessScanCandidate(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
+                                  TimeRange t_range, ValueRange v_range, uint32_t first_bin,
+                                  uint32_t last_bin, const Snapshot& snap,
+                                  const CandidatePlan& plan, size_t c, ChunkOutcome* out,
+                                  QueryTrace* trace) const {
+  auto loaded = LoadCandidate(plan, c, snap, t_range, trace);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  if (loaded.value() == nullptr) {
+    out->kind = ChunkOutcome::Kind::kFiltered;
+    return Status::Ok();
+  }
+  out->summary = std::move(loaded.value());
+  const ChunkSummary& s = *out->summary;
+  bool has_presence = false;
+  uint64_t presence_count = 0;
+  uint64_t evaluated_count = 0;
+  bool bin_match = false;
+  TimestampNanos src_min_ts = 0;
+  TimestampNanos src_max_ts = 0;
+  for (const ChunkSummary::Entry& e : s.entries) {
+    if (e.source_id != source_id) {
+      continue;
+    }
+    if (e.index_id == kPresenceIndexId) {
+      has_presence = true;
+      presence_count = e.stats.count;
+      src_min_ts = e.stats.min_ts;
+      src_max_ts = e.stats.max_ts;
+    } else if (e.index_id == index_id) {
+      if (e.bin == kEvaluatedBin) {
+        evaluated_count = e.stats.count;
+      } else if (e.bin >= first_bin && e.bin <= last_bin) {
+        bin_match = true;
+      }
+    }
+  }
+  if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
+    out->kind = ChunkOutcome::Kind::kPruned;
+    return Status::Ok();
+  }
+  // Chunks holding records that predate the index definition must be
+  // scanned: the bins cannot prove absence for never-evaluated records
+  // (§5.3). Records the index function merely skipped are provably
+  // non-matching and need no scan.
+  const bool has_unindexed = evaluated_count < presence_count;
+  if (!bin_match && !has_unindexed) {
+    out->kind = ChunkOutcome::Kind::kPruned;
+    return Status::Ok();
+  }
+  out->kind = ChunkOutcome::Kind::kScanned;
+  const IndexFunc& func = idx.func;
+  const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
+  return ScanRecordRange(
+      s.chunk_addr, end,
+      [&](const RecordView& view) -> bool {
+        if (view.source_id != source_id || !t_range.Contains(view.ts)) {
+          return true;
+        }
+        std::optional<double> value = func(view.payload);
+        if (!value.has_value() || !v_range.Contains(*value)) {
+          return true;
+        }
+        ChunkOutcome::Match m;
+        m.value = *value;
+        m.ts = view.ts;
+        m.addr = view.addr;
+        m.payload.assign(view.payload.begin(), view.payload.end());
+        out->matches.push_back(std::move(m));
+        return true;
+      },
+      trace);
 }
 
 // --- Query operators -------------------------------------------------------------
@@ -814,6 +1074,16 @@ Status Loom::RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCall
     return Status::Ok();
   }
 
+  if (CanRunParallel()) {
+    bool executed = false;
+    Status st = RawScanParallel(source_id, t_range, snap, start, cb, trace, &executed);
+    if (!st.ok() || executed) {
+      return st;
+    }
+    // Not enough chain segments to be worth fanning out: fall through to the
+    // serial walk.
+  }
+
   const uint64_t scan_t0 = trace->detailed ? MetricsNowNanos() : 0;
   CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow);
   uint64_t addr = start;
@@ -856,6 +1126,174 @@ Status Loom::RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCall
     trace->scan_nanos += MetricsNowNanos() - scan_t0;
   }
   return Status::Ok();
+}
+
+Status Loom::RawScanParallel(uint32_t source_id, TimeRange t_range, const Snapshot& snap,
+                             uint64_t start, const RecordCallback& cb, QueryTrace* trace,
+                             bool* executed) const {
+  *executed = false;
+  if (!options_.enable_timestamp_index || snap.ts_tail == 0) {
+    return Status::Ok();
+  }
+  // Partition the backward chain at record-marker targets: markers land every
+  // ts_marker_period records per source, so each [bounds[j], bounds[j+1])
+  // address segment is an independently walkable slice of the chain whose
+  // records are all newer than the next segment's.
+  TimestampIndexReader tsr(ts_log_.get(), snap.ts_tail);
+  auto marker = tsr.LastRecordMarkerAtOrBefore(source_id, t_range.end);
+  if (!marker.ok()) {
+    return marker.status();
+  }
+  if (!marker.value().has_value()) {
+    return Status::Ok();
+  }
+  std::vector<uint64_t> bounds;
+  bounds.push_back(start);
+  CachedLogReader ts_reader(ts_log_.get(), snap.ts_tail, kScanWindow);
+  TimestampIndexEntry m = *marker.value();
+  const uint64_t floor_hint = record_log_->retained_floor();
+  for (;;) {
+    if (m.ts < t_range.start || m.target_addr < floor_hint) {
+      break;  // the serial walk would stop inside the current last segment
+    }
+    if (m.target_addr < bounds.back()) {
+      bounds.push_back(m.target_addr);
+    }
+    if (m.prev_addr == kNullAddr) {
+      break;
+    }
+    auto bytes = ts_reader.Fetch(m.prev_addr, TimestampIndexEntry::kEncodedSize);
+    if (!bytes.ok()) {
+      return bytes.status();
+    }
+    m = TimestampIndexEntry::Decode(bytes.value().data());
+  }
+  if (bounds.size() < kMinParallelSegments) {
+    return Status::Ok();
+  }
+
+  struct Segment {
+    uint64_t begin = 0;
+    uint64_t end = kNullAddr;  // exclusive; kNullAddr = walk to the chain tail
+  };
+  std::vector<Segment> segs(bounds.size());
+  for (size_t j = 0; j < bounds.size(); ++j) {
+    segs[j].begin = bounds[j];
+    segs[j].end = j + 1 < bounds.size() ? bounds[j + 1] : kNullAddr;
+  }
+  struct SegResult {
+    std::vector<ChunkOutcome::Match> matches;  // value unused on this path
+    bool hit_stop = false;  // the serial walk would have terminated here
+  };
+  std::vector<SegResult> results(segs.size());
+
+  const std::vector<std::pair<size_t, size_t>> morsels =
+      MakeMorsels(segs.size(), query_pool_->num_threads());
+  std::vector<Status> morsel_status(morsels.size());
+  std::vector<QueryTrace> morsel_traces(morsels.size());
+  for (QueryTrace& mt : morsel_traces) {
+    mt.detailed = trace->detailed;
+  }
+  std::atomic<bool> abort{false};
+  Status failed;
+  const size_t window = std::max<size_t>(2 * query_pool_->num_threads(), 4);
+  const QueryThreadPool::RunStats stats = query_pool_->RunOrdered(
+      morsels.size(), window,
+      [&](size_t mi) {
+        if (abort.load(std::memory_order_relaxed)) {
+          return;  // a sibling morsel failed; the query returns its error
+        }
+        QueryTrace* mt = &morsel_traces[mi];
+        const uint64_t scan_t0 = mt->detailed ? MetricsNowNanos() : 0;
+        CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow);
+        const auto [sb, se] = morsels[mi];
+        for (size_t s = sb; s < se; ++s) {
+          SegResult& r = results[s];
+          uint64_t addr = segs[s].begin;
+          while (addr != kNullAddr && addr != segs[s].end) {
+            if (addr < record_log_->retained_floor()) {
+              r.hit_stop = true;  // chain continues into dropped territory
+              break;
+            }
+            auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
+            if (!head_bytes.ok()) {
+              if (head_bytes.status().code() == StatusCode::kOutOfRange) {
+                r.hit_stop = true;  // retention advanced mid-walk
+                break;
+              }
+              morsel_status[mi] = head_bytes.status();
+              abort.store(true, std::memory_order_relaxed);
+              break;
+            }
+            const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
+            ++mt->records_examined;
+            mt->bytes_read += kRecordHeaderSize;
+            if (header.ts < t_range.start) {
+              r.hit_stop = true;
+              break;
+            }
+            if (header.ts <= t_range.end) {
+              auto payload = reader.Fetch(addr + kRecordHeaderSize, header.payload_len);
+              if (!payload.ok()) {
+                morsel_status[mi] = payload.status();
+                abort.store(true, std::memory_order_relaxed);
+                break;
+              }
+              mt->bytes_read += header.payload_len;
+              ChunkOutcome::Match match;
+              match.ts = header.ts;
+              match.addr = addr;
+              match.payload.assign(payload.value().begin(), payload.value().end());
+              r.matches.push_back(std::move(match));
+            }
+            addr = header.prev_addr;
+          }
+          if (r.hit_stop || !morsel_status[mi].ok()) {
+            break;  // remaining segments are past the serial stop / the error
+          }
+        }
+        if (mt->detailed) {
+          mt->scan_nanos += MetricsNowNanos() - scan_t0;
+        }
+      },
+      [&](size_t mi) -> bool {
+        // Emit this morsel's buffered records newest-first; the across-morsel
+        // consume order makes the overall delivery identical to the serial
+        // backward walk. A worker error surfaces only after the records it
+        // buffered before failing are delivered — the exact serial prefix.
+        const auto [sb, se] = morsels[mi];
+        for (size_t s = sb; s < se; ++s) {
+          SegResult& r = results[s];
+          for (const ChunkOutcome::Match& match : r.matches) {
+            RecordView view;
+            view.source_id = source_id;
+            view.ts = match.ts;
+            view.addr = match.addr;
+            view.payload = std::span<const uint8_t>(match.payload);
+            ++trace->records_matched;
+            if (!cb(view)) {
+              return false;
+            }
+          }
+          const bool stop = r.hit_stop;
+          r = SegResult{};  // free buffered payloads eagerly
+          if (stop) {
+            return false;
+          }
+        }
+        if (!morsel_status[mi].ok()) {
+          failed = morsel_status[mi];
+          return false;
+        }
+        return true;
+      });
+  trace->parallel_morsels += stats.morsels;
+  trace->parallel_workers += stats.workers_used;
+  for (const QueryTrace& mt : morsel_traces) {
+    trace->AbsorbWorker(mt);
+  }
+  *executed = true;
+  return failed;
 }
 
 Status Loom::IndexedScan(uint32_t source_id, uint32_t index_id, TimeRange t_range,
@@ -923,52 +1361,108 @@ Status Loom::IndexedScanValuesImpl(uint32_t source_id, uint32_t index_id, TimeRa
   };
 
   if (options_.enable_chunk_index) {
-    std::vector<std::shared_ptr<const ChunkSummary>> candidates;
-    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates, trace));
-    for (const auto& candidate : candidates) {
-      const ChunkSummary& s = *candidate;
+    CandidatePlan plan;
+    LOOM_RETURN_IF_ERROR(PlanCandidates(snap, t_range, &plan, trace));
+    const size_t n = plan.size();
+
+    // Emits one processed candidate's buffered matches. Always runs on the
+    // calling thread, strictly in candidate (= timestamp) order, so the
+    // caller observes the exact serial delivery sequence. Returns false when
+    // the callback stopped the scan.
+    auto emit_outcome = [&](ChunkOutcome& o) -> bool {
+      if (o.kind == ChunkOutcome::Kind::kFiltered) {
+        return true;  // not a candidate after per-worker filtering
+      }
       ++trace->chunks_considered;
-      bool has_presence = false;
-      uint64_t presence_count = 0;
-      uint64_t evaluated_count = 0;
-      bool bin_match = false;
-      TimestampNanos src_min_ts = 0;
-      TimestampNanos src_max_ts = 0;
-      for (const ChunkSummary::Entry& e : s.entries) {
-        if (e.source_id != source_id) {
-          continue;
-        }
-        if (e.index_id == kPresenceIndexId) {
-          has_presence = true;
-          presence_count = e.stats.count;
-          src_min_ts = e.stats.min_ts;
-          src_max_ts = e.stats.max_ts;
-        } else if (e.index_id == index_id) {
-          if (e.bin == kEvaluatedBin) {
-            evaluated_count = e.stats.count;
-          } else if (e.bin >= first_bin && e.bin <= last_bin) {
-            bin_match = true;
-          }
-        }
-      }
-      if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
+      if (o.kind != ChunkOutcome::Kind::kScanned) {
         ++trace->chunks_pruned;
-        continue;
-      }
-      // Chunks holding records that predate the index definition must be
-      // scanned: the bins cannot prove absence for never-evaluated records
-      // (§5.3). Records the index function merely skipped are provably
-      // non-matching and need no scan.
-      const bool has_unindexed = evaluated_count < presence_count;
-      if (!bin_match && !has_unindexed) {
-        ++trace->chunks_pruned;
-        continue;
+        return true;
       }
       ++trace->chunks_scanned;
-      const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, emit_matches, trace));
+      for (const ChunkOutcome::Match& m : o.matches) {
+        RecordView view;
+        view.source_id = source_id;
+        view.ts = m.ts;
+        view.addr = m.addr;
+        view.payload = std::span<const uint8_t>(m.payload);
+        ++trace->records_matched;
+        if (!cb(m.value, view)) {
+          stopped = true;
+          return false;
+        }
+      }
+      return true;
+    };
+
+    if (CanRunParallel() && n >= kMinParallelCandidates) {
+      const std::vector<std::pair<size_t, size_t>> morsels =
+          MakeMorsels(n, query_pool_->num_threads());
+      std::vector<ChunkOutcome> outcomes(n);
+      std::vector<Status> morsel_status(morsels.size());
+      std::vector<QueryTrace> morsel_traces(morsels.size());
+      for (QueryTrace& mt : morsel_traces) {
+        mt.detailed = trace->detailed;
+      }
+      std::atomic<bool> abort{false};
+      Status failed;
+      // Producers may run at most `window` morsels ahead of in-order
+      // emission, bounding buffered-match memory.
+      const size_t window = std::max<size_t>(2 * query_pool_->num_threads(), 4);
+      const QueryThreadPool::RunStats stats = query_pool_->RunOrdered(
+          morsels.size(), window,
+          [&](size_t mi) {
+            if (abort.load(std::memory_order_relaxed)) {
+              return;  // a sibling morsel failed; the query returns its error
+            }
+            const auto [begin, end] = morsels[mi];
+            for (size_t c = begin; c < end; ++c) {
+              Status st =
+                  ProcessScanCandidate(source_id, index_id, idx.value(), t_range, v_range,
+                                       first_bin, last_bin, snap, plan, c, &outcomes[c],
+                                       &morsel_traces[mi]);
+              if (!st.ok()) {
+                morsel_status[mi] = st;
+                abort.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+          },
+          [&](size_t mi) -> bool {
+            if (!morsel_status[mi].ok()) {
+              failed = morsel_status[mi];
+              return false;
+            }
+            const auto [begin, end] = morsels[mi];
+            bool keep_going = true;
+            for (size_t c = begin; c < end && keep_going; ++c) {
+              keep_going = emit_outcome(outcomes[c]);
+            }
+            for (size_t c = begin; c < end; ++c) {
+              outcomes[c] = ChunkOutcome{};  // free buffered matches eagerly
+            }
+            return keep_going;
+          });
+      trace->parallel_morsels += stats.morsels;
+      trace->parallel_workers += stats.workers_used;
+      for (const QueryTrace& mt : morsel_traces) {
+        trace->AbsorbWorker(mt);
+      }
+      if (!failed.ok()) {
+        return failed;
+      }
       if (stopped) {
         return Status::Ok();
+      }
+    } else {
+      ChunkOutcome o;
+      for (size_t c = 0; c < n; ++c) {
+        o = ChunkOutcome{};
+        LOOM_RETURN_IF_ERROR(ProcessScanCandidate(source_id, index_id, idx.value(), t_range,
+                                                  v_range, first_bin, last_bin, snap, plan, c, &o,
+                                                  trace));
+        if (!emit_outcome(o)) {
+          return Status::Ok();
+        }
       }
     }
     // Active (not yet summarized) region.
@@ -1063,53 +1557,102 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
   std::vector<std::shared_ptr<const ChunkSummary>>& candidates = out->candidates;
 
   if (options_.enable_chunk_index) {
-    LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates, trace));
-    for (const auto& candidate : candidates) {
-      const ChunkSummary& s = *candidate;
-      ++trace->chunks_considered;
-      bool has_presence = false;
-      uint64_t presence_count = 0;
-      uint64_t evaluated_count = 0;
-      TimestampNanos src_min_ts = 0;
-      TimestampNanos src_max_ts = 0;
-      for (const ChunkSummary::Entry& e : s.entries) {
-        if (e.source_id != source_id) {
-          continue;
-        }
-        if (e.index_id == kPresenceIndexId) {
-          has_presence = true;
-          presence_count = e.stats.count;
-          src_min_ts = e.stats.min_ts;
-          src_max_ts = e.stats.max_ts;
-        } else if (e.index_id == index_id && e.bin == kEvaluatedBin) {
-          evaluated_count = e.stats.count;
-        }
+    CandidatePlan plan;
+    LOOM_RETURN_IF_ERROR(PlanCandidates(snap, t_range, &plan, trace));
+    const size_t n = plan.size();
+
+    // Folds one processed outcome into the accumulation. Always runs on the
+    // coordinator, strictly in candidate (= log) order: partial aggregates
+    // combine in exactly the serial sequence, so results are byte-identical
+    // to serial execution, double non-associativity included.
+    auto merge_outcome = [&](ChunkOutcome& o) {
+      switch (o.kind) {
+        case ChunkOutcome::Kind::kFiltered:
+          break;  // not a candidate after per-worker filtering
+        case ChunkOutcome::Kind::kPruned:
+          ++trace->chunks_considered;
+          ++trace->chunks_pruned;
+          break;
+        case ChunkOutcome::Kind::kFolded:
+          ++trace->chunks_considered;
+          for (const ChunkSummary::Entry& e : o.summary->entries) {
+            if (e.source_id == source_id && e.index_id == index_id && e.bin != kEvaluatedBin) {
+              merged.Merge(e.stats);
+              bin_counts[e.bin] += e.stats.count;
+            }
+          }
+          candidates.push_back(o.summary);
+          fully_merged.push_back(candidates.back().get());
+          // Answered from summary bins alone: pruned from record reads. The
+          // percentile path may still rescan some of these in stage 2, which
+          // reclassifies them (see IndexedAggregateImpl).
+          ++trace->chunks_pruned;
+          ++trace->chunks_summary_folded;
+          break;
+        case ChunkOutcome::Kind::kScanned:
+          ++trace->chunks_considered;
+          ++trace->chunks_scanned;
+          for (const auto& [value, ts] : o.values) {
+            merged.Update(value, ts);
+            bin_counts[spec.BinOf(value)]++;
+            loose_values.push_back(value);
+          }
+          break;
       }
-      if (!has_presence || src_max_ts < t_range.start || src_min_ts > t_range.end) {
-        ++trace->chunks_pruned;
-        continue;
+    };
+
+    if (CanRunParallel() && n >= kMinParallelCandidates) {
+      const std::vector<std::pair<size_t, size_t>> morsels =
+          MakeMorsels(n, query_pool_->num_threads());
+      std::vector<ChunkOutcome> outcomes(n);
+      std::vector<Status> morsel_status(morsels.size());
+      std::vector<QueryTrace> morsel_traces(morsels.size());
+      for (QueryTrace& mt : morsel_traces) {
+        mt.detailed = trace->detailed;
       }
-      const bool fully_covered = src_min_ts >= t_range.start && src_max_ts <= t_range.end;
-      // Every source record in the chunk was seen by the index function, so
-      // the bins fully describe the chunk's indexed values (§5.3).
-      const bool all_indexed = evaluated_count == presence_count;
-      if (fully_covered && all_indexed) {
-        for (const ChunkSummary::Entry& e : s.entries) {
-          if (e.source_id == source_id && e.index_id == index_id && e.bin != kEvaluatedBin) {
-            merged.Merge(e.stats);
-            bin_counts[e.bin] += e.stats.count;
+      std::atomic<bool> abort{false};
+      const QueryThreadPool::RunStats stats = query_pool_->Run(morsels.size(), [&](size_t mi) {
+        if (abort.load(std::memory_order_relaxed)) {
+          return;  // a sibling morsel failed; the query returns its error
+        }
+        const auto [begin, end] = morsels[mi];
+        for (size_t c = begin; c < end; ++c) {
+          Status st = ProcessAggregateCandidate(source_id, index_id, idx, t_range, snap, plan, c,
+                                                &outcomes[c], &morsel_traces[mi]);
+          if (!st.ok()) {
+            morsel_status[mi] = st;
+            abort.store(true, std::memory_order_relaxed);
+            return;
           }
         }
-        fully_merged.push_back(&s);
-        // Answered from summary bins alone: pruned from record reads. The
-        // percentile path may still rescan some of these in stage 2, which
-        // reclassifies them (see IndexedAggregateImpl).
-        ++trace->chunks_pruned;
-        ++trace->chunks_summary_folded;
-      } else {
-        ++trace->chunks_scanned;
-        const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-        LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, scan_accumulate, trace));
+      });
+      trace->parallel_morsels += stats.morsels;
+      trace->parallel_workers += stats.workers_used;
+      for (const QueryTrace& mt : morsel_traces) {
+        trace->AbsorbWorker(mt);
+      }
+      for (const Status& st : morsel_status) {
+        if (!st.ok()) {
+          return st;
+        }
+      }
+      const bool timed = trace->detailed || options_.enable_latency_metrics;
+      const uint64_t merge_t0 = timed ? MetricsNowNanos() : 0;
+      for (ChunkOutcome& o : outcomes) {
+        merge_outcome(o);
+      }
+      if (timed) {
+        trace->merge_nanos += MetricsNowNanos() - merge_t0;
+      }
+    } else {
+      // Serial: process + merge one candidate at a time, keeping memory
+      // bounded by a single chunk's matches as before.
+      ChunkOutcome o;
+      for (size_t c = 0; c < n; ++c) {
+        o = ChunkOutcome{};
+        LOOM_RETURN_IF_ERROR(
+            ProcessAggregateCandidate(source_id, index_id, idx, t_range, snap, plan, c, &o, trace));
+        merge_outcome(o);
       }
     }
     LOOM_RETURN_IF_ERROR(
@@ -1330,38 +1873,79 @@ Result<double> Loom::IndexedAggregateImpl(uint32_t source_id, uint32_t index_id,
       bin_values.push_back(v);
     }
   }
+  // Stage 2: the summaries did not settle these chunks after all — read their
+  // records to materialize the target bin. Reclassify so the trace invariant
+  // (pruned + scanned == considered) keeps holding.
+  std::vector<const ChunkSummary*> rescan;
   for (const ChunkSummary* mc : fully_merged) {
-    bool has_bin = false;
     for (const ChunkSummary::Entry& e : mc->entries) {
       if (e.source_id == source_id && e.index_id == index_id && e.bin == target_bin) {
-        has_bin = true;
+        rescan.push_back(mc);
         break;
       }
     }
-    if (!has_bin) {
-      continue;
-    }
-    // The summary did not settle this chunk after all — stage 2 reads its
-    // records to materialize the target bin. Reclassify so the trace
-    // invariant (pruned + scanned == considered) keeps holding.
-    --trace->chunks_pruned;
-    --trace->chunks_summary_folded;
-    ++trace->chunks_scanned;
-    const uint64_t end =
-        std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
-    LOOM_RETURN_IF_ERROR(ScanRecordRange(
+  }
+  trace->chunks_pruned -= rescan.size();
+  trace->chunks_summary_folded -= rescan.size();
+  trace->chunks_scanned += rescan.size();
+  std::vector<std::vector<double>> chunk_values(rescan.size());
+  auto scan_chunk = [&](size_t i, QueryTrace* t) -> Status {
+    const ChunkSummary* mc = rescan[i];
+    const uint64_t end = std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
+    return ScanRecordRange(
         mc->chunk_addr, end,
-        [&](const RecordView& view) -> bool {
+        [&, i](const RecordView& view) -> bool {
           if (view.source_id != source_id || !t_range.Contains(view.ts)) {
             return true;
           }
           std::optional<double> value = func(view.payload);
           if (value.has_value() && spec.BinOf(*value) == target_bin) {
-            bin_values.push_back(*value);
+            chunk_values[i].push_back(*value);
           }
           return true;
         },
-        trace));
+        t);
+  };
+  if (CanRunParallel() && rescan.size() >= kMinParallelCandidates) {
+    const std::vector<std::pair<size_t, size_t>> morsels =
+        MakeMorsels(rescan.size(), query_pool_->num_threads());
+    std::vector<Status> morsel_status(morsels.size());
+    std::vector<QueryTrace> morsel_traces(morsels.size());
+    for (QueryTrace& mt : morsel_traces) {
+      mt.detailed = trace->detailed;
+    }
+    std::atomic<bool> abort{false};
+    const QueryThreadPool::RunStats stats = query_pool_->Run(morsels.size(), [&](size_t mi) {
+      if (abort.load(std::memory_order_relaxed)) {
+        return;
+      }
+      const auto [begin, end] = morsels[mi];
+      for (size_t i = begin; i < end; ++i) {
+        Status st = scan_chunk(i, &morsel_traces[mi]);
+        if (!st.ok()) {
+          morsel_status[mi] = st;
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+    trace->parallel_morsels += stats.morsels;
+    trace->parallel_workers += stats.workers_used;
+    for (const QueryTrace& mt : morsel_traces) {
+      trace->AbsorbWorker(mt);
+    }
+    for (const Status& st : morsel_status) {
+      if (!st.ok()) {
+        return st;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < rescan.size(); ++i) {
+      LOOM_RETURN_IF_ERROR(scan_chunk(i, trace));
+    }
+  }
+  for (const std::vector<double>& values : chunk_values) {
+    bin_values.insert(bin_values.end(), values.begin(), values.end());
   }
   if (bin_values.size() < local_rank) {
     return Status::Internal("percentile bin materialization mismatch");

@@ -13,8 +13,17 @@
 //     from any thread, concurrently with ingest. Queries never block ingest
 //     (§4.4): they read lock-free snapshots and fall back to persistent
 //     storage when the writer recycles an in-memory block mid-copy.
-//   * Each query runs single-threaded with a constant maximum memory
-//     footprint (§3).
+//   * Externally each query still behaves single-threaded: callbacks run on
+//     the calling thread, in the same order as serial execution, against one
+//     snapshot. Internally, when LoomOptions::query_threads > 0, operators
+//     fan their candidate chunks out in morsels across a shared lazily-
+//     started QueryThreadPool and merge per-worker partials in candidate
+//     order, so results are byte-identical to serial execution. query_threads
+//     = 0 (the default) keeps the fully serial executor with its constant
+//     maximum memory footprint (§3); parallel scans buffer at most a bounded
+//     window of morsel results. Index functions must be thread-safe (pure
+//     functions of the payload): with parallelism enabled they are evaluated
+//     concurrently from pool workers.
 //
 // Consistency (§4.5): a query observes exactly the records published before
 // its snapshot was created. Durability is bounded by the in-memory blocks:
@@ -37,6 +46,7 @@
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/core/query_thread_pool.h"
 #include "src/core/query_trace.h"
 #include "src/core/record_format.h"
 #include "src/hybridlog/hybrid_log.h"
@@ -85,6 +95,13 @@ struct LoomOptions {
   // LRU shard count for the summary cache (rounded up to a power of two).
   size_t summary_cache_shards = 8;
 
+  // Worker threads for morsel-driven parallel query execution (0 = every
+  // query runs serially on its calling thread, today's default). The pool is
+  // shared across queries and starts lazily on the first parallel query.
+  // Validate() clamps values above 4x the hardware concurrency. Results are
+  // byte-identical to serial execution; index functions must be thread-safe.
+  size_t query_threads = 0;
+
   // Timestamp source; defaults to a process-wide monotonic clock.
   Clock* clock = nullptr;
 
@@ -99,6 +116,15 @@ struct LoomOptions {
   // samples its timer 1-in-64 so the ingest hot path never pays two clock
   // reads per record.
   bool enable_latency_metrics = true;
+
+  // Validates and canonicalizes the options in place: rejects nonsensical
+  // combinations (empty dir, chunk_size too small for a record, a nonzero
+  // cache budget with zero shards), clamps query_threads to 4x the hardware
+  // concurrency, normalizes a zero-byte cache budget to zero shards, bumps a
+  // zero ts_marker_period to 1, and applies the block-size round-ups.
+  // Loom::Open calls this on its private copy; call it directly to pre-check
+  // configuration (e.g. daemon config parsing).
+  Status Validate();
 };
 
 // Legacy counter snapshot, now materialized from the metrics registry (the
@@ -143,7 +169,9 @@ enum class AggregateMethod {
 class Loom {
  public:
   // Extracts the indexed value from a record payload; nullopt skips the
-  // record (it is still stored and raw-scannable, just not indexed).
+  // record (it is still stored and raw-scannable, just not indexed). Must be
+  // a thread-safe pure function of the payload: queries evaluate it from
+  // multiple pool workers when query_threads > 0.
   using IndexFunc = std::function<std::optional<double>(std::span<const uint8_t>)>;
 
   // Receives matching records. Return false to stop the scan early.
@@ -318,9 +346,85 @@ class Loom {
   Result<IndexSnapshot> GetIndexSnapshot(uint32_t index_id) const;
   const SourceState* FindSource(uint32_t source_id) const;
 
+  // A query's planned candidate chunks. In timestamp-index mode the plan
+  // holds only summary-frame addresses (collected with a cheap forward sweep
+  // of the timestamp index — no summary reads), so the expensive summary
+  // load + decode + filter runs per candidate, possibly on pool workers. In
+  // the chunk-index-only ablation mode the serial chunk-log sweep already
+  // decoded and filtered the summaries.
+  struct CandidatePlan {
+    std::vector<uint64_t> addrs;  // summary frame addresses, oldest-first
+    std::vector<std::shared_ptr<const ChunkSummary>> preloaded;  // ablation mode
+    bool use_preloaded = false;
+    size_t size() const { return use_preloaded ? preloaded.size() : addrs.size(); }
+  };
+  Status PlanCandidates(const Snapshot& snap, TimeRange t_range, CandidatePlan* plan,
+                        QueryTrace* trace) const;
+
+  // Per-candidate outcome, produced by a worker (or inline when serial) and
+  // folded by the coordinator strictly in candidate order — that ordering is
+  // what keeps parallel results byte-identical to serial execution, double
+  // non-associativity included.
+  struct ChunkOutcome {
+    enum class Kind : uint8_t {
+      kFiltered,  // failed the snapshot/retention/time filters: not a candidate
+      kPruned,    // summary settled it without record reads
+      kFolded,    // summary bins folded into the aggregate (subset of pruned)
+      kScanned,   // record data was read
+    };
+    Kind kind = Kind::kFiltered;
+    std::shared_ptr<const ChunkSummary> summary;
+    // Aggregate/histogram path: scanned (value, arrival ts) pairs, log order.
+    std::vector<std::pair<double, TimestampNanos>> values;
+    // IndexedScanValues path: buffered matches, log order. The payload is
+    // copied out of the scan window so emission can happen later on the
+    // coordinator.
+    struct Match {
+      double value = 0.0;
+      TimestampNanos ts = 0;
+      uint64_t addr = 0;
+      std::vector<uint8_t> payload;
+    };
+    std::vector<Match> matches;
+  };
+
+  // Loads candidate `c` of the plan and applies the candidate filters
+  // (retention floor re-checked here, per worker / per morsel; snapshot
+  // boundary; time-range overlap). A filtered-out candidate yields a null
+  // summary. Counts cache hits/misses into `trace`.
+  Result<std::shared_ptr<const ChunkSummary>> LoadCandidate(const CandidatePlan& plan, size_t c,
+                                                            const Snapshot& snap,
+                                                            TimeRange t_range,
+                                                            QueryTrace* trace) const;
+
+  // Classifies + processes one candidate for the aggregate/histogram path.
+  // Safe to call concurrently for distinct candidates.
+  Status ProcessAggregateCandidate(uint32_t source_id, uint32_t index_id,
+                                   const IndexSnapshot& idx, TimeRange t_range,
+                                   const Snapshot& snap, const CandidatePlan& plan, size_t c,
+                                   ChunkOutcome* out, QueryTrace* trace) const;
+  // Same for the IndexedScanValues path (prune decision + buffered matches).
+  Status ProcessScanCandidate(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
+                              TimeRange t_range, ValueRange v_range, uint32_t first_bin,
+                              uint32_t last_bin, const Snapshot& snap, const CandidatePlan& plan,
+                              size_t c, ChunkOutcome* out, QueryTrace* trace) const;
+
+  // True when this query may fan out to the pool (pool configured and the
+  // caller is not itself a pool worker — no nested parallelism).
+  bool CanRunParallel() const;
+
+  // Parallel backward chain walk for RawScan: record-marker targets partition
+  // the chain into segments scanned by workers, with ordered (newest-first)
+  // emission on the caller. Sets *executed = false (caller falls back to the
+  // serial walk) when the range yields too few segments to be worth it.
+  Status RawScanParallel(uint32_t source_id, TimeRange t_range, const Snapshot& snap,
+                         uint64_t start, const RecordCallback& cb, QueryTrace* trace,
+                         bool* executed) const;
+
   // Collects summaries of fully-indexed chunks overlapping `t_range`
-  // (oldest-first), honoring the snapshot boundary. Summaries are shared
-  // with the decoded-summary cache — never mutated.
+  // (oldest-first), honoring the snapshot boundary: PlanCandidates + serial
+  // in-order loads. Summaries are shared with the decoded-summary cache —
+  // never mutated.
   Status CollectCandidateSummaries(const Snapshot& snap, TimeRange t_range,
                                    std::vector<std::shared_ptr<const ChunkSummary>>& out,
                                    QueryTrace* trace) const;
@@ -390,6 +494,10 @@ class Loom {
   // Record log address of the active (not yet summarized) chunk's start.
   std::atomic<uint64_t> published_indexed_tail_{0};
 
+  // Morsel-driven parallel query pool (null when query_threads == 0). Lazily
+  // started; shared by all queries on this engine.
+  std::unique_ptr<QueryThreadPool> query_pool_;
+
   // Decoded chunk-summary cache (null when disabled). Query threads only.
   std::unique_ptr<SummaryCache> summary_cache_;
   // Highest record-log retention floor already pushed to the cache.
@@ -422,11 +530,17 @@ class Loom {
     Histogram* aggregate_seconds = nullptr;
     Histogram* histogram_seconds = nullptr;
     Histogram* count_seconds = nullptr;
+    // Parallel executor, folded from finished QueryTraces.
+    Counter* parallel_queries = nullptr;
+    Counter* parallel_morsels = nullptr;
+    Counter* parallel_worker_runs = nullptr;
+    Histogram* parallel_merge_seconds = nullptr;
   };
   CoreMetrics m_;
-  // Collection hook refreshing the summary-cache gauges; removed in the
-  // destructor because a shared registry may outlive this engine.
+  // Collection hooks refreshing the summary-cache and pool gauges; removed in
+  // the destructor because a shared registry may outlive this engine.
   uint64_t cache_hook_id_ = 0;
+  uint64_t pool_hook_id_ = 0;
   // Writer-local sampling counter for the 1-in-64 Push latency timer.
   uint64_t push_sample_tick_ = 0;
 

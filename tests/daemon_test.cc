@@ -179,5 +179,35 @@ TEST_F(DaemonTest, QueriesRunConcurrentlyWithIngest) {
   EXPECT_EQ(daemon->records_ingested(), static_cast<uint64_t>(kRecords));
 }
 
+TEST_F(DaemonTest, QueryThreadsWireThroughDaemonConfig) {
+  // DaemonOptions.loom carries query_threads into the engine: wide queries
+  // issued through the daemon fan out across the pool, visible in the
+  // loom_query_parallel_* metrics the daemon exports.
+  DaemonOptions opts;
+  opts.loom.query_threads = 2;
+  opts.loom.chunk_size = 2 << 10;  // many chunks -> morsel threshold reached
+  auto daemon = StartDaemon(opts);
+  auto channel = daemon->AddSource(kAppSource);
+  ASSERT_TRUE(channel.ok());
+  auto spec = HistogramSpec::Uniform(0, 1000, 10).value();
+  auto idx = daemon->AddIndex(
+      kAppSource, [](std::span<const uint8_t> p) { return AppLatencyUs(p); }, spec);
+  ASSERT_TRUE(idx.ok());
+  for (int i = 0; i < 20000; ++i) {
+    channel.value()->Publish(AppPayload(i % 1000));
+  }
+  daemon->Flush();
+
+  auto count = daemon->engine()->IndexedAggregate(kAppSource, idx.value(), {0, ~0ULL},
+                                                  AggregateMethod::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 20000.0);
+
+  MetricsSnapshot snap = daemon->metrics()->Snapshot();
+  EXPECT_GE(snap.counters.at("loom_query_parallel_queries_total"), 1u);
+  EXPECT_GE(snap.counters.at("loom_query_parallel_morsels_total"), 2u);
+  EXPECT_EQ(snap.gauges.at("loom_query_parallel_pool_threads"), 2.0);
+}
+
 }  // namespace
 }  // namespace loom

@@ -9,11 +9,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <tuple>
 
 #include "src/common/file.h"
 #include "src/common/rng.h"
 #include "src/core/loom.h"
+#include "src/core/record_format.h"
 
 namespace loom {
 namespace {
@@ -170,6 +172,89 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<size_t>(4096, 65536),         // block size
                        ::testing::Bool(),                              // chunk index
                        ::testing::Bool()));                            // timestamp index
+
+// --- LoomOptions::Validate ------------------------------------------------
+// Rejected combinations fail both standalone validation and Loom::Open;
+// merely unusual combinations are canonicalized (clamped), never rejected.
+
+LoomOptions BaseOptions(const TempDir& dir) {
+  LoomOptions opts;
+  opts.dir = dir.FilePath("loom");
+  return opts;
+}
+
+TEST(LoomOptionsValidateTest, RejectsEmptyDir) {
+  LoomOptions opts;
+  Status st = opts.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Loom::Open(opts).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoomOptionsValidateTest, RejectsTinyChunkSize) {
+  TempDir dir;
+  LoomOptions opts = BaseOptions(dir);
+  opts.chunk_size = kRecordHeaderSize;  // cannot hold even two headers
+  Status st = opts.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Loom::Open(opts).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoomOptionsValidateTest, RejectsCacheBytesWithZeroShards) {
+  TempDir dir;
+  LoomOptions opts = BaseOptions(dir);
+  opts.summary_cache_bytes = 1 << 20;
+  opts.summary_cache_shards = 0;
+  Status st = opts.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Loom::Open(opts).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoomOptionsValidateTest, DisabledCacheCanonicalizesShardsToZero) {
+  TempDir dir;
+  LoomOptions opts = BaseOptions(dir);
+  opts.summary_cache_bytes = 0;
+  opts.summary_cache_shards = 8;  // benches pass this combination; must stay valid
+  ASSERT_TRUE(opts.Validate().ok());
+  EXPECT_EQ(opts.summary_cache_shards, 0u);
+  auto loom = Loom::Open(opts);
+  EXPECT_TRUE(loom.ok()) << loom.status().ToString();
+}
+
+TEST(LoomOptionsValidateTest, ClampsExcessiveQueryThreads) {
+  TempDir dir;
+  LoomOptions opts = BaseOptions(dir);
+  opts.query_threads = 100000;  // clamped to 4x hardware concurrency, not rejected
+  ASSERT_TRUE(opts.Validate().ok());
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_LE(opts.query_threads, hw * 4);
+  EXPECT_GE(opts.query_threads, 1u);
+  auto loom = Loom::Open(opts);
+  EXPECT_TRUE(loom.ok()) << loom.status().ToString();
+}
+
+TEST(LoomOptionsValidateTest, CanonicalizesMarkerPeriodAndBlockSizes) {
+  TempDir dir;
+  LoomOptions opts = BaseOptions(dir);
+  opts.ts_marker_period = 0;
+  opts.chunk_size = 4096;
+  opts.record_block_size = 5000;  // not a chunk multiple
+  ASSERT_TRUE(opts.Validate().ok());
+  EXPECT_EQ(opts.ts_marker_period, 1u);
+  EXPECT_EQ(opts.record_block_size % opts.chunk_size, 0u);
+  EXPECT_GE(opts.record_block_size, opts.chunk_size);
+}
+
+TEST(LoomOptionsValidateTest, ValidateIsIdempotent) {
+  TempDir dir;
+  LoomOptions opts = BaseOptions(dir);
+  opts.query_threads = 4;
+  ASSERT_TRUE(opts.Validate().ok());
+  LoomOptions once = opts;
+  ASSERT_TRUE(opts.Validate().ok());
+  EXPECT_EQ(opts.query_threads, once.query_threads);
+  EXPECT_EQ(opts.record_block_size, once.record_block_size);
+  EXPECT_EQ(opts.ts_index_block_size, once.ts_index_block_size);
+}
 
 }  // namespace
 }  // namespace loom
