@@ -1,0 +1,63 @@
+#include "src/common/cpu_features.h"
+
+#include <cstdlib>
+
+namespace loom {
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsNeon() {
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+  // Advanced SIMD is baseline on aarch64; when the compiler targets it, the
+  // CPU has it.
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::optional<SimdMode> ParseSimdMode(std::string_view s) {
+  if (s == "auto") {
+    return SimdMode::kAuto;
+  }
+  if (s == "scalar") {
+    return SimdMode::kScalar;
+  }
+  if (s == "avx2") {
+    return SimdMode::kAvx2;
+  }
+  if (s == "neon") {
+    return SimdMode::kNeon;
+  }
+  return std::nullopt;
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+SimdMode SimdModeFromEnv(SimdMode fallback) {
+  const char* env = std::getenv("LOOM_SIMD");
+  if (env == nullptr) {
+    return fallback;
+  }
+  return ParseSimdMode(env).value_or(fallback);
+}
+
+}  // namespace loom

@@ -1,0 +1,46 @@
+// CPU feature detection and SIMD dispatch mode for the query kernels.
+//
+// The per-chunk query kernels (src/core/kernels/) ship an AVX2 and a NEON
+// implementation next to the bit-exact scalar reference. Which one runs is
+// decided once, at Loom::Open: an explicit LoomOptions::simd_mode wins,
+// otherwise the LOOM_SIMD environment variable (scalar|avx2|neon|auto),
+// otherwise runtime CPU detection picks the best available. Forcing a mode
+// the build or CPU cannot execute silently falls back to scalar, so a test
+// matrix can export LOOM_SIMD=scalar (or =neon on x86) on any machine and
+// still run.
+
+#ifndef SRC_COMMON_CPU_FEATURES_H_
+#define SRC_COMMON_CPU_FEATURES_H_
+
+#include <optional>
+#include <string_view>
+
+namespace loom {
+
+enum class SimdMode {
+  kAuto,    // pick the best implementation the CPU supports
+  kScalar,  // bit-exact reference; always available
+  kAvx2,    // x86-64 with AVX2
+  kNeon,    // aarch64 (Advanced SIMD)
+};
+
+// Runtime checks: true when the executing CPU (and this build) can run the
+// implementation. Compile-time gating alone is not enough for AVX2 — the
+// binary may run on an older x86 part.
+bool CpuSupportsAvx2();
+bool CpuSupportsNeon();
+
+// Parses "auto" / "scalar" / "avx2" / "neon" (exact, lower-case). nullopt on
+// anything else, including empty.
+std::optional<SimdMode> ParseSimdMode(std::string_view s);
+
+// Lower-case name of `mode`, e.g. for traces and bench JSON.
+const char* SimdModeName(SimdMode mode);
+
+// Resolves the LOOM_SIMD environment override: a parseable value replaces
+// `fallback`, anything else (unset, empty, garbage) keeps it.
+SimdMode SimdModeFromEnv(SimdMode fallback);
+
+}  // namespace loom
+
+#endif  // SRC_COMMON_CPU_FEATURES_H_

@@ -1,0 +1,32 @@
+#include "src/core/kernels/kernels.h"
+
+namespace loom {
+
+const KernelOps* SelectKernels(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto: {
+      // Best available on this CPU. NEON and AVX2 never coexist, so the
+      // order is cosmetic.
+      if (const KernelOps* ops = Avx2Kernels()) {
+        return ops;
+      }
+      if (const KernelOps* ops = NeonKernels()) {
+        return ops;
+      }
+      return ScalarKernels();
+    }
+    case SimdMode::kScalar:
+      return ScalarKernels();
+    case SimdMode::kAvx2: {
+      const KernelOps* ops = Avx2Kernels();
+      return ops != nullptr ? ops : ScalarKernels();
+    }
+    case SimdMode::kNeon: {
+      const KernelOps* ops = NeonKernels();
+      return ops != nullptr ? ops : ScalarKernels();
+    }
+  }
+  return ScalarKernels();
+}
+
+}  // namespace loom

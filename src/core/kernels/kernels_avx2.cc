@@ -1,0 +1,143 @@
+// AVX2 kernels (x86-64). Compiled with -mavx2 for this translation unit
+// only; the dispatcher guards selection behind a runtime
+// __builtin_cpu_supports check, so nothing here executes on older parts.
+//
+// Bit-exactness notes:
+//   * classify counts edges <= value with ordered compares (NaN counts 0)
+//     and then blends NaN lanes to the overflow bin, which is exactly what
+//     HistogramSpec::BinOf's upper_bound produces. Specs wider than
+//     kMaxLinearEdges fall back to the scalar binary search — O(n log m)
+//     beats an m-edge linear pass there, and the results are identical by
+//     construction.
+//   * timestamps are unsigned 64-bit; AVX2 only has signed 64-bit compares,
+//     so both sides are biased by 2^63 first (the usual sign-flip trick).
+//   * value-range filtering uses ordered compares: NaN never matches, same
+//     as ValueRange::Contains.
+
+#include "src/core/kernels/kernels.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "src/core/kernels/kernels_internal.h"
+
+namespace loom {
+namespace {
+
+// Above this many edges the linear vectorized pass loses to binary search.
+constexpr size_t kMaxLinearEdges = 32;
+
+size_t DecodeRecordsAvx2(const uint8_t* buf, size_t len, uint64_t base_addr,
+                         size_t chunk_size, DecodedBatch* out) {
+  // The offset walk is serial and data-dependent (see kernels_internal.h),
+  // and it already has each header in cache when it visits it — a measured
+  // comparison put a deferred 4-wide timestamp gather 20%+ behind the
+  // single-pass walk (vgatherqpd costs more than the inline 8-byte load it
+  // replaces). The vector win on this path comes from the downstream
+  // classify/filter kernels, so decode shares the scalar walk.
+  return kernels_internal::DecodeWalk<true>(buf, len, base_addr, chunk_size, out);
+}
+
+void ClassifyBinsAvx2(const double* values, size_t n, const double* edges,
+                      size_t num_edges, uint32_t* bins) {
+  if (num_edges > kMaxLinearEdges) {
+    ScalarKernels()->classify_bins(values, n, edges, num_edges, bins);
+    return;
+  }
+  const __m256i overflow = _mm256_set1_epi64x(static_cast<long long>(num_edges));
+  const __m256i pack_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    __m256i cnt = _mm256_setzero_si256();
+    for (size_t j = 0; j < num_edges; ++j) {
+      const __m256d le = _mm256_cmp_pd(_mm256_set1_pd(edges[j]), v, _CMP_LE_OQ);
+      cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(le));  // true lane = -1
+    }
+    const __m256d unord = _mm256_cmp_pd(v, v, _CMP_UNORD_Q);
+    cnt = _mm256_blendv_epi8(cnt, overflow, _mm256_castpd_si256(unord));
+    const __m256i packed = _mm256_permutevar8x32_epi32(cnt, pack_idx);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(bins + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  if (i < n) {
+    ScalarKernels()->classify_bins(values + i, n - i, edges, num_edges, bins + i);
+  }
+}
+
+void FilterSourceTimeAvx2(const uint32_t* source_ids, const uint64_t* timestamps,
+                          size_t n, uint32_t source, uint64_t start, uint64_t end,
+                          uint64_t* mask) {
+  std::memset(mask, 0, MaskWords(n) * sizeof(uint64_t));
+  const __m128i vsource = _mm_set1_epi32(static_cast<int>(source));
+  const __m256i bias = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i xstart =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(start)), bias);
+  const __m256i xend =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(end)), bias);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i sid =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(source_ids + i));
+    const int sid_bits = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(sid, vsource)));
+    const __m256i ts =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(timestamps + i));
+    const __m256i xts = _mm256_xor_si256(ts, bias);
+    const __m256i outside = _mm256_or_si256(_mm256_cmpgt_epi64(xstart, xts),
+                                            _mm256_cmpgt_epi64(xts, xend));
+    const int bad_bits = _mm256_movemask_pd(_mm256_castsi256_pd(outside));
+    const int bits = sid_bits & ~bad_bits & 0xF;
+    mask[i / 64] |= static_cast<uint64_t>(bits) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    if (source_ids[i] == source && timestamps[i] >= start && timestamps[i] <= end) {
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+void FilterValueRangeAvx2(const double* values, size_t n, double lo, double hi,
+                          uint64_t* mask) {
+  std::memset(mask, 0, MaskWords(n) * sizeof(uint64_t));
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    const __m256d in = _mm256_and_pd(_mm256_cmp_pd(v, vlo, _CMP_GE_OQ),
+                                     _mm256_cmp_pd(v, vhi, _CMP_LE_OQ));
+    const int bits = _mm256_movemask_pd(in);
+    mask[i / 64] |= static_cast<uint64_t>(bits) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    if (values[i] >= lo && values[i] <= hi) {
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2",          DecodeRecordsAvx2,    ClassifyBinsAvx2,
+    FilterSourceTimeAvx2, FilterValueRangeAvx2,
+};
+
+}  // namespace
+
+const KernelOps* Avx2Kernels() {
+  return CpuSupportsAvx2() ? &kAvx2Ops : nullptr;
+}
+
+}  // namespace loom
+
+#else  // !(defined(__x86_64__) && defined(__AVX2__))
+
+namespace loom {
+
+const KernelOps* Avx2Kernels() { return nullptr; }
+
+}  // namespace loom
+
+#endif

@@ -1,0 +1,67 @@
+// Shared pieces of the kernel implementations. Internal to src/core/kernels.
+
+#ifndef SRC_CORE_KERNELS_KERNELS_INTERNAL_H_
+#define SRC_CORE_KERNELS_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/codec.h"
+#include "src/core/kernels/kernels.h"
+#include "src/core/record_format.h"
+
+namespace loom {
+namespace kernels_internal {
+
+// The record-offset walk every decode implementation shares. The walk is
+// data-dependent (the next header position needs the previous payload
+// length), so it is serial by construction; `FillTimestamps` lets a vector
+// implementation defer the timestamp extraction to a gathered second pass
+// over the discovered offsets.
+template <bool FillTimestamps>
+inline size_t DecodeWalk(const uint8_t* buf, size_t len, uint64_t base_addr,
+                         size_t chunk_size, DecodedBatch* out) {
+  size_t off = 0;
+  for (;;) {
+    const uint64_t addr = base_addr + off;
+    const uint64_t chunk_rem = chunk_size - (addr % chunk_size);
+    if (chunk_rem < kRecordHeaderSize) {
+      // A record needs a full header and never spans chunks, so a
+      // sub-header chunk tail is always padding. This check runs before the
+      // span-end check: a multi-chunk span must report the pad tail as
+      // consumed, not as a truncated record.
+      if (off + chunk_rem > len) {
+        return len;  // the span ends inside the pad: all of it is consumed
+      }
+      off += static_cast<size_t>(chunk_rem);
+      continue;
+    }
+    if (off + kRecordHeaderSize > len) {
+      return off;  // no room for a header before the span end
+    }
+    const uint32_t sid = LoadU32(buf + off);
+    if (sid == kPadSourceId) {
+      if (off + chunk_rem > len) {
+        return len;  // the span ends inside the pad: all of it is consumed
+      }
+      off += static_cast<size_t>(chunk_rem);  // padding: skip to the boundary
+      continue;
+    }
+    const uint32_t plen = LoadU32(buf + off + 4);
+    if (off + kRecordHeaderSize + plen > len) {
+      return off;  // record extends past the span (snapshot tail)
+    }
+    out->addrs.push_back(addr);
+    out->source_ids.push_back(sid);
+    out->payload_lens.push_back(plen);
+    if constexpr (FillTimestamps) {
+      out->timestamps.push_back(LoadU64(buf + off + 8));
+    }
+    off += kRecordHeaderSize + plen;
+  }
+}
+
+}  // namespace kernels_internal
+}  // namespace loom
+
+#endif  // SRC_CORE_KERNELS_KERNELS_INTERNAL_H_

@@ -1,0 +1,116 @@
+// NEON kernels (aarch64 Advanced SIMD). 128-bit lanes: 2 doubles / 2 u64 per
+// vector. Unlike AVX2 there are native unsigned 64-bit compares, so the
+// timestamp filter needs no sign-flip bias. Bit-exactness mirrors the
+// comments in kernels_avx2.cc: ordered float compares leave NaN unmatched,
+// and classify blends NaN lanes to the overflow bin afterwards.
+
+#include "src/core/kernels/kernels.h"
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+#include "src/core/kernels/kernels_internal.h"
+
+namespace loom {
+namespace {
+
+constexpr size_t kMaxLinearEdges = 32;
+
+size_t DecodeRecordsNeon(const uint8_t* buf, size_t len, uint64_t base_addr,
+                         size_t chunk_size, DecodedBatch* out) {
+  // 2-wide gathers do not pay for themselves; the serial walk already
+  // extracts every field in one pass.
+  return kernels_internal::DecodeWalk<true>(buf, len, base_addr, chunk_size, out);
+}
+
+void ClassifyBinsNeon(const double* values, size_t n, const double* edges,
+                      size_t num_edges, uint32_t* bins) {
+  if (num_edges > kMaxLinearEdges) {
+    ScalarKernels()->classify_bins(values, n, edges, num_edges, bins);
+    return;
+  }
+  const uint64x2_t overflow = vdupq_n_u64(static_cast<uint64_t>(num_edges));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(values + i);
+    uint64x2_t cnt = vdupq_n_u64(0);
+    for (size_t j = 0; j < num_edges; ++j) {
+      // edge <= value: all-ones lane on true, zero on false or NaN.
+      cnt = vsubq_u64(cnt, vcleq_f64(vdupq_n_f64(edges[j]), v));
+    }
+    const uint64x2_t ordered = vceqq_f64(v, v);  // zero lane on NaN
+    cnt = vbslq_u64(ordered, cnt, overflow);
+    bins[i] = static_cast<uint32_t>(vgetq_lane_u64(cnt, 0));
+    bins[i + 1] = static_cast<uint32_t>(vgetq_lane_u64(cnt, 1));
+  }
+  if (i < n) {
+    ScalarKernels()->classify_bins(values + i, n - i, edges, num_edges, bins + i);
+  }
+}
+
+void FilterSourceTimeNeon(const uint32_t* source_ids, const uint64_t* timestamps,
+                          size_t n, uint32_t source, uint64_t start, uint64_t end,
+                          uint64_t* mask) {
+  std::memset(mask, 0, MaskWords(n) * sizeof(uint64_t));
+  const uint64x2_t vstart = vdupq_n_u64(start);
+  const uint64x2_t vend = vdupq_n_u64(end);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t ts = vld1q_u64(timestamps + i);
+    const uint64x2_t in_time = vandq_u64(vcgeq_u64(ts, vstart), vcleq_u64(ts, vend));
+    const uint64_t b0 = vgetq_lane_u64(in_time, 0) & (source_ids[i] == source ? 1u : 0u);
+    const uint64_t b1 = vgetq_lane_u64(in_time, 1) & (source_ids[i + 1] == source ? 1u : 0u);
+    mask[i / 64] |= (b0 | (b1 << 1)) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    if (source_ids[i] == source && timestamps[i] >= start && timestamps[i] <= end) {
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+void FilterValueRangeNeon(const double* values, size_t n, double lo, double hi,
+                          uint64_t* mask) {
+  std::memset(mask, 0, MaskWords(n) * sizeof(uint64_t));
+  const float64x2_t vlo = vdupq_n_f64(lo);
+  const float64x2_t vhi = vdupq_n_f64(hi);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(values + i);
+    const uint64x2_t in = vandq_u64(vcgeq_f64(v, vlo), vcleq_f64(v, vhi));
+    const uint64_t b0 = vgetq_lane_u64(in, 0) & 1u;
+    const uint64_t b1 = vgetq_lane_u64(in, 1) & 1u;
+    mask[i / 64] |= (b0 | (b1 << 1)) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    if (values[i] >= lo && values[i] <= hi) {
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+constexpr KernelOps kNeonOps = {
+    "neon",          DecodeRecordsNeon,    ClassifyBinsNeon,
+    FilterSourceTimeNeon, FilterValueRangeNeon,
+};
+
+}  // namespace
+
+const KernelOps* NeonKernels() {
+  return CpuSupportsNeon() ? &kNeonOps : nullptr;
+}
+
+}  // namespace loom
+
+#else  // !__ARM_NEON
+
+namespace loom {
+
+const KernelOps* NeonKernels() { return nullptr; }
+
+}  // namespace loom
+
+#endif

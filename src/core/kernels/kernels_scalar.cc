@@ -1,0 +1,68 @@
+// Bit-exact scalar reference kernels. Every vector implementation is held to
+// this behavior by the fuzz suite; keep this file boring and obviously
+// correct.
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/core/kernels/kernels.h"
+#include "src/core/kernels/kernels_internal.h"
+
+namespace loom {
+namespace {
+
+size_t DecodeRecordsScalar(const uint8_t* buf, size_t len, uint64_t base_addr,
+                           size_t chunk_size, DecodedBatch* out) {
+  return kernels_internal::DecodeWalk<true>(buf, len, base_addr, chunk_size, out);
+}
+
+void ClassifyBinsScalar(const double* values, size_t n, const double* edges,
+                        size_t num_edges, uint32_t* bins) {
+  // Mirrors HistogramSpec::BinOf exactly: underflow 0, overflow num_edges,
+  // otherwise the first edge greater than the value. NaN fails both ordered
+  // comparisons and upper_bound never advances past it, so it classifies
+  // into the overflow bin — vector implementations must special-case that.
+  const double* end = edges + num_edges;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = values[i];
+    if (v < edges[0]) {
+      bins[i] = 0;
+    } else if (v >= edges[num_edges - 1]) {
+      bins[i] = static_cast<uint32_t>(num_edges);
+    } else {
+      bins[i] = static_cast<uint32_t>(std::upper_bound(edges, end, v) - edges);
+    }
+  }
+}
+
+void FilterSourceTimeScalar(const uint32_t* source_ids, const uint64_t* timestamps,
+                            size_t n, uint32_t source, uint64_t start, uint64_t end,
+                            uint64_t* mask) {
+  std::memset(mask, 0, MaskWords(n) * sizeof(uint64_t));
+  for (size_t i = 0; i < n; ++i) {
+    if (source_ids[i] == source && timestamps[i] >= start && timestamps[i] <= end) {
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+void FilterValueRangeScalar(const double* values, size_t n, double lo, double hi,
+                            uint64_t* mask) {
+  std::memset(mask, 0, MaskWords(n) * sizeof(uint64_t));
+  for (size_t i = 0; i < n; ++i) {
+    if (values[i] >= lo && values[i] <= hi) {
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",        DecodeRecordsScalar,    ClassifyBinsScalar,
+    FilterSourceTimeScalar, FilterValueRangeScalar,
+};
+
+}  // namespace
+
+const KernelOps* ScalarKernels() { return &kScalarOps; }
+
+}  // namespace loom

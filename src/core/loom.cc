@@ -29,6 +29,10 @@ constexpr size_t kMinParallelCandidates = 4;
 // Parallel RawScan needs at least this many chain segments to fan out.
 constexpr size_t kMinParallelSegments = 4;
 
+// Backward chain walks batch this many headers before running the vectorized
+// time filter over them (the walk itself is data-dependent and stays serial).
+constexpr size_t kChainWalkBatch = 64;
+
 Clock* DefaultClock() {
   static MonotonicClock clock;
   return &clock;
@@ -177,17 +181,26 @@ Loom::Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_me
   if (options_.query_threads > 0) {
     query_pool_ = std::make_unique<QueryThreadPool>(options_.query_threads);
   }
+  // Resolve the kernel set once: an explicit simd_mode wins; kAuto consults
+  // LOOM_SIMD and then autodetects. SelectKernels never returns null.
+  kernels_ = SelectKernels(options_.simd_mode == SimdMode::kAuto
+                               ? SimdModeFromEnv(SimdMode::kAuto)
+                               : options_.simd_mode);
   RegisterMetrics();
 }
 
 Loom::~Loom() {
   // A shared registry (LoomOptions.metrics) outlives this engine; the hooks
-  // capture `summary_cache_` / `query_pool_` and must go first.
+  // capture `summary_cache_` / `query_pool_` / `prefetcher_` and must go
+  // first.
   if (cache_hook_id_ != 0) {
     metrics_->RemoveCollectionHook(cache_hook_id_);
   }
   if (pool_hook_id_ != 0) {
     metrics_->RemoveCollectionHook(pool_hook_id_);
+  }
+  if (prefetch_hook_id_ != 0) {
+    metrics_->RemoveCollectionHook(prefetch_hook_id_);
   }
 }
 
@@ -246,6 +259,32 @@ void Loom::RegisterMetrics() {
           invalidated->Set(static_cast<double>(s.invalidated));
           bytes_used->Set(static_cast<double>(s.bytes_used));
           entries->Set(static_cast<double>(s.entries));
+        });
+  }
+  {
+    // The active kernel set, exported as a one-hot style gauge (0 scalar,
+    // 1 avx2, 2 neon) so dashboards can tell which dispatch a node runs.
+    Gauge* kernel_mode = metrics_->AddGauge("loom_query_kernel_mode");
+    const char* name = kernels_->name;
+    kernel_mode->Set(std::strcmp(name, "avx2") == 0   ? 1.0
+                     : std::strcmp(name, "neon") == 0 ? 2.0
+                                                      : 0.0);
+  }
+  if (options_.prefetch_depth > 0) {
+    // The ring keeps its own counters under its mutex; fold them into gauges
+    // at each Snapshot(), mirroring the summary-cache pattern.
+    Gauge* issued = metrics_->AddGauge("loom_query_prefetch_issued_total");
+    Gauge* hits = metrics_->AddGauge("loom_query_prefetch_hits_total");
+    Gauge* wasted = metrics_->AddGauge("loom_query_prefetch_wasted_total");
+    Gauge* depth = metrics_->AddGauge("loom_query_prefetch_ring_depth");
+    ChunkPrefetcher* ring = &prefetcher_;
+    prefetch_hook_id_ =
+        metrics_->AddCollectionHook([ring, issued, hits, wasted, depth] {
+          const ChunkPrefetcher::Stats s = ring->stats();
+          issued->Set(static_cast<double>(s.issued));
+          hits->Set(static_cast<double>(s.hits));
+          wasted->Set(static_cast<double>(s.wasted));
+          depth->Set(static_cast<double>(s.depth));
         });
   }
 }
@@ -574,16 +613,35 @@ Result<Loom::IndexSnapshot> Loom::GetIndexSnapshot(uint32_t index_id) const {
 Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
                              const std::function<bool(const RecordView&)>& fn,
                              QueryTrace* trace) const {
+  return ScanRecordRangeInternal(from, to, /*filtered=*/false, 0, TimeRange{}, {}, fn, trace);
+}
+
+Status Loom::ScanRecordRangeFor(uint64_t from, uint64_t to, uint32_t source_id,
+                                TimeRange t_range, std::span<const uint8_t> preloaded,
+                                const std::function<bool(const RecordView&)>& fn,
+                                QueryTrace* trace) const {
+  return ScanRecordRangeInternal(from, to, /*filtered=*/true, source_id, t_range, preloaded, fn,
+                                 trace);
+}
+
+Status Loom::ScanRecordRangeInternal(uint64_t from, uint64_t to, bool filtered,
+                                     uint32_t source_id, TimeRange t_range,
+                                     std::span<const uint8_t> preloaded,
+                                     const std::function<bool(const RecordView&)>& fn,
+                                     QueryTrace* trace) const {
   // Data below the retention floor is gone; scan the retained suffix. Chunk
   // alignment survives because the floor advances in block multiples and
   // blocks are chunk-aligned.
   uint64_t seen_floor = record_log_->retained_floor();
+  const uint64_t preload_base = from;  // `preloaded`, when present, starts here
   from = std::max(from, seen_floor);
   if (from >= to) {
     return Status::Ok();
   }
   const uint64_t scan_t0 = trace->detailed ? MetricsNowNanos() : 0;
-  CachedLogReader reader(record_log_.get(), to, kScanWindow);
+  // When the prefetched buffer covers the whole range the reader is never
+  // constructed (candidate chunk scans on a ring hit take this path).
+  std::optional<CachedLogReader> reader;
   const uint64_t chunk_size = options_.chunk_size;
   uint64_t addr = from;
   // Retention can advance mid-query: past the scan position, or merely past
@@ -605,58 +663,102 @@ Status Loom::ScanRecordRange(uint64_t from, uint64_t to,
     addr = std::max(addr, new_floor);
     return true;
   };
-  while (addr + kRecordHeaderSize <= to) {
+  DecodedBatch batch;
+  std::vector<uint64_t> mask;
+  bool done = false;
+  while (!done && addr + kRecordHeaderSize <= to) {
     const uint64_t chunk_end = std::min<uint64_t>(to, addr - (addr % chunk_size) + chunk_size);
     if (chunk_end - addr < kRecordHeaderSize) {
       addr = chunk_end;
       continue;
     }
-    auto peek = reader.Fetch(addr, 4);
-    if (!peek.ok()) {
-      if (reclaimed_mid_scan(peek.status())) {
+    const size_t span_len = static_cast<size_t>(chunk_end - addr);
+    const uint8_t* buf = nullptr;
+    if (!preloaded.empty() && addr >= preload_base &&
+        (addr - preload_base) + span_len <= preloaded.size()) {
+      buf = preloaded.data() + (addr - preload_base);
+    } else {
+      if (!reader.has_value()) {
+        reader.emplace(record_log_.get(), to, kScanWindow);
+      }
+      auto span = reader->Fetch(addr, span_len);
+      if (!span.ok()) {
+        if (reclaimed_mid_scan(span.status())) {
+          continue;
+        }
+        return span.status();
+      }
+      buf = span.value().data();
+    }
+    // Batch-decode the span, vector-filter, then emit strictly in log order
+    // with per-record accounting — an early stop mid-batch leaves the trace
+    // exactly where the per-record walk would have left it.
+    batch.Clear();
+    const size_t consumed = kernels_->decode_records(buf, span_len, addr, chunk_size, &batch);
+    const size_t n = batch.size();
+    if (filtered && n > 0) {
+      mask.assign(MaskWords(n), 0);
+      kernels_->filter_source_time(batch.source_ids.data(), batch.timestamps.data(), n,
+                                   source_id, t_range.start, t_range.end, mask.data());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t plen = batch.payload_lens[i];
+      ++trace->records_examined;
+      trace->bytes_read += kRecordHeaderSize + plen;
+      if (filtered && ((mask[i >> 6] >> (i & 63)) & 1) == 0) {
         continue;
       }
-      return peek.status();
-    }
-    const uint32_t sid = LoadU32(peek.value().data());
-    if (sid == kPadSourceId) {
-      addr = addr - (addr % chunk_size) + chunk_size;
-      continue;
-    }
-    auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
-    if (!head_bytes.ok()) {
-      if (reclaimed_mid_scan(head_bytes.status())) {
-        continue;
+      RecordView view;
+      view.source_id = batch.source_ids[i];
+      view.ts = batch.timestamps[i];
+      view.addr = batch.addrs[i];
+      view.payload = std::span<const uint8_t>(
+          buf + (batch.addrs[i] - addr) + kRecordHeaderSize, plen);
+      if (!fn(view)) {
+        done = true;
+        break;
       }
-      return head_bytes.status();
     }
-    const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
-    if (addr + kRecordHeaderSize + header.payload_len > to) {
-      break;  // beyond the snapshot
-    }
-    auto payload = reader.Fetch(addr + kRecordHeaderSize, header.payload_len);
-    if (!payload.ok()) {
-      if (reclaimed_mid_scan(payload.status())) {
-        continue;
-      }
-      return payload.status();
-    }
-    RecordView view;
-    view.source_id = header.source_id;
-    view.ts = header.ts;
-    view.addr = addr;
-    view.payload = payload.value();
-    ++trace->records_examined;
-    trace->bytes_read += kRecordHeaderSize + header.payload_len;
-    if (!fn(view)) {
+    if (consumed < span_len) {
+      // The span ends inside a record: the snapshot boundary cut it off
+      // (records never span chunks, so a mid-log truncation cannot happen on
+      // writer-produced data). The per-record walk stopped here too.
       break;
     }
-    addr += kRecordHeaderSize + header.payload_len;
+    addr += consumed;
   }
   if (trace->detailed) {
     trace->scan_nanos += MetricsNowNanos() - scan_t0;
   }
   return Status::Ok();
+}
+
+std::unique_ptr<ChunkPrefetcher::Job> Loom::SubmitCandidatePrefetch(const CandidatePlan& plan,
+                                                                    const Snapshot& snap) const {
+  if (options_.prefetch_depth == 0 || plan.use_preloaded || plan.addrs.size() < 2) {
+    return nullptr;
+  }
+  // Frame layout: u32 length | ChunkSummary body, whose first field is the
+  // u64 chunk_addr — one tiny read pins the whole candidate range, because
+  // chunk events are appended once per finalized chunk in log order, making
+  // candidate record chunks consecutive chunk_size-strided spans.
+  uint8_t addr_buf[8];
+  if (!chunk_log_->Read(plan.addrs[0] + 4, std::span<uint8_t>(addr_buf, 8)).ok()) {
+    return nullptr;
+  }
+  const uint64_t chunk0 = LoadU64(addr_buf);
+  const uint64_t chunk_size = options_.chunk_size;
+  std::vector<ChunkPrefetcher::Range> ranges;
+  ranges.reserve(plan.addrs.size());
+  for (size_t c = 0; c < plan.addrs.size(); ++c) {
+    const uint64_t start = chunk0 + c * chunk_size;
+    const uint64_t end = std::min<uint64_t>(start + chunk_size, snap.record_tail);
+    if (start >= end) {
+      return nullptr;  // derivation ran past the snapshot: don't prefetch
+    }
+    ranges.push_back({start, static_cast<uint32_t>(end - start)});
+  }
+  return prefetcher_.Submit(record_log_.get(), std::move(ranges), options_.prefetch_depth);
 }
 
 Result<std::shared_ptr<const ChunkSummary>> Loom::ReadSummary(uint64_t addr, uint64_t chunk_tail,
@@ -891,7 +993,14 @@ bool Loom::CanRunParallel() const {
 Status Loom::ProcessAggregateCandidate(uint32_t source_id, uint32_t index_id,
                                        const IndexSnapshot& idx, TimeRange t_range,
                                        const Snapshot& snap, const CandidatePlan& plan, size_t c,
-                                       ChunkOutcome* out, QueryTrace* trace) const {
+                                       ChunkPrefetcher::Job* ring, ChunkOutcome* out,
+                                       QueryTrace* trace) const {
+  // Take this candidate's ring slot unconditionally — pruned candidates must
+  // still advance the read-ahead window or the ring would stall.
+  std::optional<std::vector<uint8_t>> pre;
+  if (ring != nullptr) {
+    pre = ring->Take(c);
+  }
   auto loaded = LoadCandidate(plan, c, snap, t_range, trace);
   if (!loaded.ok()) {
     return loaded.status();
@@ -936,12 +1045,18 @@ Status Loom::ProcessAggregateCandidate(uint32_t source_id, uint32_t index_id,
   out->kind = ChunkOutcome::Kind::kScanned;
   const IndexFunc& func = idx.func;
   const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-  return ScanRecordRange(
-      s.chunk_addr, end,
+  // A prefetched buffer is trusted only when it demonstrably covers this
+  // chunk: the ring's ranges were derived arithmetically before any summary
+  // was decoded, so the submitted base must equal the decoded chunk_addr.
+  // Anything else degrades to a miss through the scan-local cache.
+  std::span<const uint8_t> preloaded;
+  if (pre.has_value() && ring->range_addr(c) == s.chunk_addr && end > s.chunk_addr &&
+      pre->size() >= end - s.chunk_addr) {
+    preloaded = std::span<const uint8_t>(pre->data(), static_cast<size_t>(end - s.chunk_addr));
+  }
+  return ScanRecordRangeFor(
+      s.chunk_addr, end, source_id, t_range, preloaded,
       [&](const RecordView& view) -> bool {
-        if (view.source_id != source_id || !t_range.Contains(view.ts)) {
-          return true;
-        }
         std::optional<double> value = func(view.payload);
         if (value.has_value()) {
           out->values.emplace_back(*value, view.ts);
@@ -954,8 +1069,12 @@ Status Loom::ProcessAggregateCandidate(uint32_t source_id, uint32_t index_id,
 Status Loom::ProcessScanCandidate(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
                                   TimeRange t_range, ValueRange v_range, uint32_t first_bin,
                                   uint32_t last_bin, const Snapshot& snap,
-                                  const CandidatePlan& plan, size_t c, ChunkOutcome* out,
-                                  QueryTrace* trace) const {
+                                  const CandidatePlan& plan, size_t c, ChunkPrefetcher::Job* ring,
+                                  ChunkOutcome* out, QueryTrace* trace) const {
+  std::optional<std::vector<uint8_t>> pre;
+  if (ring != nullptr) {
+    pre = ring->Take(c);
+  }
   auto loaded = LoadCandidate(plan, c, snap, t_range, trace);
   if (!loaded.ok()) {
     return loaded.status();
@@ -1005,12 +1124,14 @@ Status Loom::ProcessScanCandidate(uint32_t source_id, uint32_t index_id, const I
   out->kind = ChunkOutcome::Kind::kScanned;
   const IndexFunc& func = idx.func;
   const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-  return ScanRecordRange(
-      s.chunk_addr, end,
+  std::span<const uint8_t> preloaded;
+  if (pre.has_value() && ring->range_addr(c) == s.chunk_addr && end > s.chunk_addr &&
+      pre->size() >= end - s.chunk_addr) {
+    preloaded = std::span<const uint8_t>(pre->data(), static_cast<size_t>(end - s.chunk_addr));
+  }
+  return ScanRecordRangeFor(
+      s.chunk_addr, end, source_id, t_range, preloaded,
       [&](const RecordView& view) -> bool {
-        if (view.source_id != source_id || !t_range.Contains(view.ts)) {
-          return true;
-        }
         std::optional<double> value = func(view.payload);
         if (!value.has_value() || !v_range.Contains(*value)) {
           return true;
@@ -1085,42 +1206,89 @@ Status Loom::RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCall
   }
 
   const uint64_t scan_t0 = trace->detailed ? MetricsNowNanos() : 0;
-  CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow);
+  // Two windows: the payload fetches of the emission phase and the header
+  // walk of the next batch alternate between nearby-but-distinct spans.
+  CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow, /*max_windows=*/2);
+  // The chain walk batches headers, runs the vectorized time filter over the
+  // batch, then emits matches in chain (newest-first) order with the same
+  // per-record accounting the single-step walk produced: every header
+  // fetched is examined, payload bytes count only for matches, and the
+  // first record with ts < t_range.start terminates the walk (it is
+  // examined, never delivered).
+  DecodedBatch batch;
+  std::vector<uint64_t> mask;
   uint64_t addr = start;
-  while (addr != kNullAddr) {
-    if (addr < record_log_->retained_floor()) {
-      break;  // the chain continues into dropped (retention) territory
-    }
-    auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
-    if (!head_bytes.ok()) {
-      if (head_bytes.status().code() == StatusCode::kOutOfRange) {
-        break;  // retention advanced mid-walk: stop at the boundary
+  bool done = false;
+  Status deferred;  // hard read error: surfaces after the collected prefix
+  while (!done && addr != kNullAddr) {
+    batch.Clear();
+    bool stop_after = false;
+    while (batch.size() < kChainWalkBatch && addr != kNullAddr) {
+      if (addr < record_log_->retained_floor()) {
+        stop_after = true;  // the chain continues into dropped territory
+        break;
       }
-      return head_bytes.status();
-    }
-    const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
-    ++trace->records_examined;
-    trace->bytes_read += kRecordHeaderSize;
-    if (header.ts < t_range.start) {
-      break;
-    }
-    if (header.ts <= t_range.end) {
-      auto payload = reader.Fetch(addr + kRecordHeaderSize, header.payload_len);
-      if (!payload.ok()) {
-        return payload.status();
+      auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
+      if (!head_bytes.ok()) {
+        if (head_bytes.status().code() == StatusCode::kOutOfRange) {
+          stop_after = true;  // retention advanced mid-walk
+        } else {
+          deferred = head_bytes.status();
+          stop_after = true;
+        }
+        break;
       }
-      trace->bytes_read += header.payload_len;
-      RecordView view;
-      view.source_id = header.source_id;
-      view.ts = header.ts;
-      view.addr = addr;
-      view.payload = payload.value();
-      ++trace->records_matched;
-      if (!cb(view)) {
+      const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
+      batch.addrs.push_back(addr);
+      batch.source_ids.push_back(header.source_id);
+      batch.payload_lens.push_back(header.payload_len);
+      batch.timestamps.push_back(header.ts);
+      addr = header.prev_addr;
+      if (header.ts < t_range.start) {
+        stop_after = true;
         break;
       }
     }
-    addr = header.prev_addr;
+    const size_t n = batch.size();
+    if (n > 0) {
+      mask.assign(MaskWords(n), 0);
+      kernels_->filter_source_time(batch.source_ids.data(), batch.timestamps.data(), n,
+                                   source_id, t_range.start, t_range.end, mask.data());
+      for (size_t i = 0; i < n; ++i) {
+        ++trace->records_examined;
+        trace->bytes_read += kRecordHeaderSize;
+        if (((mask[i >> 6] >> (i & 63)) & 1) == 0) {
+          continue;
+        }
+        auto payload = reader.Fetch(batch.addrs[i] + kRecordHeaderSize, batch.payload_lens[i]);
+        if (!payload.ok()) {
+          return payload.status();
+        }
+        trace->bytes_read += batch.payload_lens[i];
+        RecordView view;
+        view.source_id = batch.source_ids[i];
+        view.ts = batch.timestamps[i];
+        view.addr = batch.addrs[i];
+        view.payload = payload.value();
+        ++trace->records_matched;
+        if (!cb(view)) {
+          done = true;
+          break;
+        }
+      }
+    }
+    // A collection-phase read error surfaces only after the records ahead of
+    // it were delivered; if the callback already stopped, the interleaved
+    // walk would never have reached the error, so swallow it.
+    if (!deferred.ok() && !done) {
+      if (trace->detailed) {
+        trace->scan_nanos += MetricsNowNanos() - scan_t0;
+      }
+      return deferred;
+    }
+    if (stop_after) {
+      break;
+    }
   }
   if (trace->detailed) {
     trace->scan_nanos += MetricsNowNanos() - scan_t0;
@@ -1205,48 +1373,79 @@ Status Loom::RawScanParallel(uint32_t source_id, TimeRange t_range, const Snapsh
         }
         QueryTrace* mt = &morsel_traces[mi];
         const uint64_t scan_t0 = mt->detailed ? MetricsNowNanos() : 0;
-        CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow);
+        CachedLogReader reader(record_log_.get(), snap.record_tail, kScanWindow,
+                               /*max_windows=*/2);
+        DecodedBatch batch;
+        std::vector<uint64_t> mask;
         const auto [sb, se] = morsels[mi];
         for (size_t s = sb; s < se; ++s) {
           SegResult& r = results[s];
           uint64_t addr = segs[s].begin;
-          while (addr != kNullAddr && addr != segs[s].end) {
-            if (addr < record_log_->retained_floor()) {
-              r.hit_stop = true;  // chain continues into dropped territory
-              break;
-            }
-            auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
-            if (!head_bytes.ok()) {
-              if (head_bytes.status().code() == StatusCode::kOutOfRange) {
-                r.hit_stop = true;  // retention advanced mid-walk
+          bool seg_done = false;
+          // Same batched walk as the serial path: collect headers along the
+          // chain, vector-filter by time, then account and buffer matches in
+          // chain order. Each segment additionally stops at its exclusive
+          // end address.
+          while (!seg_done && addr != kNullAddr && addr != segs[s].end) {
+            batch.Clear();
+            while (batch.size() < kChainWalkBatch && addr != kNullAddr &&
+                   addr != segs[s].end) {
+              if (addr < record_log_->retained_floor()) {
+                r.hit_stop = true;  // chain continues into dropped territory
+                seg_done = true;
                 break;
               }
-              morsel_status[mi] = head_bytes.status();
-              abort.store(true, std::memory_order_relaxed);
-              break;
-            }
-            const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
-            ++mt->records_examined;
-            mt->bytes_read += kRecordHeaderSize;
-            if (header.ts < t_range.start) {
-              r.hit_stop = true;
-              break;
-            }
-            if (header.ts <= t_range.end) {
-              auto payload = reader.Fetch(addr + kRecordHeaderSize, header.payload_len);
-              if (!payload.ok()) {
-                morsel_status[mi] = payload.status();
-                abort.store(true, std::memory_order_relaxed);
+              auto head_bytes = reader.Fetch(addr, kRecordHeaderSize);
+              if (!head_bytes.ok()) {
+                if (head_bytes.status().code() == StatusCode::kOutOfRange) {
+                  r.hit_stop = true;  // retention advanced mid-walk
+                } else {
+                  morsel_status[mi] = head_bytes.status();
+                  abort.store(true, std::memory_order_relaxed);
+                }
+                seg_done = true;
                 break;
               }
-              mt->bytes_read += header.payload_len;
-              ChunkOutcome::Match match;
-              match.ts = header.ts;
-              match.addr = addr;
-              match.payload.assign(payload.value().begin(), payload.value().end());
-              r.matches.push_back(std::move(match));
+              const RecordHeader header = RecordHeader::Decode(head_bytes.value().data());
+              batch.addrs.push_back(addr);
+              batch.source_ids.push_back(header.source_id);
+              batch.payload_lens.push_back(header.payload_len);
+              batch.timestamps.push_back(header.ts);
+              addr = header.prev_addr;
+              if (header.ts < t_range.start) {
+                r.hit_stop = true;
+                seg_done = true;
+                break;
+              }
             }
-            addr = header.prev_addr;
+            const size_t n = batch.size();
+            if (n > 0) {
+              mask.assign(MaskWords(n), 0);
+              kernels_->filter_source_time(batch.source_ids.data(), batch.timestamps.data(),
+                                           n, source_id, t_range.start, t_range.end,
+                                           mask.data());
+              for (size_t i = 0; i < n; ++i) {
+                ++mt->records_examined;
+                mt->bytes_read += kRecordHeaderSize;
+                if (((mask[i >> 6] >> (i & 63)) & 1) == 0) {
+                  continue;
+                }
+                auto payload =
+                    reader.Fetch(batch.addrs[i] + kRecordHeaderSize, batch.payload_lens[i]);
+                if (!payload.ok()) {
+                  morsel_status[mi] = payload.status();
+                  abort.store(true, std::memory_order_relaxed);
+                  seg_done = true;
+                  break;
+                }
+                mt->bytes_read += batch.payload_lens[i];
+                ChunkOutcome::Match match;
+                match.ts = batch.timestamps[i];
+                match.addr = batch.addrs[i];
+                match.payload.assign(payload.value().begin(), payload.value().end());
+                r.matches.push_back(std::move(match));
+              }
+            }
           }
           if (r.hit_stop || !morsel_status[mi].ok()) {
             break;  // remaining segments are past the serial stop / the error
@@ -1364,6 +1563,7 @@ Status Loom::IndexedScanValuesImpl(uint32_t source_id, uint32_t index_id, TimeRa
     CandidatePlan plan;
     LOOM_RETURN_IF_ERROR(PlanCandidates(snap, t_range, &plan, trace));
     const size_t n = plan.size();
+    const std::unique_ptr<ChunkPrefetcher::Job> ring = SubmitCandidatePrefetch(plan, snap);
 
     // Emits one processed candidate's buffered matches. Always runs on the
     // calling thread, strictly in candidate (= timestamp) order, so the
@@ -1418,8 +1618,8 @@ Status Loom::IndexedScanValuesImpl(uint32_t source_id, uint32_t index_id, TimeRa
             for (size_t c = begin; c < end; ++c) {
               Status st =
                   ProcessScanCandidate(source_id, index_id, idx.value(), t_range, v_range,
-                                       first_bin, last_bin, snap, plan, c, &outcomes[c],
-                                       &morsel_traces[mi]);
+                                       first_bin, last_bin, snap, plan, c, ring.get(),
+                                       &outcomes[c], &morsel_traces[mi]);
               if (!st.ok()) {
                 morsel_status[mi] = st;
                 abort.store(true, std::memory_order_relaxed);
@@ -1458,16 +1658,30 @@ Status Loom::IndexedScanValuesImpl(uint32_t source_id, uint32_t index_id, TimeRa
       for (size_t c = 0; c < n; ++c) {
         o = ChunkOutcome{};
         LOOM_RETURN_IF_ERROR(ProcessScanCandidate(source_id, index_id, idx.value(), t_range,
-                                                  v_range, first_bin, last_bin, snap, plan, c, &o,
-                                                  trace));
+                                                  v_range, first_bin, last_bin, snap, plan, c,
+                                                  ring.get(), &o, trace));
         if (!emit_outcome(o)) {
           return Status::Ok();
         }
       }
     }
-    // Active (not yet summarized) region.
-    LOOM_RETURN_IF_ERROR(
-        ScanRecordRange(snap.indexed_tail, snap.record_tail, emit_matches, trace));
+    // Active (not yet summarized) region: the source/time filter runs
+    // vectorized over each decoded batch instead of inside the callback.
+    LOOM_RETURN_IF_ERROR(ScanRecordRangeFor(
+        snap.indexed_tail, snap.record_tail, source_id, t_range, {},
+        [&](const RecordView& view) -> bool {
+          std::optional<double> value = func(view.payload);
+          if (!value.has_value() || !v_range.Contains(*value)) {
+            return true;
+          }
+          ++trace->records_matched;
+          if (!cb(*value, view)) {
+            stopped = true;
+            return false;
+          }
+          return true;
+        },
+        trace));
     return Status::Ok();
   }
 
@@ -1539,10 +1753,9 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
   std::vector<uint64_t>& bin_counts = out->bin_counts;
   std::vector<double>& loose_values = out->loose_values;
 
+  // Source/time filtering happens vectorized inside the batched scan; only
+  // matching records reach this callback.
   auto scan_accumulate = [&](const RecordView& view) -> bool {
-    if (view.source_id != source_id || !t_range.Contains(view.ts)) {
-      return true;
-    }
     std::optional<double> value = func(view.payload);
     if (!value.has_value()) {
       return true;
@@ -1560,6 +1773,9 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
     CandidatePlan plan;
     LOOM_RETURN_IF_ERROR(PlanCandidates(snap, t_range, &plan, trace));
     const size_t n = plan.size();
+    const std::unique_ptr<ChunkPrefetcher::Job> ring = SubmitCandidatePrefetch(plan, snap);
+    std::vector<double> scan_vals;
+    std::vector<uint32_t> scan_bins;
 
     // Folds one processed outcome into the accumulation. Always runs on the
     // coordinator, strictly in candidate (= log) order: partial aggregates
@@ -1589,15 +1805,24 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
           ++trace->chunks_pruned;
           ++trace->chunks_summary_folded;
           break;
-        case ChunkOutcome::Kind::kScanned:
+        case ChunkOutcome::Kind::kScanned: {
           ++trace->chunks_considered;
           ++trace->chunks_scanned;
+          // Classify the whole chunk's values in one kernel pass (bit-exact
+          // with per-value BinOf), then fold in log order.
+          scan_vals.clear();
           for (const auto& [value, ts] : o.values) {
-            merged.Update(value, ts);
-            bin_counts[spec.BinOf(value)]++;
-            loose_values.push_back(value);
+            scan_vals.push_back(value);
+          }
+          scan_bins.resize(scan_vals.size());
+          spec.ClassifyBatch(*kernels_, scan_vals.data(), scan_vals.size(), scan_bins.data());
+          for (size_t i = 0; i < o.values.size(); ++i) {
+            merged.Update(o.values[i].first, o.values[i].second);
+            bin_counts[scan_bins[i]]++;
+            loose_values.push_back(o.values[i].first);
           }
           break;
+        }
       }
     };
 
@@ -1618,7 +1843,7 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
         const auto [begin, end] = morsels[mi];
         for (size_t c = begin; c < end; ++c) {
           Status st = ProcessAggregateCandidate(source_id, index_id, idx, t_range, snap, plan, c,
-                                                &outcomes[c], &morsel_traces[mi]);
+                                                ring.get(), &outcomes[c], &morsel_traces[mi]);
           if (!st.ok()) {
             morsel_status[mi] = st;
             abort.store(true, std::memory_order_relaxed);
@@ -1650,13 +1875,13 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
       ChunkOutcome o;
       for (size_t c = 0; c < n; ++c) {
         o = ChunkOutcome{};
-        LOOM_RETURN_IF_ERROR(
-            ProcessAggregateCandidate(source_id, index_id, idx, t_range, snap, plan, c, &o, trace));
+        LOOM_RETURN_IF_ERROR(ProcessAggregateCandidate(source_id, index_id, idx, t_range, snap,
+                                                       plan, c, ring.get(), &o, trace));
         merge_outcome(o);
       }
     }
-    LOOM_RETURN_IF_ERROR(
-        ScanRecordRange(snap.indexed_tail, snap.record_tail, scan_accumulate, trace));
+    LOOM_RETURN_IF_ERROR(ScanRecordRangeFor(snap.indexed_tail, snap.record_tail, source_id,
+                                            t_range, {}, scan_accumulate, trace));
   } else {
     // Ablation modes: aggregate by scanning, bounded by the timestamp index
     // where available. Goes through the Impl so this query's trace keeps
@@ -1701,10 +1926,9 @@ Result<uint64_t> Loom::CountRecordsImpl(uint32_t source_id, TimeRange t_range,
   }
   const Snapshot snap = TakeSnapshot(src);
   uint64_t count = 0;
-  auto count_scan = [&](const RecordView& view) -> bool {
-    if (view.source_id == source_id && t_range.Contains(view.ts)) {
-      ++count;
-    }
+  // Invoked only for records passing the vectorized source/time filter.
+  auto count_scan = [&](const RecordView&) -> bool {
+    ++count;
     return true;
   };
   if (!options_.enable_chunk_index) {
@@ -1745,10 +1969,12 @@ Result<uint64_t> Loom::CountRecordsImpl(uint32_t source_id, TimeRange t_range,
     } else {
       ++trace->chunks_scanned;
       const uint64_t end = std::min<uint64_t>(s.chunk_addr + s.chunk_len, snap.record_tail);
-      LOOM_RETURN_IF_ERROR(ScanRecordRange(s.chunk_addr, end, count_scan, trace));
+      LOOM_RETURN_IF_ERROR(
+          ScanRecordRangeFor(s.chunk_addr, end, source_id, t_range, {}, count_scan, trace));
     }
   }
-  LOOM_RETURN_IF_ERROR(ScanRecordRange(snap.indexed_tail, snap.record_tail, count_scan, trace));
+  LOOM_RETURN_IF_ERROR(ScanRecordRangeFor(snap.indexed_tail, snap.record_tail, source_id,
+                                          t_range, {}, count_scan, trace));
   return count;
 }
 
@@ -1868,9 +2094,15 @@ Result<double> Loom::IndexedAggregateImpl(uint32_t source_id, uint32_t index_id,
 
   std::vector<double> bin_values;
   bin_values.reserve(bin_counts[target_bin]);
-  for (double v : loose_values) {
-    if (spec.BinOf(v) == target_bin) {
-      bin_values.push_back(v);
+  {
+    // One kernel pass over all loosely-scanned values instead of a
+    // binary-search per value (bit-exact with BinOf).
+    std::vector<uint32_t> loose_bins(loose_values.size());
+    spec.ClassifyBatch(*kernels_, loose_values.data(), loose_values.size(), loose_bins.data());
+    for (size_t i = 0; i < loose_values.size(); ++i) {
+      if (loose_bins[i] == target_bin) {
+        bin_values.push_back(loose_values[i]);
+      }
     }
   }
   // Stage 2: the summaries did not settle these chunks after all — read their
@@ -1888,23 +2120,58 @@ Result<double> Loom::IndexedAggregateImpl(uint32_t source_id, uint32_t index_id,
   trace->chunks_pruned -= rescan.size();
   trace->chunks_summary_folded -= rescan.size();
   trace->chunks_scanned += rescan.size();
+  // Stage-2 chunks are known exactly (decoded summaries in hand), so the
+  // prefetch ring gets precise ranges — no derivation, no verification miss.
+  std::unique_ptr<ChunkPrefetcher::Job> stage2_ring;
+  if (options_.prefetch_depth > 0 && rescan.size() >= 2) {
+    std::vector<ChunkPrefetcher::Range> ranges;
+    ranges.reserve(rescan.size());
+    for (const ChunkSummary* mc : rescan) {
+      const uint64_t end = std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
+      ranges.push_back({mc->chunk_addr,
+                        static_cast<uint32_t>(end > mc->chunk_addr ? end - mc->chunk_addr : 0)});
+    }
+    stage2_ring = prefetcher_.Submit(record_log_.get(), std::move(ranges),
+                                     options_.prefetch_depth);
+  }
   std::vector<std::vector<double>> chunk_values(rescan.size());
   auto scan_chunk = [&](size_t i, QueryTrace* t) -> Status {
     const ChunkSummary* mc = rescan[i];
     const uint64_t end = std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
-    return ScanRecordRange(
-        mc->chunk_addr, end,
-        [&, i](const RecordView& view) -> bool {
-          if (view.source_id != source_id || !t_range.Contains(view.ts)) {
-            return true;
-          }
+    std::optional<std::vector<uint8_t>> pre;
+    if (stage2_ring != nullptr) {
+      pre = stage2_ring->Take(i);
+    }
+    std::span<const uint8_t> preloaded;
+    if (pre.has_value() && end > mc->chunk_addr && pre->size() >= end - mc->chunk_addr) {
+      preloaded =
+          std::span<const uint8_t>(pre->data(), static_cast<size_t>(end - mc->chunk_addr));
+    }
+    // Collect the chunk's extracted values, then classify them in one kernel
+    // pass; order (and therefore nth_element input) matches the per-record
+    // BinOf filter exactly.
+    std::vector<double> vals;
+    Status st = ScanRecordRangeFor(
+        mc->chunk_addr, end, source_id, t_range, preloaded,
+        [&](const RecordView& view) -> bool {
           std::optional<double> value = func(view.payload);
-          if (value.has_value() && spec.BinOf(*value) == target_bin) {
-            chunk_values[i].push_back(*value);
+          if (value.has_value()) {
+            vals.push_back(*value);
           }
           return true;
         },
         t);
+    if (!st.ok()) {
+      return st;
+    }
+    std::vector<uint32_t> bins(vals.size());
+    spec.ClassifyBatch(*kernels_, vals.data(), vals.size(), bins.data());
+    for (size_t v = 0; v < vals.size(); ++v) {
+      if (bins[v] == target_bin) {
+        chunk_values[i].push_back(vals[v]);
+      }
+    }
+    return Status::Ok();
   };
   if (CanRunParallel() && rescan.size() >= kMinParallelCandidates) {
     const std::vector<std::pair<size_t, size_t>> morsels =

@@ -44,12 +44,15 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/cpu_features.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/core/kernels/kernels.h"
 #include "src/core/query_thread_pool.h"
 #include "src/core/query_trace.h"
 #include "src/core/record_format.h"
 #include "src/hybridlog/hybrid_log.h"
+#include "src/hybridlog/prefetch_ring.h"
 #include "src/index/chunk_summary.h"
 #include "src/index/histogram.h"
 #include "src/index/summary_cache.h"
@@ -101,6 +104,21 @@ struct LoomOptions {
   // Validate() clamps values above 4x the hardware concurrency. Results are
   // byte-identical to serial execution; index functions must be thread-safe.
   size_t query_threads = 0;
+
+  // Kernel dispatch for the per-chunk decode/classify/filter hot loops (see
+  // src/core/kernels/kernels.h). kAuto resolves the LOOM_SIMD environment
+  // variable (scalar|avx2|neon|auto) first, then autodetects the widest set
+  // the CPU supports. Every set is bit-exact with the scalar reference, so
+  // this knob never changes results — only throughput. Forcing an
+  // unavailable set silently degrades to scalar.
+  SimdMode simd_mode = SimdMode::kAuto;
+
+  // Read-ahead depth of the chunk prefetch ring: indexed queries hand their
+  // planned candidate chunk list to a background reader that stays up to
+  // `prefetch_depth` chunks ahead of decode, overlapping record-log I/O with
+  // kernel compute. Memory stays bounded at prefetch_depth chunks per query.
+  // 0 disables the ring (queries read through their scan-local caches only).
+  size_t prefetch_depth = 4;
 
   // Timestamp source; defaults to a process-wide monotonic clock.
   Clock* clock = nullptr;
@@ -398,16 +416,32 @@ class Loom {
                                                             QueryTrace* trace) const;
 
   // Classifies + processes one candidate for the aggregate/histogram path.
-  // Safe to call concurrently for distinct candidates.
+  // Safe to call concurrently for distinct candidates. `ring` (nullable) is
+  // this query's prefetch job; every call takes slot `c` so the ring's
+  // read-ahead window keeps advancing even across pruned candidates.
   Status ProcessAggregateCandidate(uint32_t source_id, uint32_t index_id,
                                    const IndexSnapshot& idx, TimeRange t_range,
                                    const Snapshot& snap, const CandidatePlan& plan, size_t c,
-                                   ChunkOutcome* out, QueryTrace* trace) const;
+                                   ChunkPrefetcher::Job* ring, ChunkOutcome* out,
+                                   QueryTrace* trace) const;
   // Same for the IndexedScanValues path (prune decision + buffered matches).
   Status ProcessScanCandidate(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
                               TimeRange t_range, ValueRange v_range, uint32_t first_bin,
                               uint32_t last_bin, const Snapshot& snap, const CandidatePlan& plan,
-                              size_t c, ChunkOutcome* out, QueryTrace* trace) const;
+                              size_t c, ChunkPrefetcher::Job* ring, ChunkOutcome* out,
+                              QueryTrace* trace) const;
+
+  // Submits the plan's candidate record chunks to the prefetch ring so chunk
+  // c+depth streams off the log while workers decode chunk c. Candidate
+  // chunks are consecutive (chunk events are emitted once per finalized
+  // chunk, in order), so the ranges derive from the first candidate's
+  // chunk_addr arithmetically — one 8-byte chunk-log read, no summary
+  // decodes on the coordinator. Returns null (no ring) when prefetching is
+  // disabled, the plan is preloaded/small, or the derivation read fails.
+  // Consumers verify a taken buffer against the candidate's decoded
+  // chunk_addr before trusting it, so a stale derivation degrades to a miss.
+  std::unique_ptr<ChunkPrefetcher::Job> SubmitCandidatePrefetch(const CandidatePlan& plan,
+                                                                const Snapshot& snap) const;
 
   // True when this query may fan out to the pool (pool configured and the
   // caller is not itself a pool worker — no nested parallelism).
@@ -459,9 +493,27 @@ class Loom {
   // Scans records in [from, to) of the record log, invoking `fn` for every
   // record (all sources). `fn` returns false to stop. Records examined and
   // bytes decoded accumulate into `trace` (never null on internal paths).
+  // Decoding runs chunk-at-a-time through the dispatched kernel set: the
+  // whole chunk span is fetched, batch-decoded into SoA arrays, and emitted
+  // in order (so early stops observe the exact serial prefix).
   Status ScanRecordRange(uint64_t from, uint64_t to,
                          const std::function<bool(const RecordView&)>& fn,
                          QueryTrace* trace) const;
+  // Filtered variant: only records matching (source_id, t_range) reach `fn`;
+  // the predicate runs vectorized over each decoded batch. Trace accounting
+  // (records_examined / bytes_read) still covers every record visited,
+  // matching the unfiltered scan with an fn-side filter bit for bit.
+  // `preloaded`, when non-empty, holds the record bytes starting at `from`
+  // (a prefetched chunk); spans inside it skip the read cache entirely.
+  Status ScanRecordRangeFor(uint64_t from, uint64_t to, uint32_t source_id, TimeRange t_range,
+                            std::span<const uint8_t> preloaded,
+                            const std::function<bool(const RecordView&)>& fn,
+                            QueryTrace* trace) const;
+  // Shared body of the two variants above.
+  Status ScanRecordRangeInternal(uint64_t from, uint64_t to, bool filtered, uint32_t source_id,
+                                 TimeRange t_range, std::span<const uint8_t> preloaded,
+                                 const std::function<bool(const RecordView&)>& fn,
+                                 QueryTrace* trace) const;
 
   const LoomOptions options_;
   Clock* clock_;
@@ -497,6 +549,15 @@ class Loom {
   // Morsel-driven parallel query pool (null when query_threads == 0). Lazily
   // started; shared by all queries on this engine.
   std::unique_ptr<QueryThreadPool> query_pool_;
+
+  // Vectorized per-chunk kernels, resolved once at Open from
+  // options.simd_mode / LOOM_SIMD / CPU detection. Never null.
+  const KernelOps* kernels_ = nullptr;
+
+  // Chunk prefetch ring (worker thread starts lazily on the first indexed
+  // query when prefetch_depth > 0). Declared after the logs: its worker
+  // reads the record log, so it must be destroyed first.
+  mutable ChunkPrefetcher prefetcher_;
 
   // Decoded chunk-summary cache (null when disabled). Query threads only.
   std::unique_ptr<SummaryCache> summary_cache_;
@@ -541,6 +602,7 @@ class Loom {
   // the destructor because a shared registry may outlive this engine.
   uint64_t cache_hook_id_ = 0;
   uint64_t pool_hook_id_ = 0;
+  uint64_t prefetch_hook_id_ = 0;
   // Writer-local sampling counter for the 1-in-64 Push latency timer.
   uint64_t push_sample_tick_ = 0;
 

@@ -4,15 +4,39 @@
 
 namespace loom {
 
-Result<std::span<const uint8_t>> CachedLogReader::Fetch(uint64_t addr, size_t len) {
-  ++fetches_;
-  if (addr + len > limit_) {
-    return Status::OutOfRange("fetch past snapshot tail");
+int CachedLogReader::FindWindow(uint64_t addr, size_t len) const {
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    if (w.len != 0 && addr >= w.addr && addr + len <= w.addr + w.len) {
+      return static_cast<int>(i);
+    }
   }
-  if (buf_len_ != 0 && addr >= buf_addr_ && addr + len <= buf_addr_ + buf_len_) {
-    return std::span<const uint8_t>(buf_.data() + (addr - buf_addr_), len);
+  return -1;
+}
+
+int CachedLogReader::VictimSlot(int pinned) {
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    if (windows_[i].len == 0 && static_cast<int>(i) != pinned) {
+      return static_cast<int>(i);
+    }
   }
-  ++window_loads_;
+  if (windows_.size() < max_windows_) {
+    windows_.emplace_back();
+    return static_cast<int>(windows_.size() - 1);
+  }
+  int victim = -1;
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    if (static_cast<int>(i) == pinned) {
+      continue;  // never evict the window serving the most recent Fetch
+    }
+    if (victim < 0 || windows_[i].last_use < windows_[static_cast<size_t>(victim)].last_use) {
+      victim = static_cast<int>(i);
+    }
+  }
+  return victim;
+}
+
+Status CachedLogReader::LoadWindow(int w, uint64_t addr, size_t len) {
   // Load the aligned window containing `addr`; extend if the request spans
   // window boundaries (records never span chunks, but callers may use
   // windows smaller than a chunk). The window must not dip below the
@@ -22,16 +46,51 @@ Result<std::span<const uint8_t>> CachedLogReader::Fetch(uint64_t addr, size_t le
   if (start < floor) {
     start = std::min(floor, addr);
   }
-  uint64_t end = std::min<uint64_t>(limit_, std::max<uint64_t>(start + window_, addr + len));
-  buf_.resize(static_cast<size_t>(end - start));
-  Status st = log_->Read(start, std::span<uint8_t>(buf_.data(), buf_.size()));
+  const uint64_t end = std::min<uint64_t>(limit_, std::max<uint64_t>(start + window_, addr + len));
+  Window& win = windows_[static_cast<size_t>(w)];
+  win.buf.resize(static_cast<size_t>(end - start));
+  Status st = log_->Read(start, std::span<uint8_t>(win.buf.data(), win.buf.size()));
   if (!st.ok()) {
-    buf_len_ = 0;
+    win.len = 0;
     return st;
   }
-  buf_addr_ = start;
-  buf_len_ = buf_.size();
-  return std::span<const uint8_t>(buf_.data() + (addr - buf_addr_), len);
+  win.addr = start;
+  win.len = win.buf.size();
+  win.last_use = ++use_tick_;
+  return Status::Ok();
+}
+
+Result<std::span<const uint8_t>> CachedLogReader::Fetch(uint64_t addr, size_t len) {
+  ++fetches_;
+  if (addr + len > limit_) {
+    return Status::OutOfRange("fetch past snapshot tail");
+  }
+  int w = FindWindow(addr, len);
+  if (w < 0) {
+    ++window_loads_;
+    w = VictimSlot(-1);  // a Fetch miss may replace any window, current included
+    Status st = LoadWindow(w, addr, len);
+    if (!st.ok()) {
+      current_ = -1;
+      return st;
+    }
+  }
+  Window& win = windows_[static_cast<size_t>(w)];
+  win.last_use = ++use_tick_;
+  current_ = w;
+  return std::span<const uint8_t>(win.buf.data() + (addr - win.addr), len);
+}
+
+void CachedLogReader::ReadAhead(uint64_t addr, size_t len) {
+  if (len == 0 || addr + len > limit_ || FindWindow(addr, len) >= 0) {
+    return;
+  }
+  const int w = VictimSlot(current_);
+  if (w < 0) {
+    return;  // single pinned window: nowhere to read ahead into
+  }
+  ++readahead_loads_;
+  (void)LoadWindow(w, addr, len);  // best effort; the later Fetch reports errors
 }
 
 }  // namespace loom

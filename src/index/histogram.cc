@@ -66,6 +66,11 @@ uint32_t HistogramSpec::BinOf(double value) const {
   return static_cast<uint32_t>(it - edges_.begin());
 }
 
+void HistogramSpec::ClassifyBatch(const KernelOps& ops, const double* values, size_t n,
+                                  uint32_t* bins) const {
+  ops.classify_bins(values, n, edges_.data(), edges_.size(), bins);
+}
+
 double HistogramSpec::BinLo(uint32_t bin) const {
   if (bin == 0) {
     return -std::numeric_limits<double>::infinity();

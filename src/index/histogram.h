@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/kernels/kernels.h"
 
 namespace loom {
 
@@ -42,6 +43,12 @@ class HistogramSpec {
 
   // Bin for a value. Bin 0 underflow, num_bins()-1 overflow.
   uint32_t BinOf(double value) const;
+
+  // Batch classification through a SIMD kernel set: bins[i] = BinOf(values[i])
+  // for every i in [0, n), bit-exactly (NaN classifies into the overflow bin
+  // under both paths). `bins` must hold n entries.
+  void ClassifyBatch(const KernelOps& ops, const double* values, size_t n,
+                     uint32_t* bins) const;
 
   // Value range covered by `bin` as [lo, hi). Outlier bins extend to +/-inf.
   double BinLo(uint32_t bin) const;

@@ -1,0 +1,445 @@
+// Scalar-vs-SIMD kernel equivalence: randomized fuzz over every kernel in
+// src/core/kernels/ plus targeted edge cases. Each available vector
+// implementation must be bit-exact against the scalar reference for:
+//   * random record batches (random payload sizes, padding, chunk
+//     boundaries, truncated tails);
+//   * every bin-spec shape (single user bin / exact-match, uniform,
+//     exponential, many-edge specs past the vector linear-pass cutoff),
+//     with NaN / +-inf / -0.0 / edge-equal values;
+//   * unaligned buffer offsets (inputs shifted off 32-byte alignment);
+//   * tail lengths 0 .. vector-width-1 (and beyond).
+//
+// The suite runs against whatever SelectKernels(kAuto) resolves to on this
+// machine; on a scalar-only host the equivalence checks degenerate to
+// self-comparison and the reference checks against HistogramSpec::BinOf /
+// ValueRange semantics still bite.
+
+#include "src/core/kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/codec.h"
+#include "src/common/rng.h"
+#include "src/hybridlog/hybrid_log.h"
+#include "src/core/record_format.h"
+#include "src/index/histogram.h"
+
+namespace loom {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Every distinct implementation reachable on this machine (scalar always;
+// avx2/neon when the CPU supports them).
+std::vector<const KernelOps*> AvailableImpls() {
+  std::vector<const KernelOps*> impls = {ScalarKernels()};
+  if (const KernelOps* avx2 = Avx2Kernels()) {
+    impls.push_back(avx2);
+  }
+  if (const KernelOps* neon = NeonKernels()) {
+    impls.push_back(neon);
+  }
+  return impls;
+}
+
+TEST(KernelDispatchTest, SelectNeverNull) {
+  for (SimdMode mode :
+       {SimdMode::kAuto, SimdMode::kScalar, SimdMode::kAvx2, SimdMode::kNeon}) {
+    const KernelOps* ops = SelectKernels(mode);
+    ASSERT_NE(ops, nullptr) << SimdModeName(mode);
+    EXPECT_NE(ops->decode_records, nullptr);
+    EXPECT_NE(ops->classify_bins, nullptr);
+    EXPECT_NE(ops->filter_source_time, nullptr);
+    EXPECT_NE(ops->filter_value_range, nullptr);
+  }
+  EXPECT_STREQ(SelectKernels(SimdMode::kScalar)->name, "scalar");
+}
+
+TEST(KernelDispatchTest, ForcedUnavailableModeFallsBackToScalar) {
+  // At most one vector ISA exists per machine, so the other forced mode must
+  // resolve to scalar rather than crash or return null.
+  if (Avx2Kernels() == nullptr) {
+    EXPECT_STREQ(SelectKernels(SimdMode::kAvx2)->name,
+                 NeonKernels() != nullptr || Avx2Kernels() != nullptr ? "scalar" : "scalar");
+    EXPECT_STREQ(SelectKernels(SimdMode::kAvx2)->name, "scalar");
+  }
+  if (NeonKernels() == nullptr) {
+    EXPECT_STREQ(SelectKernels(SimdMode::kNeon)->name, "scalar");
+  }
+}
+
+TEST(KernelDispatchTest, ParseSimdMode) {
+  EXPECT_EQ(ParseSimdMode("auto"), SimdMode::kAuto);
+  EXPECT_EQ(ParseSimdMode("scalar"), SimdMode::kScalar);
+  EXPECT_EQ(ParseSimdMode("avx2"), SimdMode::kAvx2);
+  EXPECT_EQ(ParseSimdMode("neon"), SimdMode::kNeon);
+  EXPECT_FALSE(ParseSimdMode("").has_value());
+  EXPECT_FALSE(ParseSimdMode("AVX2").has_value());
+  EXPECT_FALSE(ParseSimdMode("sse").has_value());
+}
+
+// --- decode_records --------------------------------------------------------
+
+struct EncodedLog {
+  std::vector<uint8_t> bytes;  // starts at base_addr
+  uint64_t base_addr = 0;
+  size_t chunk_size = 0;
+  // Expected decode of the full span.
+  DecodedBatch expect;
+};
+
+// Builds a synthetic record-log span with the writer's framing rules:
+// records never span chunks, remainders pad with 0xFF.
+EncodedLog BuildLog(Rng& rng, size_t chunk_size, size_t num_chunks, uint64_t base_addr) {
+  EncodedLog log;
+  log.base_addr = base_addr;
+  log.chunk_size = chunk_size;
+  uint64_t addr = base_addr;
+  uint64_t prev = kNullAddr;
+  const uint64_t end = base_addr + chunk_size * num_chunks;
+  while (addr + kRecordHeaderSize <= end) {
+    const uint64_t chunk_rem = chunk_size - (addr % chunk_size);
+    const size_t max_payload =
+        static_cast<size_t>(std::min<uint64_t>(chunk_rem - kRecordHeaderSize, 90));
+    const size_t plen = rng.NextBounded(max_payload + 1);
+    const size_t need = kRecordHeaderSize + plen;
+    if (need + kRecordHeaderSize > chunk_rem && rng.NextBounded(3) == 0) {
+      // Sometimes pad out the rest of the chunk instead of squeezing in a
+      // final record.
+      log.bytes.insert(log.bytes.end(), static_cast<size_t>(chunk_rem), 0xFF);
+      addr += chunk_rem;
+      continue;
+    }
+    RecordHeader h;
+    h.source_id = static_cast<uint32_t>(1 + rng.NextBounded(3));
+    h.payload_len = static_cast<uint32_t>(plen);
+    h.ts = 1000 + rng.NextBounded(1u << 20);
+    h.prev_addr = prev;
+    uint8_t head[kRecordHeaderSize];
+    h.EncodeTo(head);
+    log.bytes.insert(log.bytes.end(), head, head + kRecordHeaderSize);
+    for (size_t i = 0; i < plen; ++i) {
+      log.bytes.push_back(static_cast<uint8_t>(rng.Next64()));
+    }
+    log.expect.addrs.push_back(addr);
+    log.expect.source_ids.push_back(h.source_id);
+    log.expect.payload_lens.push_back(h.payload_len);
+    log.expect.timestamps.push_back(h.ts);
+    prev = addr;
+    addr += need;
+    const uint64_t rem_after = chunk_size - (addr % chunk_size);
+    if (rem_after < kRecordHeaderSize && rem_after != chunk_size) {
+      log.bytes.insert(log.bytes.end(), static_cast<size_t>(rem_after), 0xFF);
+      addr += rem_after;
+    }
+  }
+  // Trailing sub-header tail of the span.
+  log.bytes.resize(static_cast<size_t>(end - base_addr), 0xFF);
+  return log;
+}
+
+void ExpectBatchEq(const DecodedBatch& a, const DecodedBatch& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(a.addrs, b.addrs) << what;
+  EXPECT_EQ(a.source_ids, b.source_ids) << what;
+  EXPECT_EQ(a.payload_lens, b.payload_lens) << what;
+  EXPECT_EQ(a.timestamps, b.timestamps) << what;
+}
+
+TEST(KernelDecodeTest, RandomBatchesMatchScalarAndExpectation) {
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    const size_t chunk_size = 256 + rng.NextBounded(4) * 128;
+    const size_t num_chunks = 1 + rng.NextBounded(4);
+    // Chunk-aligned base address, as in the real log.
+    const uint64_t base = chunk_size * (1 + rng.NextBounded(1000));
+    EncodedLog log = BuildLog(rng, chunk_size, num_chunks, base);
+    for (const KernelOps* ops : AvailableImpls()) {
+      DecodedBatch got;
+      const size_t consumed = ops->decode_records(log.bytes.data(), log.bytes.size(),
+                                                  log.base_addr, log.chunk_size, &got);
+      ExpectBatchEq(log.expect, got, std::string(ops->name) + " iter " + std::to_string(iter));
+      EXPECT_LE(consumed, log.bytes.size());
+    }
+  }
+}
+
+TEST(KernelDecodeTest, TruncatedTailsStopCleanly) {
+  Rng rng(7);
+  const size_t chunk_size = 512;
+  EncodedLog log = BuildLog(rng, chunk_size, 2, 0);
+  // Every truncation point: the decoded prefix must agree across
+  // implementations (bit-exact stop position included).
+  for (size_t len = 0; len <= log.bytes.size(); len += 1 + rng.NextBounded(7)) {
+    DecodedBatch ref;
+    const size_t ref_consumed =
+        ScalarKernels()->decode_records(log.bytes.data(), len, 0, chunk_size, &ref);
+    for (const KernelOps* ops : AvailableImpls()) {
+      DecodedBatch got;
+      const size_t consumed = ops->decode_records(log.bytes.data(), len, 0, chunk_size, &got);
+      EXPECT_EQ(ref_consumed, consumed) << ops->name << " len " << len;
+      ExpectBatchEq(ref, got, std::string(ops->name) + " len " + std::to_string(len));
+    }
+  }
+}
+
+TEST(KernelDecodeTest, AppendsToExistingBatch) {
+  Rng rng(9);
+  EncodedLog log = BuildLog(rng, 256, 1, 256);
+  for (const KernelOps* ops : AvailableImpls()) {
+    DecodedBatch batch;
+    batch.addrs.push_back(1);
+    batch.source_ids.push_back(2);
+    batch.payload_lens.push_back(3);
+    batch.timestamps.push_back(4);
+    ops->decode_records(log.bytes.data(), log.bytes.size(), log.base_addr, 256, &batch);
+    ASSERT_EQ(batch.size(), log.expect.size() + 1) << ops->name;
+    EXPECT_EQ(batch.addrs[0], 1u);
+    EXPECT_EQ(batch.timestamps[0], 4u);
+    EXPECT_EQ(batch.addrs[1], log.expect.addrs[0]) << ops->name;
+    EXPECT_EQ(batch.timestamps.back(), log.expect.timestamps.back()) << ops->name;
+  }
+}
+
+TEST(KernelDecodeTest, SubHeaderPadTailIsConsumedNotTruncation) {
+  // Regression: a chunk whose records leave a tail shorter than one header
+  // (here 256 = 3 * 80 + 16) ends in 0xFF padding. A multi-chunk span must
+  // report that tail as consumed — returning early makes callers treat the
+  // pad as a truncated record and silently stop a multi-chunk scan at the
+  // first chunk boundary.
+  const size_t chunk_size = 256;
+  std::vector<uint8_t> buf;
+  DecodedBatch expect;
+  uint64_t prev = kNullAddr;
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < 3; ++r) {
+      const uint64_t addr = buf.size();
+      RecordHeader h;
+      h.source_id = 1;
+      h.payload_len = 80 - kRecordHeaderSize;
+      h.ts = 1000 + c * 10 + r;
+      h.prev_addr = prev;
+      uint8_t head[kRecordHeaderSize];
+      h.EncodeTo(head);
+      buf.insert(buf.end(), head, head + kRecordHeaderSize);
+      buf.resize(buf.size() + h.payload_len, static_cast<uint8_t>(r));
+      expect.addrs.push_back(addr);
+      expect.source_ids.push_back(h.source_id);
+      expect.payload_lens.push_back(h.payload_len);
+      expect.timestamps.push_back(h.ts);
+      prev = addr;
+    }
+    buf.resize((c + 1) * chunk_size, 0xFF);  // 16-byte sub-header pad tail
+  }
+  for (const KernelOps* ops : AvailableImpls()) {
+    DecodedBatch got;
+    const size_t consumed =
+        ops->decode_records(buf.data(), buf.size(), 0, chunk_size, &got);
+    EXPECT_EQ(consumed, buf.size()) << ops->name;
+    ExpectBatchEq(expect, got, ops->name);
+  }
+  // A span cut mid-pad still consumes everything up to the cut.
+  for (const KernelOps* ops : AvailableImpls()) {
+    DecodedBatch got;
+    const size_t cut = chunk_size + 248;  // inside chunk 1's pad tail
+    const size_t consumed = ops->decode_records(buf.data(), cut, 0, chunk_size, &got);
+    EXPECT_EQ(consumed, cut) << ops->name;
+    EXPECT_EQ(got.size(), 6u) << ops->name;
+  }
+}
+
+TEST(KernelDecodeTest, AllPaddingChunk) {
+  std::vector<uint8_t> buf(1024, 0xFF);
+  for (const KernelOps* ops : AvailableImpls()) {
+    DecodedBatch got;
+    const size_t consumed = ops->decode_records(buf.data(), buf.size(), 0, 256, &got);
+    EXPECT_EQ(got.size(), 0u) << ops->name;
+    EXPECT_EQ(consumed, buf.size()) << ops->name;
+  }
+}
+
+// --- classify_bins ---------------------------------------------------------
+
+// All bin-spec shapes the engine can produce, including the single-user-bin
+// (exact-match) minimum and a spec wide enough to cross the vector
+// implementations' linear-pass cutoff.
+std::vector<HistogramSpec> AllSpecShapes() {
+  std::vector<HistogramSpec> specs;
+  specs.push_back(HistogramSpec::ExactMatch(5.0));              // 2 edges
+  specs.push_back(HistogramSpec::ExactMatch(0.0));              // edge at zero
+  specs.push_back(HistogramSpec::Create({-1.0, 1.0}).value());  // single user bin
+  specs.push_back(HistogramSpec::Uniform(0.0, 100.0, 10).value());
+  specs.push_back(HistogramSpec::Exponential(0.5, 2.0, 16).value());
+  specs.push_back(HistogramSpec::Uniform(-50.0, 50.0, 31).value());  // 32 edges: cutoff
+  specs.push_back(HistogramSpec::Uniform(-1e6, 1e6, 64).value());    // past cutoff
+  return specs;
+}
+
+// Values with every interesting shape: the edges themselves, values just
+// around them, NaN, infinities, signed zero.
+std::vector<double> EdgeCaseValues(const HistogramSpec& spec, Rng& rng, size_t random_n) {
+  std::vector<double> values;
+  for (double e : spec.edges()) {
+    values.push_back(e);
+    values.push_back(std::nextafter(e, -kInf));
+    values.push_back(std::nextafter(e, kInf));
+  }
+  values.push_back(kNaN);
+  values.push_back(-kNaN);
+  values.push_back(kInf);
+  values.push_back(-kInf);
+  values.push_back(0.0);
+  values.push_back(-0.0);
+  const double lo = spec.edges().front() - 10.0;
+  const double hi = spec.edges().back() + 10.0;
+  for (size_t i = 0; i < random_n; ++i) {
+    values.push_back(rng.NextUniform(lo, hi));
+  }
+  return values;
+}
+
+TEST(KernelClassifyTest, MatchesBinOfForAllSpecShapesAndTails) {
+  Rng rng(1234);
+  for (const HistogramSpec& spec : AllSpecShapes()) {
+    const std::vector<double> values = EdgeCaseValues(spec, rng, 200);
+    // Reference from HistogramSpec::BinOf — the canonical definition.
+    std::vector<uint32_t> expect(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      expect[i] = spec.BinOf(values[i]);
+    }
+    for (const KernelOps* ops : AvailableImpls()) {
+      // Tail lengths 0..8 cover 0..(vector width - 1) for 2- and 4-wide
+      // implementations with margin.
+      for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                       size_t{7}, size_t{8}, values.size()}) {
+        if (n > values.size()) {
+          continue;
+        }
+        std::vector<uint32_t> got(n, 0xDEAD);
+        spec.ClassifyBatch(*ops, values.data(), n, got.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(expect[i], got[i])
+              << ops->name << " n=" << n << " i=" << i << " v=" << values[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelClassifyTest, UnalignedInputOffsets) {
+  Rng rng(77);
+  const HistogramSpec spec = HistogramSpec::Uniform(0.0, 64.0, 8).value();
+  // A buffer deliberately misaligned relative to 32 bytes: classify from
+  // every start offset 0..7 so vector loads hit all alignments.
+  std::vector<double> values(64 + 8);
+  for (double& v : values) {
+    v = rng.NextUniform(-10.0, 80.0);
+  }
+  for (size_t shift = 0; shift < 8; ++shift) {
+    const double* base = values.data() + shift;
+    const size_t n = 64;
+    std::vector<uint32_t> expect(n);
+    ScalarKernels()->classify_bins(base, n, spec.edges().data(), spec.edges().size(),
+                                   expect.data());
+    for (const KernelOps* ops : AvailableImpls()) {
+      std::vector<uint32_t> got(n, 0);
+      ops->classify_bins(base, n, spec.edges().data(), spec.edges().size(), got.data());
+      EXPECT_EQ(expect, got) << ops->name << " shift " << shift;
+    }
+  }
+}
+
+// --- filters ---------------------------------------------------------------
+
+TEST(KernelFilterTest, SourceTimeFuzz) {
+  Rng rng(555);
+  for (int iter = 0; iter < 60; ++iter) {
+    const size_t n = rng.NextBounded(130);  // covers 0..(width-1) tails and 2 words
+    std::vector<uint32_t> sids(n);
+    std::vector<uint64_t> ts(n);
+    for (size_t i = 0; i < n; ++i) {
+      sids[i] = static_cast<uint32_t>(rng.NextBounded(4));
+      // Mix small values, values straddling the signed-compare bias, and
+      // extremes: the AVX2 sign-flip must hold everywhere.
+      switch (rng.NextBounded(4)) {
+        case 0: ts[i] = rng.NextBounded(1000); break;
+        case 1: ts[i] = 0x7FFFFFFFFFFFFFFFULL + rng.NextBounded(1000); break;
+        case 2: ts[i] = ~0ULL - rng.NextBounded(1000); break;
+        default: ts[i] = rng.Next64(); break;
+      }
+    }
+    const uint32_t source = static_cast<uint32_t>(rng.NextBounded(4));
+    uint64_t start = rng.Next64();
+    uint64_t end = rng.Next64();
+    if (iter % 3 == 0) {
+      start = 0;
+      end = ~0ULL;  // full range
+    } else if (start > end) {
+      std::swap(start, end);
+    }
+    std::vector<uint64_t> expect(MaskWords(n) + 1, 0xAA);  // canary word at the end
+    ScalarKernels()->filter_source_time(sids.data(), ts.data(), n, source, start, end,
+                                        expect.data());
+    for (const KernelOps* ops : AvailableImpls()) {
+      std::vector<uint64_t> got(MaskWords(n) + 1, 0xAA);
+      ops->filter_source_time(sids.data(), ts.data(), n, source, start, end, got.data());
+      EXPECT_EQ(expect, got) << ops->name << " iter " << iter << " n " << n;
+    }
+  }
+}
+
+TEST(KernelFilterTest, ValueRangeFuzzWithSpecials) {
+  Rng rng(321);
+  const double specials[] = {kNaN, kInf, -kInf, 0.0, -0.0, 1.0, -1.0};
+  for (int iter = 0; iter < 60; ++iter) {
+    const size_t n = rng.NextBounded(130);
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = rng.NextBounded(4) == 0 ? specials[rng.NextBounded(7)]
+                                          : rng.NextUniform(-100.0, 100.0);
+    }
+    double lo = rng.NextUniform(-120.0, 120.0);
+    double hi = rng.NextUniform(-120.0, 120.0);
+    if (lo > hi) {
+      std::swap(lo, hi);
+    }
+    if (iter % 5 == 0) {
+      lo = -kInf;
+      hi = kInf;
+    }
+    std::vector<uint64_t> expect(MaskWords(n) + 1, 0x55);
+    ScalarKernels()->filter_value_range(values.data(), n, lo, hi, expect.data());
+    // Scalar reference must agree with ValueRange::Contains semantics.
+    for (size_t i = 0; i < n; ++i) {
+      const bool in = values[i] >= lo && values[i] <= hi;
+      EXPECT_EQ(in, (expect[i / 64] >> (i % 64)) & 1) << i;
+    }
+    for (const KernelOps* ops : AvailableImpls()) {
+      std::vector<uint64_t> got(MaskWords(n) + 1, 0x55);
+      ops->filter_value_range(values.data(), n, lo, hi, got.data());
+      EXPECT_EQ(expect, got) << ops->name << " iter " << iter << " n " << n;
+    }
+  }
+}
+
+TEST(KernelFilterTest, TailBitsStayZero) {
+  // Bits past n must be zero in the final written word (callers popcount
+  // whole words).
+  std::vector<uint32_t> sids(5, 1);
+  std::vector<uint64_t> ts(5, 100);
+  for (const KernelOps* ops : AvailableImpls()) {
+    std::vector<uint64_t> mask(1, ~0ULL);
+    ops->filter_source_time(sids.data(), ts.data(), 5, 1, 0, 200, mask.data());
+    EXPECT_EQ(mask[0], 0x1FULL) << ops->name;
+  }
+}
+
+}  // namespace
+}  // namespace loom

@@ -66,7 +66,9 @@ class ParallelQueryTest : public ::testing::Test {
   }
 
   std::unique_ptr<Loom> BuildEngine(const std::string& dir, size_t query_threads,
-                                    ManualClock* clock, uint32_t* index_id) {
+                                    ManualClock* clock, uint32_t* index_id,
+                                    SimdMode simd_mode = SimdMode::kAuto,
+                                    size_t prefetch_depth = 4) {
     LoomOptions opts;
     opts.dir = dir;
     opts.chunk_size = 1024;  // ~13 records per chunk -> hundreds of candidates
@@ -76,6 +78,8 @@ class ParallelQueryTest : public ::testing::Test {
     opts.ts_marker_period = 8;
     opts.summary_cache_bytes = 1 << 20;
     opts.query_threads = query_threads;
+    opts.simd_mode = simd_mode;
+    opts.prefetch_depth = prefetch_depth;
     opts.clock = clock;
     auto loom = Loom::Open(opts);
     EXPECT_TRUE(loom.ok()) << loom.status().ToString();
@@ -352,6 +356,109 @@ TEST_F(ParallelQueryTest, RandomizedEquivalenceSweep) {
     ASSERT_TRUE(parallel_->RawScan(kSource, range, collect_raw(&raw_b)).ok());
     EXPECT_EQ(raw_a, raw_b) << "iter=" << iter;
   }
+}
+
+// A forced-scalar engine with the prefetch ring disabled must return
+// bit-identical results to the auto-dispatched engines: the vector kernels
+// and the ring are pure performance layers, never allowed to change a byte
+// of query output or delivery order.
+TEST_F(ParallelQueryTest, ForcedScalarNoPrefetchBitIdentical) {
+  ManualClock clock{1};
+  uint32_t index_id = 0;
+  std::unique_ptr<Loom> scalar = BuildEngine(dir_.FilePath("scalar"), 4, &clock, &index_id,
+                                             SimdMode::kScalar, /*prefetch_depth=*/0);
+  for (const TimeRange& range : Ranges()) {
+    std::vector<Delivered> a;
+    std::vector<Delivered> b;
+    auto collect = [](std::vector<Delivered>* out) {
+      return [out](double value, const RecordView& r) {
+        out->push_back({r.ts, r.addr, value});
+        return true;
+      };
+    };
+    ASSERT_TRUE(
+        parallel_->IndexedScanValues(kSource, parallel_index_, range, {0.0, 1e9}, collect(&a))
+            .ok());
+    ASSERT_TRUE(scalar->IndexedScanValues(kSource, index_id, range, {0.0, 1e9}, collect(&b))
+                    .ok());
+    EXPECT_EQ(a, b) << "range [" << range.start << ", " << range.end << "]";
+
+    for (AggregateMethod method : {AggregateMethod::kSum, AggregateMethod::kMean,
+                                   AggregateMethod::kCount, AggregateMethod::kPercentile}) {
+      const double pct = method == AggregateMethod::kPercentile ? 99.0 : 0.0;
+      auto va = parallel_->IndexedAggregate(kSource, parallel_index_, range, method, pct);
+      auto vb = scalar->IndexedAggregate(kSource, index_id, range, method, pct);
+      ASSERT_EQ(va.ok(), vb.ok());
+      if (va.ok()) {
+        EXPECT_EQ(std::memcmp(&va.value(), &vb.value(), sizeof(double)), 0)
+            << "method=" << static_cast<int>(method);
+      }
+    }
+
+    std::vector<Delivered> raw_a;
+    std::vector<Delivered> raw_b;
+    auto collect_raw = [](std::vector<Delivered>* out) {
+      return [out](const RecordView& r) {
+        out->push_back({r.ts, r.addr, PayloadValue(r.payload)});
+        return true;
+      };
+    };
+    ASSERT_TRUE(parallel_->RawScan(kSource, range, collect_raw(&raw_a)).ok());
+    ASSERT_TRUE(scalar->RawScan(kSource, range, collect_raw(&raw_b)).ok());
+    EXPECT_EQ(raw_a, raw_b);
+
+    auto cnt_a = parallel_->CountRecords(kSource, range);
+    auto cnt_b = scalar->CountRecords(kSource, range);
+    ASSERT_EQ(cnt_a.ok(), cnt_b.ok());
+    if (cnt_a.ok()) {
+      EXPECT_EQ(cnt_a.value(), cnt_b.value());
+    }
+  }
+
+  // The scalar engine reports its dispatch in the metrics registry.
+  EXPECT_EQ(scalar->metrics()->Snapshot().gauges.at("loom_query_kernel_mode"), 0.0);
+}
+
+// Prefetch ring observability: a scan-heavy query on a prefetch-enabled
+// engine must account every issued read as a hit or wasted, and the gauges
+// must be absent when the ring is disabled.
+TEST_F(ParallelQueryTest, PrefetchMetricsAccountIssuedReads) {
+  const TimestampNanos last = parallel_clock_.NowNanos();
+  // The ring worker races the consumers for scheduler time; on a loaded
+  // single-core host one query may finish before the worker runs. Each query
+  // submits a fresh job, so repeat until the worker lands a hit (bounded).
+  MetricsSnapshot snap;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    size_t n = 0;
+    ASSERT_TRUE(parallel_
+                    ->IndexedScanValues(kSource, parallel_index_, {0, last + 1}, {0.0, 1e9},
+                                        [&](double, const RecordView&) {
+                                          ++n;
+                                          return true;
+                                        })
+                    .ok());
+    EXPECT_EQ(n, kNumRecords);
+    snap = parallel_->metrics()->Snapshot();
+    if (snap.gauges.at("loom_query_prefetch_hits_total") > 0.0) {
+      break;
+    }
+  }
+  const double issued = snap.gauges.at("loom_query_prefetch_issued_total");
+  const double hits = snap.gauges.at("loom_query_prefetch_hits_total");
+  const double wasted = snap.gauges.at("loom_query_prefetch_wasted_total");
+  EXPECT_GT(issued, 0.0);
+  EXPECT_GT(hits, 0.0);
+  EXPECT_EQ(snap.gauges.at("loom_query_prefetch_ring_depth"), 4.0);
+  // Conservation: every read the worker completed was either consumed or
+  // retired as wasted; it cannot exceed what was issued.
+  EXPECT_LE(hits + wasted, issued);
+
+  ManualClock clock{1};
+  uint32_t index_id = 0;
+  std::unique_ptr<Loom> off =
+      BuildEngine(dir_.FilePath("off"), 4, &clock, &index_id, SimdMode::kAuto,
+                  /*prefetch_depth=*/0);
+  EXPECT_EQ(off->metrics()->Snapshot().gauges.count("loom_query_prefetch_issued_total"), 0u);
 }
 
 // query_threads=1 still goes through the pool with one worker; it must be

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# UndefinedBehaviorSanitizer smoke test for the kernel and query paths.
+#
+# Configures the ubsan preset (build-ubsan/, LOOM_SANITIZE=undefined), builds
+# the kernel fuzz suite and the golden parallel-query suite, and runs them
+# with halt_on_error so any UB report fails fast. This covers:
+#
+#   kernels_test              unaligned vector loads, the u64 signed-compare
+#                             bias, NaN handling, mask tail arithmetic
+#   loom_parallel_query_test  the batched decode/emission restructure and the
+#                             prefetch ring, under both dispatches (the
+#                             second run forces LOOM_SIMD=scalar)
+#
+# Wired as a ctest (ubsan_smoke) in the default build; run manually:
+#   tools/run_ubsan_smoke.sh
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-ubsan"
+
+cmake --preset ubsan -S "$repo" >/dev/null
+cmake --build "$build" --target kernels_test loom_parallel_query_test \
+  -j "$(nproc)"
+
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+"$build/tests/kernels_test"
+"$build/tests/loom_parallel_query_test"
+LOOM_SIMD=scalar "$build/tests/loom_parallel_query_test"
+echo "ubsan smoke: OK"
