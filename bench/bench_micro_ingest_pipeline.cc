@@ -1,0 +1,284 @@
+// Micro: pipelined ingest vs the synchronous inline write path.
+//
+// The baseline configuration reproduces the pre-pipeline engine: chunk
+// finalization (summary encode + chunk-log append + ts appends) runs inline
+// on the ingest thread, index values are classified one record at a time
+// with the scalar BinOf path, the record-log flusher retires one block per
+// submission, and flush I/O uses the synchronous pwritev backend.
+//
+// The pipelined configurations turn on all three write-path optimizations —
+// async chunk finalization on the sealing thread, batched SIMD summary
+// classification, and coalesced multi-block vectored flushes — and sweep the
+// flusher's in-flight block budget. Every configuration must produce
+// bit-identical query results (checksummed below); only throughput may move.
+//
+// Gate: best pipelined config >= 1.3x baseline sustained ingest (including
+// the Sync() drain, so deferred finalize work cannot hide). Enforced only
+// when the host has >= 4 hardware threads: ingest + sealer + flusher need
+// real cores for the overlap to exist.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/benchutil/bench_json.h"
+#include "src/benchutil/table.h"
+#include "src/common/file.h"
+#include "src/common/rng.h"
+#include "src/core/loom.h"
+
+namespace loom {
+namespace {
+
+constexpr size_t kRecordSize = 64;     // 4 indexed doubles + opaque tail
+constexpr uint64_t kRecords = 600'000;  // ~37 MiB per configuration
+constexpr size_t kBatch = 128;          // daemon-sized PushBatch spans
+constexpr double kGateSpeedup = 1.3;
+
+// One ingest configuration of the sweep.
+struct Config {
+  const char* name;
+  bool pipelined;
+  size_t stage_records;
+  size_t inflight_blocks;
+  IoBackend io;
+};
+
+// Fingerprint of the full query surface over one ingested engine: per-index
+// count/sum/min/max plus the raw histogram bins, and the planner trace
+// invariant. Two engines that ingested the same stream must compare equal.
+struct Fingerprint {
+  std::vector<double> aggregates;
+  std::vector<uint64_t> bins;
+  bool trace_ok = true;
+
+  bool operator==(const Fingerprint& other) const {
+    if (aggregates.size() != other.aggregates.size() || bins != other.bins) {
+      return false;
+    }
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      // Bit comparison, not epsilon: the pipeline claims bit-identity.
+      if (std::memcmp(&aggregates[i], &other.aggregates[i], sizeof(double)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct RunResult {
+  double records_per_second = 0;
+  double mib_per_second = 0;
+  double seconds = 0;
+  Fingerprint fp;
+  MetricsSnapshot metrics;
+  bool ok = false;
+};
+
+// Deterministic value stream: record i carries 4 doubles in [0, 1000) with
+// different phases so the four indexes land in different bins.
+void FillPayload(uint64_t i, std::vector<uint8_t>* payload) {
+  for (int f = 0; f < 4; ++f) {
+    const double v =
+        static_cast<double>((i * (37 + 11 * static_cast<uint64_t>(f)) + 13 * f) % 1000) + 0.25;
+    std::memcpy(payload->data() + 8 * f, &v, sizeof(v));
+  }
+}
+
+double FieldOf(std::span<const uint8_t> p, int f) {
+  double v;
+  std::memcpy(&v, p.data() + 8 * f, sizeof(v));
+  return v;
+}
+
+RunResult RunConfig(const std::string& dir, const Config& cfg, uint64_t seed) {
+  RunResult out;
+  LoomOptions opts;
+  opts.dir = dir;
+  opts.chunk_size = 32 << 10;  // many seals -> finalize traffic dominates
+  opts.record_block_size = 1 << 20;
+  opts.enable_latency_metrics = false;
+  opts.pipelined_ingest = cfg.pipelined;
+  opts.summary_stage_records = cfg.stage_records;
+  opts.flush_inflight_blocks = cfg.inflight_blocks;
+  opts.io_backend = cfg.io;
+  auto engine = Loom::Open(opts);
+  if (!engine.ok()) {
+    fprintf(stderr, "loom open failed: %s\n", engine.status().ToString().c_str());
+    return out;
+  }
+  Loom& loom = **engine;
+  (void)loom.DefineSource(1);
+  auto spec = HistogramSpec::Uniform(0, 1000, 128).value();
+  std::vector<uint32_t> indexes;
+  for (int f = 0; f < 4; ++f) {
+    indexes.push_back(
+        loom.DefineIndex(1, [f](std::span<const uint8_t> p) { return FieldOf(p, f); }, spec)
+            .value());
+  }
+
+  // Pre-fill the batch payload buffers; the ingest loop rewrites only the
+  // four indexed doubles per record so generation cost stays negligible.
+  std::vector<std::vector<uint8_t>> payloads(kBatch);
+  Rng rng(seed);
+  for (auto& p : payloads) {
+    p.resize(kRecordSize);
+    for (size_t b = 32; b < kRecordSize; ++b) {
+      p[b] = static_cast<uint8_t>(rng.Next64());
+    }
+  }
+  std::vector<std::span<const uint8_t>> batch(kBatch);
+  for (size_t j = 0; j < kBatch; ++j) {
+    batch[j] = std::span<const uint8_t>(payloads[j]);
+  }
+
+  WallTimer timer;
+  uint64_t pushed = 0;
+  while (pushed < kRecords) {
+    const size_t n = static_cast<size_t>(std::min<uint64_t>(kRecords - pushed, kBatch));
+    for (size_t j = 0; j < n; ++j) {
+      FillPayload(pushed + j, &payloads[j]);
+    }
+    (void)loom.PushBatch(1, std::span<const std::span<const uint8_t>>(batch.data(), n));
+    pushed += n;
+  }
+  // Sustained throughput includes the drain: pipelined mode may not bank
+  // deferred finalize work as "free".
+  (void)loom.Sync(1);
+  out.seconds = timer.Seconds();
+  out.records_per_second = static_cast<double>(kRecords) / out.seconds;
+  out.mib_per_second =
+      static_cast<double>(kRecords * kRecordSize) / out.seconds / (1 << 20);
+
+  for (uint32_t idx : indexes) {
+    for (auto method : {AggregateMethod::kCount, AggregateMethod::kSum, AggregateMethod::kMin,
+                        AggregateMethod::kMax}) {
+      QueryTrace trace;
+      auto r = loom.IndexedAggregate(1, idx, {0, ~0ULL}, method, 0.0, &trace);
+      if (!r.ok()) {
+        fprintf(stderr, "aggregate failed: %s\n", r.status().ToString().c_str());
+        return out;
+      }
+      out.fp.aggregates.push_back(r.value());
+      if (trace.chunks_pruned + trace.chunks_scanned != trace.chunks_considered) {
+        out.fp.trace_ok = false;
+      }
+    }
+    auto h = loom.IndexedHistogram(1, idx, {0, ~0ULL});
+    if (!h.ok()) {
+      fprintf(stderr, "histogram failed: %s\n", h.status().ToString().c_str());
+      return out;
+    }
+    out.fp.bins.insert(out.fp.bins.end(), h.value().begin(), h.value().end());
+  }
+  out.metrics = loom.metrics()->Snapshot();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+}  // namespace loom
+
+int main(int argc, char** argv) {
+  using namespace loom;
+  PrintBanner("Ingest pipeline micro",
+              "Sync-inline write path vs pipelined ingest (async finalize + batched SIMD "
+              "summaries + coalesced flushes) across flusher in-flight budgets",
+              "pipelined >= 1.3x baseline sustained ingest with bit-identical query results");
+
+  const uint64_t seed = ParseBenchSeed(argc, argv, 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Baseline first: inline finalize, scalar per-record BinOf, one block per
+  // flush submission, synchronous pwritev.
+  const Config configs[] = {
+      {"sync-inline", false, 0, 1, IoBackend::kSync},
+      {"pipelined-x2", true, 256, 2, IoBackend::kAuto},
+      {"pipelined-x4", true, 256, 4, IoBackend::kAuto},
+      {"pipelined-x8", true, 256, 8, IoBackend::kAuto},
+  };
+
+  TempDir dir;
+  TablePrinter table({"config", "records/s", "MiB/s", "vs baseline", "identical"});
+  JsonWriter json;
+  json.Field("seed", seed);
+  json.Field("hardware_threads", static_cast<uint64_t>(hw));
+  json.Field("records", kRecords);
+  json.Field("record_size", static_cast<uint64_t>(kRecordSize));
+
+  RunResult baseline;
+  double best_speedup = 0;
+  const char* best_name = "";
+  MetricsSnapshot best_metrics;
+  bool all_identical = true;
+  bool all_trace_ok = true;
+  bool all_ran = true;
+  int cell = 0;
+  for (const Config& cfg : configs) {
+    RunResult r = RunConfig(dir.FilePath("cfg" + std::to_string(cell++)), cfg, seed);
+    all_ran = all_ran && r.ok;
+    const bool is_baseline = &cfg == &configs[0];
+    if (is_baseline) {
+      baseline = std::move(r);
+      table.AddRow({cfg.name, FormatRate(baseline.records_per_second),
+                    FormatDouble(baseline.mib_per_second, 1), "1.00x", "-"});
+      json.BeginObject(cfg.name);
+      json.Field("records_per_second", baseline.records_per_second);
+      json.Field("mib_per_second", baseline.mib_per_second);
+      json.Field("trace_invariant_ok", baseline.fp.trace_ok);
+      json.EndObject();
+      all_trace_ok = all_trace_ok && baseline.fp.trace_ok;
+      continue;
+    }
+    const double speedup =
+        baseline.records_per_second > 0 ? r.records_per_second / baseline.records_per_second : 0;
+    const bool identical = r.ok && r.fp == baseline.fp;
+    all_identical = all_identical && identical;
+    all_trace_ok = all_trace_ok && r.fp.trace_ok;
+    if (speedup > best_speedup) {
+      best_speedup = speedup;
+      best_name = cfg.name;
+      best_metrics = r.metrics;
+    }
+    table.AddRow({cfg.name, FormatRate(r.records_per_second), FormatDouble(r.mib_per_second, 1),
+                  FormatDouble(speedup, 2) + "x", identical ? "yes" : "NO"});
+    json.BeginObject(cfg.name);
+    json.Field("flush_inflight_blocks", static_cast<uint64_t>(cfg.inflight_blocks));
+    json.Field("records_per_second", r.records_per_second);
+    json.Field("mib_per_second", r.mib_per_second);
+    json.Field("speedup_vs_baseline", speedup);
+    json.Field("results_identical", identical);
+    json.Field("trace_invariant_ok", r.fp.trace_ok);
+    json.EndObject();
+  }
+  table.Print();
+
+  const bool gate_applicable = hw >= 4;
+  const bool gate_met = best_speedup >= kGateSpeedup;
+  printf("\nBest pipelined config: %s at %.2fx baseline (gate %.1fx %s; %u hardware "
+         "threads)\n",
+         best_name, best_speedup, kGateSpeedup,
+         gate_applicable ? (gate_met ? "met" : "MISSED") : "not enforced", hw);
+  printf("Query results %s across all configurations; trace invariant %s.\n",
+         all_identical ? "bit-identical" : "DIVERGED",
+         all_trace_ok ? "held" : "VIOLATED");
+
+  json.Field("best_config", std::string(best_name));
+  json.Field("best_speedup", best_speedup);
+  json.Field("gate_threshold", kGateSpeedup);
+  json.Field("gate_applicable", gate_applicable);
+  json.Field("gate_met", gate_met);
+  json.Field("all_results_identical", all_identical);
+  json.Field("all_trace_invariants_ok", all_trace_ok);
+  // Self-telemetry of the best pipelined engine: seal counts, finalize
+  // latency, stall time, and the coalesced-write counters.
+  json.MetricsSection("metrics", best_metrics);
+  (void)json.WriteFile("BENCH_ingest_pipeline.json");
+
+  const bool ok = all_ran && all_identical && all_trace_ok && (gate_met || !gate_applicable);
+  printf("%s\n", ok ? "OK" : "BELOW TARGET");
+  return ok ? 0 : 1;
+}

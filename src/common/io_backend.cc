@@ -1,0 +1,295 @@
+#include "src/common/io_backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define LOOM_HAS_IO_URING 1
+#endif
+#endif
+
+#ifndef LOOM_HAS_IO_URING
+#define LOOM_HAS_IO_URING 0
+#endif
+
+namespace loom {
+
+namespace {
+
+#if LOOM_HAS_IO_URING
+
+int IoUringSetup(unsigned entries, struct io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int IoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+bool ProbeIoUring() {
+  struct io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  int fd = IoUringSetup(4, &params);
+  if (fd < 0) {
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+#else
+
+bool ProbeIoUring() { return false; }
+
+#endif  // LOOM_HAS_IO_URING
+
+Status SyncWriteV(File& file, uint64_t offset, const struct iovec* iov, int iovcnt) {
+  return file.PWriteVAll(offset, iov, iovcnt);
+}
+
+class SyncBlockWriter final : public BlockWriter {
+ public:
+  Status WriteV(File& file, uint64_t offset, const struct iovec* iov, int iovcnt) override {
+    return SyncWriteV(file, offset, iov, iovcnt);
+  }
+  const char* name() const override { return "sync"; }
+};
+
+#if LOOM_HAS_IO_URING
+
+// Minimal single-submission ring. One sqe is filled, submitted, and waited on
+// per WriteV; partial completions are finished with the sync path so callers
+// always see all-or-error semantics. Only the flusher thread touches an
+// instance, so plain loads plus the kernel-mandated acquire/release on the
+// ring indices are enough.
+class IoUringBlockWriter final : public BlockWriter {
+ public:
+  IoUringBlockWriter() {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    ring_fd_ = IoUringSetup(kEntries, &params);
+    if (ring_fd_ < 0) {
+      return;
+    }
+    sq_ring_sz_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_ring_sz_ = params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_ring_sz_ = cq_ring_sz_ = std::max(sq_ring_sz_, cq_ring_sz_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_sz_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                      ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      Teardown();
+      return;
+    }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_sz_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                        ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        Teardown();
+        return;
+      }
+    }
+    sqes_sz_ = params.sq_entries * sizeof(struct io_uring_sqe);
+    sqes_ = static_cast<struct io_uring_sqe*>(::mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+                                                     MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                                     IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      Teardown();
+      return;
+    }
+    auto* sq_base = static_cast<uint8_t*>(sq_ring_);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+    sq_mask_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+    auto* cq_base = static_cast<uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+    cq_mask_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq_base + params.cq_off.cqes);
+    ok_ = true;
+  }
+
+  ~IoUringBlockWriter() override { Teardown(); }
+
+  Status WriteV(File& file, uint64_t offset, const struct iovec* iov, int iovcnt) override {
+    if (!ok_) {
+      return SyncWriteV(file, offset, iov, iovcnt);
+    }
+    const unsigned tail = *sq_tail_;
+    const unsigned idx = tail & *sq_mask_;
+    struct io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_WRITEV;
+    sqe->fd = file.fd();
+    sqe->off = offset;
+    sqe->addr = reinterpret_cast<uint64_t>(iov);
+    sqe->len = static_cast<uint32_t>(iovcnt);
+    sq_array_[idx] = idx;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+
+    if (IoUringEnter(ring_fd_, 1, 1, IORING_ENTER_GETEVENTS) < 0) {
+      // Submission failed before entering the kernel queue; the sync path
+      // still sees pristine state.
+      return SyncWriteV(file, offset, iov, iovcnt);
+    }
+    unsigned head = __atomic_load_n(cq_head_, __ATOMIC_ACQUIRE);
+    while (head == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) {
+      if (IoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS) < 0) {
+        return Status::IoError("io_uring_enter wait failed on " + file.path());
+      }
+    }
+    const int res = cqes_[head & *cq_mask_].res;
+    __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+    if (res < 0) {
+      return Status::IoError("io_uring writev " + file.path() + ": " +
+                             std::strerror(-res));
+    }
+    size_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      total += iov[i].iov_len;
+    }
+    const size_t written = static_cast<size_t>(res);
+    if (written < total) {
+      // Short vectored write: finish the remainder synchronously, walking the
+      // iov array past the completed prefix.
+      size_t skip = written;
+      uint64_t off = offset + written;
+      for (int i = 0; i < iovcnt; ++i) {
+        if (skip >= iov[i].iov_len) {
+          skip -= iov[i].iov_len;
+          continue;
+        }
+        const uint8_t* base = static_cast<const uint8_t*>(iov[i].iov_base) + skip;
+        const size_t len = iov[i].iov_len - skip;
+        skip = 0;
+        Status st = file.PWriteAll(off, std::span<const uint8_t>(base, len));
+        if (!st.ok()) {
+          return st;
+        }
+        off += len;
+      }
+    }
+    return Status::Ok();
+  }
+
+  const char* name() const override { return ok_ ? "io_uring" : "sync"; }
+
+ private:
+  static constexpr unsigned kEntries = 8;
+
+  void Teardown() {
+    if (sqes_ != nullptr) {
+      ::munmap(sqes_, sqes_sz_);
+      sqes_ = nullptr;
+    }
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_sz_);
+    }
+    cq_ring_ = nullptr;
+    if (sq_ring_ != nullptr) {
+      ::munmap(sq_ring_, sq_ring_sz_);
+      sq_ring_ = nullptr;
+    }
+    if (ring_fd_ >= 0) {
+      ::close(ring_fd_);
+      ring_fd_ = -1;
+    }
+    ok_ = false;
+  }
+
+  int ring_fd_ = -1;
+  bool ok_ = false;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  size_t sq_ring_sz_ = 0;
+  size_t cq_ring_sz_ = 0;
+  struct io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_sz_ = 0;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  struct io_uring_cqe* cqes_ = nullptr;
+};
+
+#endif  // LOOM_HAS_IO_URING
+
+}  // namespace
+
+bool IoUringAvailable() {
+  static const bool available = ProbeIoUring();
+  return available;
+}
+
+std::optional<IoBackend> ParseIoBackend(std::string_view s) {
+  if (s == "auto") {
+    return IoBackend::kAuto;
+  }
+  if (s == "sync") {
+    return IoBackend::kSync;
+  }
+  if (s == "io_uring") {
+    return IoBackend::kIoUring;
+  }
+  return std::nullopt;
+}
+
+const char* IoBackendName(IoBackend mode) {
+  switch (mode) {
+    case IoBackend::kAuto:
+      return "auto";
+    case IoBackend::kSync:
+      return "sync";
+    case IoBackend::kIoUring:
+      return "io_uring";
+  }
+  return "unknown";
+}
+
+IoBackend IoBackendFromEnv(IoBackend fallback) {
+  const char* env = std::getenv("LOOM_IO");
+  if (env == nullptr) {
+    return fallback;
+  }
+  return ParseIoBackend(env).value_or(fallback);
+}
+
+IoBackend ResolveIoBackend(IoBackend requested) {
+  if (requested == IoBackend::kAuto) {
+    requested = IoBackendFromEnv(IoBackend::kAuto);
+  }
+  if (requested == IoBackend::kSync) {
+    return IoBackend::kSync;
+  }
+  // kAuto (no env override) and kIoUring both want io_uring when it exists.
+  return IoUringAvailable() ? IoBackend::kIoUring : IoBackend::kSync;
+}
+
+std::unique_ptr<BlockWriter> MakeBlockWriter(IoBackend resolved) {
+#if LOOM_HAS_IO_URING
+  if (resolved == IoBackend::kIoUring) {
+    return std::make_unique<IoUringBlockWriter>();
+  }
+#else
+  (void)resolved;
+#endif
+  return std::make_unique<SyncBlockWriter>();
+}
+
+}  // namespace loom

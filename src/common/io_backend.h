@@ -1,0 +1,77 @@
+// I/O submission backend for the hybrid log's block flusher.
+//
+// The flusher coalesces adjacent full blocks into one vectored write per
+// submission. How that write reaches the kernel is decided once, at
+// HybridLog::Create, mirroring the SIMD kernel dispatch (cpu_features.h): an
+// explicit option wins, otherwise the LOOM_IO environment variable
+// (sync|io_uring|auto), otherwise a runtime probe picks io_uring when the
+// kernel supports it. The synchronous pwritev path is always available and is
+// the fallback everywhere io_uring is not (old kernels, seccomp sandboxes,
+// builds without <linux/io_uring.h>), so forcing LOOM_IO=io_uring on such a
+// machine silently degrades to sync — a test matrix can export LOOM_IO=sync
+// anywhere and still run.
+//
+// The io_uring backend uses raw syscalls (io_uring_setup / io_uring_enter and
+// mmap'd rings) so no liburing dependency is introduced. Submissions complete
+// before WriteV returns (submit-and-wait): the pipelining win comes from the
+// flusher thread overlapping with ingest and from batching many blocks into
+// one submission, not from in-flight kernel queue depth.
+
+#ifndef SRC_COMMON_IO_BACKEND_H_
+#define SRC_COMMON_IO_BACKEND_H_
+
+#include <sys/uio.h>
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "src/common/file.h"
+#include "src/common/status.h"
+
+namespace loom {
+
+enum class IoBackend {
+  kAuto,     // LOOM_IO env if set, else probe for io_uring, else sync
+  kSync,     // positional pwritev; always available
+  kIoUring,  // raw-syscall io_uring submission (degrades to sync if absent)
+};
+
+// True when this build and the running kernel can set up an io_uring
+// instance. Probed once (the result is cached); a seccomp filter or ENOSYS
+// makes this false at runtime even when the headers were present at build.
+bool IoUringAvailable();
+
+// Parses "auto" / "sync" / "io_uring" (exact, lower-case). nullopt otherwise.
+std::optional<IoBackend> ParseIoBackend(std::string_view s);
+
+// Lower-case name of `mode`, e.g. for metrics and bench JSON.
+const char* IoBackendName(IoBackend mode);
+
+// Resolves the LOOM_IO environment override: a parseable value replaces
+// `fallback`, anything else (unset, empty, garbage) keeps it.
+IoBackend IoBackendFromEnv(IoBackend fallback);
+
+// Collapses `requested` to a concrete backend (kSync or kIoUring): kAuto
+// consults LOOM_IO first and then the runtime probe; kIoUring degrades to
+// kSync when unavailable.
+IoBackend ResolveIoBackend(IoBackend requested);
+
+// One flush submission: writes the iovec array at `offset` in `file`,
+// retrying short writes, so on Ok every byte is handed to the kernel.
+// Instances are used by a single thread (the flusher).
+class BlockWriter {
+ public:
+  virtual ~BlockWriter() = default;
+  virtual Status WriteV(File& file, uint64_t offset, const struct iovec* iov, int iovcnt) = 0;
+  virtual const char* name() const = 0;
+};
+
+// Builds the writer for a *resolved* backend (pass through ResolveIoBackend
+// first). An io_uring writer that fails ring setup falls back to the sync
+// path internally, so the returned writer always works.
+std::unique_ptr<BlockWriter> MakeBlockWriter(IoBackend resolved);
+
+}  // namespace loom
+
+#endif  // SRC_COMMON_IO_BACKEND_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -107,6 +109,17 @@ Status LoomOptions::Validate() {
   if (query_threads > hw * 4) {
     query_threads = hw * 4;  // oversubscribing further only adds contention
   }
+  if (finalize_inflight_chunks == 0) {
+    finalize_inflight_chunks = 1;
+  }
+  if (flush_inflight_blocks == 0) {
+    flush_inflight_blocks = 1;
+  }
+  // A stage larger than this buys nothing (classify batches are already far
+  // past the kernel's vector width) and bloats the per-index buffers.
+  if (summary_stage_records > 4096) {
+    summary_stage_records = 4096;
+  }
   return Status::Ok();
 }
 
@@ -135,6 +148,16 @@ Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
   rec_opts.retain_bytes = opts.record_retain_bytes;
   rec_opts.metrics = opts.metrics;
   rec_opts.metrics_prefix = "loom_hybridlog_record";
+  rec_opts.flush_inflight_blocks = opts.flush_inflight_blocks;
+  rec_opts.io_backend = opts.io_backend;
+  // The writer needs a block to fill while a full coalescing batch is in
+  // flight; only the record log gets the bigger ring (index logs flush
+  // rarely and keep the double-buffer default).
+  rec_opts.num_blocks = std::max<size_t>(rec_opts.num_blocks, opts.flush_inflight_blocks + 1);
+  rec_opts.coalesced_writes_metric =
+      opts.metrics->AddCounter("loom_ingest_coalesced_writes_total");
+  rec_opts.coalesced_write_bytes_metric =
+      opts.metrics->AddCounter("loom_ingest_coalesced_write_bytes");
   auto record_log = HybridLog::Create(opts.dir + "/record.log", rec_opts);
   if (!record_log.ok()) {
     return record_log.status();
@@ -186,13 +209,24 @@ Loom::Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_me
   kernels_ = SelectKernels(options_.simd_mode == SimdMode::kAuto
                                ? SimdModeFromEnv(SimdMode::kAuto)
                                : options_.simd_mode);
+  stage_bins_.resize(options_.summary_stage_records);
   RegisterMetrics();
+  if (options_.pipelined_ingest) {
+    // Started after RegisterMetrics: the sealing thread observes the
+    // finalize-latency histogram from its first applied event.
+    pipeline_active_ = true;
+    finalize_queue_ = std::make_unique<SpscQueue<SealEvent>>(1024);
+    finalizer_ = std::thread([this] { FinalizerMain(); });
+  }
 }
 
 Loom::~Loom() {
+  // The sealing thread writes the chunk/ts logs and observes registry
+  // histograms: stop it before anything it touches goes away.
+  StopIngestPipeline();
   // A shared registry (LoomOptions.metrics) outlives this engine; the hooks
-  // capture `summary_cache_` / `query_pool_` / `prefetcher_` and must go
-  // first.
+  // capture `summary_cache_` / `query_pool_` / `prefetcher_` / `this` and
+  // must go first.
   if (cache_hook_id_ != 0) {
     metrics_->RemoveCollectionHook(cache_hook_id_);
   }
@@ -201,6 +235,9 @@ Loom::~Loom() {
   }
   if (prefetch_hook_id_ != 0) {
     metrics_->RemoveCollectionHook(prefetch_hook_id_);
+  }
+  if (ingest_hook_id_ != 0) {
+    metrics_->RemoveCollectionHook(ingest_hook_id_);
   }
 }
 
@@ -287,6 +324,33 @@ void Loom::RegisterMetrics() {
           depth->Set(static_cast<double>(s.depth));
         });
   }
+  {
+    // Ingest-pipeline family. The cumulative counters live in the engine /
+    // record log as writer-owned or pair-of-atomics state; a hook folds them
+    // into gauges at each Snapshot(), mirroring the summary-cache pattern.
+    m_.ingest_chunks_sealed = metrics_->AddCounter("loom_ingest_chunks_sealed_total");
+    m_.ingest_finalize_seconds = metrics_->AddHistogram("loom_ingest_finalize_seconds");
+    m_.ingest_finalize_stall = metrics_->AddGauge("loom_ingest_finalize_stall_seconds_total");
+    Gauge* writer_stall = metrics_->AddGauge("loom_ingest_writer_stall_seconds_total");
+    Gauge* flush_depth = metrics_->AddGauge("loom_ingest_flush_queue_depth");
+    Gauge* finalize_depth = metrics_->AddGauge("loom_ingest_finalize_queue_depth");
+    Gauge* finalize_lag = metrics_->AddGauge("loom_ingest_finalize_lag_chunks");
+    // Resolved flush backend as a mode gauge (0 sync, 1 io_uring), like
+    // loom_query_kernel_mode.
+    Gauge* io_mode = metrics_->AddGauge("loom_ingest_io_backend_mode");
+    io_mode->Set(std::strcmp(record_log_->io_backend_name(), "io_uring") == 0 ? 1.0 : 0.0);
+    HybridLog* rec = record_log_.get();
+    ingest_hook_id_ = metrics_->AddCollectionHook(
+        [this, rec, writer_stall, flush_depth, finalize_depth, finalize_lag] {
+          writer_stall->Set(static_cast<double>(rec->writer_stall_nanos()) * 1e-9);
+          flush_depth->Set(static_cast<double>(rec->FlushQueueDepthApprox()));
+          finalize_depth->Set(
+              finalize_queue_ ? static_cast<double>(finalize_queue_->SizeApprox()) : 0.0);
+          const uint64_t sealed = chunks_sealed_.load(std::memory_order_relaxed);
+          const uint64_t applied = chunks_finalize_applied_.load(std::memory_order_relaxed);
+          finalize_lag->Set(sealed >= applied ? static_cast<double>(sealed - applied) : 0.0);
+        });
+  }
 }
 
 void Loom::FoldTraceIntoMetrics(const QueryTrace& trace, Histogram* op_hist) const {
@@ -347,6 +411,7 @@ Status Loom::CloseSource(uint32_t source_id) {
   SourceState& src = *it->second;
   for (IndexState* idx : src.indexes) {
     idx->open = false;
+    FlushIndexStage(*idx);  // staged values still belong to the active chunk
     builder_.UnregisterSlot(idx->builder_slot);
     std::lock_guard<std::mutex> lock(schema_mu_);
     index_snapshots_.erase(idx->id);
@@ -389,6 +454,7 @@ Status Loom::CloseIndex(uint32_t index_id) {
   }
   IndexState& idx = *it->second;
   idx.open = false;
+  FlushIndexStage(idx);  // staged values still belong to the active chunk
   builder_.UnregisterSlot(idx.builder_slot);
   auto src_it = sources_.find(idx.source_id);
   if (src_it != sources_.end()) {
@@ -415,6 +481,9 @@ Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
   if (it == sources_.end() || !it->second->open) {
     return Status::NotFound("source not defined");
   }
+  if (pipeline_failed_.load(std::memory_order_relaxed)) {
+    return PipelineStatus();  // the sealing thread hit a sticky error
+  }
   SourceState& src = *it->second;
   const TimestampNanos now = clock_->NowNanos();
   LOOM_RETURN_IF_ERROR(AppendRecord(src, payload, now));
@@ -435,6 +504,9 @@ Status Loom::PushBatch(uint32_t source_id,
   }
   if (payloads.empty()) {
     return Status::Ok();
+  }
+  if (pipeline_failed_.load(std::memory_order_relaxed)) {
+    return PipelineStatus();  // the sealing thread hit a sticky error
   }
   SourceState& src = *it->second;
   const TimestampNanos now = clock_->NowNanos();
@@ -498,26 +570,89 @@ Status Loom::AppendRecord(SourceState& src, std::span<const uint8_t> payload,
 
   // Update the active chunk summary (presence + every index on the source).
   builder_.UpdatePresence(src.presence_slot, now);
-  for (IndexState* idx : src.indexes) {
-    builder_.NoteEvaluated(idx->builder_slot);
-    std::optional<double> value = idx->func(payload);
-    if (value.has_value()) {
-      builder_.Update(idx->builder_slot, idx->spec.BinOf(*value), *value, now);
+  const size_t stage_cap = options_.summary_stage_records;
+  if (stage_cap > 0) {
+    // Staged path: buffer the extracted value and batch-classify later with
+    // the vectorized kernel; bit-identical to the scalar path below because
+    // per-(slot, bin) accumulation order still equals record order.
+    for (IndexState* idx : src.indexes) {
+      if (!idx->stage_listed) {
+        idx->stage_listed = true;
+        staged_indexes_.push_back(idx);
+      }
+      ++idx->stage_evaluated;
+      std::optional<double> value = idx->func(payload);
+      if (value.has_value()) {
+        idx->stage_values.push_back(*value);
+        idx->stage_ts.push_back(now);
+        if (idx->stage_values.size() >= stage_cap) {
+          FlushIndexStage(*idx);
+        }
+      }
+    }
+  } else {
+    for (IndexState* idx : src.indexes) {
+      builder_.NoteEvaluated(idx->builder_slot);
+      std::optional<double> value = idx->func(payload);
+      if (value.has_value()) {
+        builder_.Update(idx->builder_slot, idx->spec.BinOf(*value), *value, now);
+      }
     }
   }
 
   return MaybeWriteMarker(src, now, addr);
 }
 
+void Loom::FlushIndexStage(IndexState& idx) {
+  if (idx.stage_evaluated > 0) {
+    builder_.NoteEvaluatedBatch(idx.builder_slot, idx.stage_evaluated);
+    idx.stage_evaluated = 0;
+  }
+  const size_t n = idx.stage_values.size();
+  if (n == 0) {
+    return;
+  }
+  if (stage_bins_.size() < n) {
+    stage_bins_.resize(n);
+  }
+  idx.spec.ClassifyBatch(*kernels_, idx.stage_values.data(), n, stage_bins_.data());
+  builder_.UpdateBatch(idx.builder_slot, stage_bins_.data(), idx.stage_values.data(),
+                       idx.stage_ts.data(), n);
+  idx.stage_values.clear();
+  idx.stage_ts.clear();
+}
+
+void Loom::FlushSummaryStages() {
+  for (IndexState* idx : staged_indexes_) {
+    FlushIndexStage(*idx);
+    idx->stage_listed = false;
+  }
+  staged_indexes_.clear();
+}
+
 Status Loom::FinalizeChunk(TimestampNanos now) {
   // Per chunk, not per record: a full timer here is cheap and finalize
   // latency (encode + two index appends) is a leading probe-effect signal.
   ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.chunk_finalize_seconds : nullptr);
+  FlushSummaryStages();
   ChunkSummary summary =
       builder_.Finalize(active_chunk_start_, static_cast<uint32_t>(options_.chunk_size));
   m_.chunks_finalized->Increment();
   if (!options_.enable_chunk_index) {
     return Status::Ok();
+  }
+  if (pipeline_active_) {
+    // Publish the record log first: once the sealing thread applies this
+    // event it advances published_indexed_tail_ past the chunk, and §5.4
+    // requires every record byte below that watermark (the pad tail
+    // included) to be reader-visible already.
+    record_log_->Publish();
+    m_.ingest_chunks_sealed->Increment();
+    SealEvent ev;
+    ev.kind = SealEvent::Kind::kChunk;
+    ev.summary = std::move(summary);
+    ev.ts = now;
+    return EnqueueSealEvent(std::move(ev), /*is_chunk=*/true);
   }
   std::vector<uint8_t> buf;
   buf.reserve(4 + summary.EncodedSize());
@@ -546,6 +681,18 @@ Status Loom::MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t reco
     return Status::Ok();
   }
   src.records_since_marker = 0;
+  if (pipeline_active_) {
+    // The sealing thread owns the ts log (and the per-source marker chains)
+    // in pipelined mode. Publish the record log before routing the event:
+    // readers reached via a published marker must find the record.
+    record_log_->Publish();
+    SealEvent ev;
+    ev.kind = SealEvent::Kind::kMarker;
+    ev.source_id = src.id;
+    ev.record_addr = record_addr;
+    ev.ts = ts;
+    return EnqueueSealEvent(std::move(ev), /*is_chunk=*/false);
+  }
   auto marker = ts_writer_.AppendRecordMarker(src.id, ts, record_addr, src.last_marker_addr);
   if (!marker.ok()) {
     return marker.status();
@@ -556,6 +703,22 @@ Status Loom::MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t reco
 }
 
 void Loom::PublishAll(SourceState& src) {
+  if (pipeline_active_) {
+    // Pipelined ingest: the sealing thread publishes the chunk/ts logs and
+    // advances published_indexed_tail_ after each applied seal, in the same
+    // §5.4 order. Here only the record log and the per-source chain head are
+    // published; the indexed watermark lags until finalize lands, which
+    // readers already tolerate (a sealing chunk is unindexed tail, scanned
+    // raw against the record watermark).
+    record_log_->Publish();
+    if (!options_.enable_chunk_index) {
+      // Ablation: no summaries ever exist, so no seal events flow through the
+      // pipeline; advance the watermark inline exactly as the inline path.
+      published_indexed_tail_.store(active_chunk_start_, std::memory_order_release);
+    }
+    src.published_last_record.store(src.last_record_addr, std::memory_order_release);
+    return;
+  }
   // §5.4 ordering: record log, then chunk index, then timestamp index, then
   // the derived watermarks. Readers capture in the reverse order.
   record_log_->Publish();
@@ -572,8 +735,161 @@ Status Loom::Sync(uint32_t source_id) {
   if (it == sources_.end()) {
     return Status::NotFound("source not defined");
   }
+  DrainIngestPipeline();
   PublishAll(*it->second);
+  if (pipeline_failed_.load(std::memory_order_relaxed)) {
+    return PipelineStatus();
+  }
   return Status::Ok();
+}
+
+// --- Ingest pipeline ---------------------------------------------------------
+
+Status Loom::EnqueueSealEvent(SealEvent&& ev, bool is_chunk) {
+  if (pipeline_failed_.load(std::memory_order_relaxed)) {
+    return PipelineStatus();
+  }
+  // Backpressure: cap sealed-but-unapplied chunks at the configured budget
+  // and never spin-move into a full queue. Producer-side SizeApprox is
+  // exact, and only the consumer shrinks it, so a free slot stays free.
+  const uint64_t budget = options_.finalize_inflight_chunks;
+  const auto must_wait = [&] {
+    if (finalize_queue_->SizeApprox() >= finalize_queue_->capacity()) {
+      return true;
+    }
+    return is_chunk && chunks_sealed_.load(std::memory_order_relaxed) -
+                               chunks_finalize_applied_.load(std::memory_order_acquire) >=
+                           budget;
+  };
+  if (must_wait()) {
+    const uint64_t t0 = MetricsNowNanos();
+    while (must_wait() && !pipeline_failed_.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+    m_.ingest_finalize_stall->Add(static_cast<double>(MetricsNowNanos() - t0) * 1e-9);
+    if (pipeline_failed_.load(std::memory_order_relaxed)) {
+      return PipelineStatus();
+    }
+  }
+  // Counters bump before the push so applied counts never pass enqueued.
+  if (is_chunk) {
+    chunks_sealed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  events_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  const bool pushed = finalize_queue_->TryPush(std::move(ev));
+  (void)pushed;
+  assert(pushed);
+  return Status::Ok();
+}
+
+void Loom::FinalizerMain() {
+  std::vector<uint8_t> encode_buf;
+  // Per-source marker chain heads: this thread owns the ts log in pipelined
+  // mode, so the chains live here, not in SourceState.
+  std::unordered_map<uint32_t, uint64_t> marker_chains;
+  for (;;) {
+    std::optional<SealEvent> ev = finalize_queue_->TryPop();
+    if (!ev.has_value()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    if (ev->kind == SealEvent::Kind::kStop) {
+      return;
+    }
+    Status st = Status::Ok();
+    if (!pipeline_failed_.load(std::memory_order_relaxed)) {
+      if (ev->kind == SealEvent::Kind::kChunk) {
+        ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.ingest_finalize_seconds
+                                                                 : nullptr);
+        st = ApplyChunkSeal(*ev, encode_buf);
+      } else {
+        st = ApplyMarker(*ev, marker_chains);
+      }
+    }
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(pipeline_mu_);
+      if (pipeline_status_.ok()) {
+        pipeline_status_ = st;
+      }
+      pipeline_failed_.store(true, std::memory_order_release);
+    }
+    // Applied even on error (the event is consumed either way) so drains and
+    // the lag gauge terminate.
+    if (ev->kind == SealEvent::Kind::kChunk) {
+      chunks_finalize_applied_.fetch_add(1, std::memory_order_release);
+    }
+    events_applied_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+Status Loom::ApplyChunkSeal(SealEvent& ev, std::vector<uint8_t>& buf) {
+  const uint64_t chunk_end = ev.summary.chunk_addr + ev.summary.chunk_len;
+  buf.clear();
+  buf.reserve(4 + ev.summary.EncodedSize());
+  PutU32(buf, static_cast<uint32_t>(ev.summary.EncodedSize()));
+  ev.summary.EncodeTo(buf);
+  auto addr = chunk_log_->Append(std::span<const uint8_t>(buf.data(), buf.size()));
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  // §5.4 apply order: the chunk frame becomes readable, then its ts-index
+  // event, then the indexed watermark passes the chunk. The record bytes
+  // below chunk_end were published before the seal was enqueued.
+  chunk_log_->Publish();
+  if (options_.enable_timestamp_index) {
+    auto event = ts_writer_.AppendChunkEvent(ev.ts, addr.value());
+    if (!event.ok()) {
+      return event.status();
+    }
+    m_.ts_entries->Increment();
+    ts_log_->Publish();
+  }
+  published_indexed_tail_.store(chunk_end, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status Loom::ApplyMarker(const SealEvent& ev, std::unordered_map<uint32_t, uint64_t>& chains) {
+  auto it = chains.try_emplace(ev.source_id, kNullAddr).first;
+  auto marker = ts_writer_.AppendRecordMarker(ev.source_id, ev.ts, ev.record_addr, it->second);
+  if (!marker.ok()) {
+    return marker.status();
+  }
+  it->second = marker.value();
+  m_.ts_entries->Increment();
+  ts_log_->Publish();
+  return Status::Ok();
+}
+
+void Loom::DrainIngestPipeline() {
+  if (!pipeline_active_) {
+    return;
+  }
+  while (events_applied_.load(std::memory_order_acquire) <
+         events_enqueued_.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
+}
+
+void Loom::StopIngestPipeline() {
+  if (!pipeline_active_) {
+    return;
+  }
+  DrainIngestPipeline();
+  for (;;) {
+    SealEvent stop;
+    stop.kind = SealEvent::Kind::kStop;
+    if (finalize_queue_->TryPush(std::move(stop))) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  finalizer_.join();
+  pipeline_active_ = false;
+}
+
+Status Loom::PipelineStatus() const {
+  std::lock_guard<std::mutex> lock(pipeline_mu_);
+  return pipeline_status_;
 }
 
 // --- Snapshots and lookups ----------------------------------------------------

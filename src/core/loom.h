@@ -40,6 +40,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -119,6 +120,44 @@ struct LoomOptions {
   // kernel compute. Memory stays bounded at prefetch_depth chunks per query.
   // 0 disables the ring (queries read through their scan-local caches only).
   size_t prefetch_depth = 4;
+
+  // --- Ingest pipeline (the write-path mirror of the query knobs above) ---
+
+  // Pipelined ingest: chunk finalization (summary encode + chunk-log append +
+  // ts-index appends) moves off the record hot path onto a sealing thread
+  // with a bounded queue. The §5.4 publish-ordering contract is preserved —
+  // published_indexed_tail_ never advances past an unfinalized chunk, so
+  // readers simply see sealing chunks as unindexed tail (scanned raw) until
+  // finalize lands; drained results are bit-identical to the inline path.
+  // Off by default: the inline path keeps finalization synchronous with
+  // ingest, which some tests and replay tools rely on for determinism
+  // between individual pushes. Sync() drains the pipeline.
+  bool pipelined_ingest = false;
+
+  // Bound on sealed-but-unfinalized chunks: ingest stalls (counted in
+  // loom_ingest_finalize_stall_seconds_total) rather than letting the
+  // indexed watermark fall arbitrarily behind. Minimum 1.
+  size_t finalize_inflight_chunks = 4;
+
+  // Record-log flusher budget: up to this many queued full blocks are
+  // coalesced into one vectored write per flush submission. 1 keeps the
+  // historical block-at-a-time flusher; Open sizes the record log's
+  // in-memory ring to flush_inflight_blocks + 1 slots (minimum 2) so the
+  // writer keeps filling while a batch is in flight.
+  size_t flush_inflight_blocks = 1;
+
+  // Flush submission backend (see src/common/io_backend.h): kAuto resolves
+  // the LOOM_IO env override (sync|io_uring|auto) and then probes the kernel
+  // for io_uring, mirroring simd_mode/LOOM_SIMD. The synchronous pwritev
+  // path is the universal fallback; this knob never changes results.
+  IoBackend io_backend = IoBackend::kAuto;
+
+  // Batched summary construction: per-record index values are staged in a
+  // small per-index buffer and classified with the vectorized classify_bins
+  // kernel in batches of up to this many values (flushed at every chunk seal
+  // and index close, so summaries stay bit-identical to the per-record
+  // scalar BinOf path). 0 disables staging.
+  size_t summary_stage_records = 256;
 
   // Timestamp source; defaults to a process-wide monotonic clock.
   Clock* clock = nullptr;
@@ -299,6 +338,13 @@ class Loom {
     IndexFunc func;
     HistogramSpec spec = HistogramSpec::ExactMatch(0);
     size_t builder_slot = 0;
+    // Staged summary construction (summary_stage_records > 0): extracted
+    // values wait here until a batch classify + builder fold. Ingest thread
+    // only; flushed at stage capacity, chunk seal, and index/source close.
+    std::vector<double> stage_values;
+    std::vector<TimestampNanos> stage_ts;
+    uint64_t stage_evaluated = 0;
+    bool stage_listed = false;  // member of staged_indexes_
   };
 
   struct SourceState {
@@ -344,6 +390,40 @@ class Loom {
   Status FinalizeChunk(TimestampNanos now);
   Status MaybeWriteMarker(SourceState& src, TimestampNanos ts, uint64_t record_addr);
   void PublishAll(SourceState& src);
+  // Classifies and folds an index's staged values into the builder (batch
+  // kernel path); no-op when the stage is empty.
+  void FlushIndexStage(IndexState& idx);
+  // Flushes every index with staged data (called before each chunk seal).
+  void FlushSummaryStages();
+
+  // --- Ingest pipeline (pipelined_ingest; see DESIGN.md) -------------------
+  //
+  // In pipelined mode the sealing thread is the *only* writer of the chunk
+  // and ts logs (both are single-writer): the ingest thread routes chunk
+  // seals and ts record markers through one SPSC queue, which preserves
+  // their relative (monotone-timestamp) order, and the sealing thread
+  // publishes chunk log, then ts log, then published_indexed_tail_ — the
+  // §5.4 order — after each applied seal.
+  struct SealEvent {
+    enum class Kind : uint8_t { kChunk, kMarker, kStop };
+    Kind kind = Kind::kChunk;
+    ChunkSummary summary;      // kChunk: finalized summary to encode + append
+    uint32_t source_id = 0;    // kMarker
+    uint64_t record_addr = 0;  // kMarker
+    TimestampNanos ts = 0;     // event timestamp (monotone in queue order)
+  };
+  void FinalizerMain();
+  Status ApplyChunkSeal(SealEvent& ev, std::vector<uint8_t>& buf);
+  Status ApplyMarker(const SealEvent& ev, std::unordered_map<uint32_t, uint64_t>& chains);
+  // Blocks (counted as finalize stall) while the seal budget or queue is
+  // full, then enqueues. Returns the sticky pipeline error, if any.
+  Status EnqueueSealEvent(SealEvent&& ev, bool is_chunk);
+  // Ingest thread: waits until every queued event has been applied.
+  void DrainIngestPipeline();
+  // Destructor: drains, stops, and joins the sealing thread.
+  void StopIngestPipeline();
+  // First error the sealing thread hit (Ok when healthy).
+  Status PipelineStatus() const;
 
   // Query internals. Public query operators are thin wrappers that install a
   // trace (local when the caller passed none), time the call, run the *Impl
@@ -566,6 +646,29 @@ class Loom {
 
   uint64_t active_chunk_start_ = 0;
 
+  // Staged summary construction (ingest thread only). staged_indexes_ lists
+  // indexes whose stage may hold data since the last seal; stage_bins_ is the
+  // classify output scratch, sized to summary_stage_records.
+  std::vector<IndexState*> staged_indexes_;
+  std::vector<uint32_t> stage_bins_;
+
+  // Ingest pipeline state (pipelined_ingest). The queue/thread exist only
+  // when active. Counters pair up ingest-side (enqueued/sealed, relaxed) with
+  // finalizer-side (applied, release) so DrainIngestPipeline and the
+  // finalize-lag gauge need no lock.
+  bool pipeline_active_ = false;
+  std::unique_ptr<SpscQueue<SealEvent>> finalize_queue_;
+  std::thread finalizer_;
+  std::atomic<uint64_t> events_enqueued_{0};
+  std::atomic<uint64_t> events_applied_{0};
+  std::atomic<uint64_t> chunks_sealed_{0};
+  std::atomic<uint64_t> chunks_finalize_applied_{0};
+  // Sticky first finalizer error: the flag is checked (relaxed) on every
+  // enqueue and by Sync(); the Status itself is behind pipeline_mu_.
+  std::atomic<bool> pipeline_failed_{false};
+  mutable std::mutex pipeline_mu_;
+  Status pipeline_status_;
+
   // Individual metric pointers, registered once in the constructor; they
   // stay valid for the registry's lifetime.
   struct CoreMetrics {
@@ -596,6 +699,10 @@ class Loom {
     Counter* parallel_morsels = nullptr;
     Counter* parallel_worker_runs = nullptr;
     Histogram* parallel_merge_seconds = nullptr;
+    // Ingest pipeline.
+    Counter* ingest_chunks_sealed = nullptr;      // seals routed to the pipeline
+    Histogram* ingest_finalize_seconds = nullptr; // per applied chunk seal
+    Gauge* ingest_finalize_stall = nullptr;       // cumulative ingest-side stall secs
   };
   CoreMetrics m_;
   // Collection hooks refreshing the summary-cache and pool gauges; removed in
@@ -603,6 +710,7 @@ class Loom {
   uint64_t cache_hook_id_ = 0;
   uint64_t pool_hook_id_ = 0;
   uint64_t prefetch_hook_id_ = 0;
+  uint64_t ingest_hook_id_ = 0;
   // Writer-local sampling counter for the 1-in-64 Push latency timer.
   uint64_t push_sample_tick_ = 0;
 

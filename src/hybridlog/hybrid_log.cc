@@ -44,6 +44,11 @@ Result<std::unique_ptr<HybridLog>> HybridLog::Create(const std::string& file_pat
     return Status::InvalidArgument("hybrid log needs block_size > 0 and num_blocks >= 2");
   }
   HybridLogOptions normalized = options;
+  // The writer must always have a block to fill while a batch is in flight,
+  // so the coalescing budget cannot cover every slot.
+  normalized.flush_inflight_blocks =
+      std::max<size_t>(1, std::min(normalized.flush_inflight_blocks, normalized.num_blocks - 1));
+  normalized.io_backend = ResolveIoBackend(normalized.io_backend);
   if (normalized.retain_bytes > 0) {
     // The in-memory blocks must always stay inside the retained window.
     const uint64_t floor =
@@ -60,6 +65,7 @@ Result<std::unique_ptr<HybridLog>> HybridLog::Create(const std::string& file_pat
 HybridLog::HybridLog(File file, const HybridLogOptions& options)
     : options_(options),
       file_(std::move(file)),
+      block_writer_(MakeBlockWriter(options.io_backend)),
       flush_queue_(64) {
   slots_.reserve(options_.num_blocks);
   slot_version_ = std::make_unique<std::atomic<uint64_t>[]>(options_.num_blocks);
@@ -103,28 +109,32 @@ Result<std::pair<uint64_t, uint8_t*>> HybridLog::AppendReserve(size_t len) {
     return Status::InvalidArgument("append size must be in (0, block_size]");
   }
   const size_t bs = options_.block_size;
-  size_t offset_in_block = static_cast<size_t>(tail_ % bs);
+  uint64_t tail = tail_.load(std::memory_order_relaxed);
+  size_t offset_in_block = static_cast<size_t>(tail % bs);
   if (offset_in_block + len > bs) {
     // Pad the remainder so the append is contiguous in the next block.
     size_t pad = bs - offset_in_block;
     std::memset(slots_[active_block_ % options_.num_blocks].get() + offset_in_block, kPadByte,
                 pad);
-    pad_bytes_ += pad;
-    tail_ += pad;
+    pad_bytes_.fetch_add(pad, std::memory_order_relaxed);
+    tail += pad;
+    tail_.store(tail, std::memory_order_relaxed);
     RotateTo(active_block_ + 1);
     offset_in_block = 0;
-  } else if (offset_in_block == 0 && tail_ != 0) {
+  } else if (offset_in_block == 0 && tail != 0) {
     // Landed exactly on a block boundary: previous block is full.
-    RotateTo(tail_ / bs);
+    RotateTo(tail / bs);
   }
   uint8_t* dst = slots_[active_block_ % options_.num_blocks].get() + offset_in_block;
-  uint64_t addr = tail_;
-  tail_ += len;
-  ++appends_;
+  const uint64_t addr = tail;
+  tail_.store(tail + len, std::memory_order_relaxed);
+  appends_.fetch_add(1, std::memory_order_relaxed);
   return std::make_pair(addr, dst);
 }
 
-void HybridLog::Publish() { queryable_tail_.store(tail_, std::memory_order_release); }
+void HybridLog::Publish() {
+  queryable_tail_.store(tail_.load(std::memory_order_relaxed), std::memory_order_release);
+}
 
 void HybridLog::RotateTo(uint64_t block_no) {
   assert(block_no == active_block_ + 1);
@@ -150,7 +160,7 @@ void HybridLog::RecycleSlot(uint64_t block_no) {
       std::this_thread::yield();
     }
     const uint64_t stalled = SteadyNowNanos() - t0;
-    writer_stall_nanos_ += stalled;
+    writer_stall_nanos_.fetch_add(stalled, std::memory_order_relaxed);
     if (writer_stall_seconds_ != nullptr) {
       writer_stall_seconds_->ObserveNanos(stalled);
     }
@@ -162,7 +172,13 @@ void HybridLog::RecycleSlot(uint64_t block_no) {
 
 void HybridLog::FlusherMain() {
   const size_t bs = options_.block_size;
-  for (;;) {
+  const size_t budget = options_.flush_inflight_blocks;
+  std::vector<uint64_t> batch;
+  std::vector<struct iovec> iov;
+  batch.reserve(budget);
+  iov.reserve(budget);
+  bool stopping = false;
+  while (!stopping) {
     std::optional<uint64_t> item = flush_queue_.TryPop();
     if (!item.has_value()) {
       // Idle: sleep briefly rather than spin so the flusher does not compete
@@ -170,15 +186,39 @@ void HybridLog::FlusherMain() {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
       continue;
     }
-    const uint64_t block_no = *item;
-    if (block_no == kStopSentinel) {
+    if (*item == kStopSentinel) {
       return;
     }
-    const uint8_t* src = slots_[block_no % options_.num_blocks].get();
+    // Coalesce: drain up to `budget` already-queued blocks. The writer pushes
+    // block numbers in order, so a batch is always a consecutive run and its
+    // slots map to one contiguous file range. Slot memory stays stable for
+    // the whole batch — the writer cannot recycle a slot until
+    // flushed_block_count_ (advanced only below) passes it.
+    batch.clear();
+    batch.push_back(*item);
+    while (batch.size() < budget) {
+      std::optional<uint64_t> next = flush_queue_.TryPop();
+      if (!next.has_value()) {
+        break;
+      }
+      if (*next == kStopSentinel) {
+        stopping = true;
+        break;
+      }
+      assert(*next == batch.back() + 1);
+      batch.push_back(*next);
+    }
+    iov.clear();
+    for (uint64_t block_no : batch) {
+      iov.push_back({slots_[block_no % options_.num_blocks].get(), bs});
+    }
+    const uint64_t first = batch.front();
+    const uint64_t last = batch.back();
     const uint64_t flush_t0 = flush_seconds_ != nullptr ? SteadyNowNanos() : 0;
-    Status st = file_.PWriteAll(block_no * bs, std::span<const uint8_t>(src, bs));
+    Status st = block_writer_->WriteV(file_, first * bs, iov.data(),
+                                      static_cast<int>(iov.size()));
     // I/O errors here would lose historical data but must not corrupt the
-    // reader protocol: only count the block as flushed on success, which
+    // reader protocol: only count the batch as flushed on success, which
     // stalls the writer rather than serving bad reads.
     if (st.ok()) {
       if (options_.sync_on_flush) {
@@ -188,16 +228,24 @@ void HybridLog::FlusherMain() {
         flush_seconds_->ObserveNanos(SteadyNowNanos() - flush_t0);
       }
       if (blocks_flushed_metric_ != nullptr) {
-        blocks_flushed_metric_->Increment();
+        blocks_flushed_metric_->Increment(batch.size());
       }
-      flushed_bytes_.store((block_no + 1) * bs, std::memory_order_release);
-      flushed_block_count_.store(block_no + 1, std::memory_order_release);
+      if (batch.size() > 1) {
+        if (options_.coalesced_writes_metric != nullptr) {
+          options_.coalesced_writes_metric->Increment();
+        }
+        if (options_.coalesced_write_bytes_metric != nullptr) {
+          options_.coalesced_write_bytes_metric->Increment(batch.size() * bs);
+        }
+      }
+      flushed_bytes_.store((last + 1) * bs, std::memory_order_release);
+      flushed_block_count_.store(last + 1, std::memory_order_release);
       // Retention: drop whole blocks that fall out of the retained window
       // and return their disk space. Readers observe the floor first (and
       // re-validate after copying), so a concurrent punch is never served as
       // data.
       if (options_.retain_bytes > 0) {
-        const uint64_t tail_now = (block_no + 1) * bs;
+        const uint64_t tail_now = (last + 1) * bs;
         if (tail_now > options_.retain_bytes) {
           const uint64_t new_floor = (tail_now - options_.retain_bytes) / bs * bs;
           const uint64_t old_floor = retained_floor_.load(std::memory_order_relaxed);
@@ -227,14 +275,22 @@ Status HybridLog::Close() {
   // Persist the active block's prefix so the whole published log is on disk.
   const size_t bs = options_.block_size;
   const uint64_t flushed = flushed_bytes_.load(std::memory_order_acquire);
-  if (tail_ > flushed) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  if (tail > flushed) {
     const uint64_t first_block = flushed / bs;
-    for (uint64_t b = first_block; b * bs < tail_; ++b) {
+    for (uint64_t b = first_block; b * bs < tail; ++b) {
       const uint8_t* src = slots_[b % options_.num_blocks].get();
-      const size_t len = static_cast<size_t>(std::min<uint64_t>(bs, tail_ - b * bs));
+      const size_t len = static_cast<size_t>(std::min<uint64_t>(bs, tail - b * bs));
       LOOM_RETURN_IF_ERROR(file_.PWriteAll(b * bs, std::span<const uint8_t>(src, len)));
     }
-    flushed_bytes_.store(tail_, std::memory_order_release);
+    flushed_bytes_.store(tail, std::memory_order_release);
+  }
+  // Durability audit: without sync_on_flush nothing above fdatasync'd, so the
+  // tail flush (and any batch the flusher wrote since the last sync) could
+  // still sit in the page cache. One final fdatasync makes Close() mean "the
+  // whole published log is on disk".
+  if (tail > 0) {
+    LOOM_RETURN_IF_ERROR(file_.Sync());
   }
   return Status::Ok();
 }
@@ -307,11 +363,11 @@ Status HybridLog::ReadWithinBlock(uint64_t addr, std::span<uint8_t> out) const {
 
 HybridLogStats HybridLog::stats() const {
   HybridLogStats s;
-  s.bytes_appended = tail_;
-  s.appends = appends_;
-  s.pad_bytes = pad_bytes_;
+  s.bytes_appended = tail_.load(std::memory_order_relaxed);
+  s.appends = appends_.load(std::memory_order_relaxed);
+  s.pad_bytes = pad_bytes_.load(std::memory_order_relaxed);
   s.blocks_flushed = flushed_block_count_.load(std::memory_order_acquire);
-  s.writer_stall_nanos = writer_stall_nanos_;
+  s.writer_stall_nanos = writer_stall_nanos_.load(std::memory_order_relaxed);
   s.snapshot_fallbacks = snapshot_fallbacks_.load(std::memory_order_relaxed);
   s.disk_reads = disk_reads_.load(std::memory_order_relaxed);
   s.memory_reads = memory_reads_.load(std::memory_order_relaxed);

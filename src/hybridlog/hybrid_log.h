@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/common/file.h"
+#include "src/common/io_backend.h"
 #include "src/common/metrics.h"
 #include "src/common/spsc_queue.h"
 #include "src/common/status.h"
@@ -58,11 +59,27 @@ struct HybridLogOptions {
   // it, so disk space is reclaimed). 0 = retain everything. Retention is
   // applied at block granularity after flushes.
   uint64_t retain_bytes = 0;
+  // Flusher in-flight block budget: up to this many queued full blocks are
+  // drained per flusher iteration and coalesced into one vectored write
+  // (adjacent block numbers are contiguous file offsets). 1 keeps the
+  // historical one-block-per-write behavior; Create clamps to
+  // [1, num_blocks - 1] so the writer always has a block to fill while the
+  // batch is in flight.
+  size_t flush_inflight_blocks = 1;
+  // How flush submissions reach the kernel (see io_backend.h). kAuto resolves
+  // the LOOM_IO env override, then probes for io_uring, falling back to
+  // synchronous pwritev. Resolved once in Create.
+  IoBackend io_backend = IoBackend::kAuto;
   // When set, the log registers its metrics (block flush latency, writer
   // stall time, read-path counters) under `metrics_prefix`, e.g.
   // "loom_hybridlog_record". The registry must outlive the log.
   MetricsRegistry* metrics = nullptr;
   std::string metrics_prefix;
+  // Optional externally-registered counters for coalesced flush submissions
+  // (the engine registers these under its loom_ingest_* family and points the
+  // record log at them). Counted only for multi-block writes.
+  Counter* coalesced_writes_metric = nullptr;
+  Counter* coalesced_write_bytes_metric = nullptr;
 };
 
 struct HybridLogStats {
@@ -105,8 +122,9 @@ class HybridLog {
   // Makes everything appended so far visible to readers.
   void Publish();
 
-  // Total bytes appended (including padding). Writer thread only.
-  uint64_t tail() const { return tail_; }
+  // Total bytes appended (including padding). Exact from the writer thread;
+  // other threads (stats scrapes) get a relaxed snapshot.
+  uint64_t tail() const { return tail_.load(std::memory_order_relaxed); }
 
   // Flushes the active block's published prefix to disk and stops the
   // flusher. Called automatically by the destructor. After Close() all
@@ -132,6 +150,19 @@ class HybridLog {
 
   HybridLogStats stats() const;
 
+  // Full blocks queued for (or being) flushed. Approximate; safe from any
+  // thread — the engine's flush-queue depth gauge reads this.
+  size_t FlushQueueDepthApprox() const { return flush_queue_.SizeApprox(); }
+
+  // Total nanoseconds the writer stalled waiting for the flusher, readable
+  // from any thread (the backpressure gauge hook samples it).
+  uint64_t writer_stall_nanos() const {
+    return writer_stall_nanos_.load(std::memory_order_relaxed);
+  }
+
+  // Resolved flush submission backend ("sync" or "io_uring").
+  const char* io_backend_name() const { return IoBackendName(options_.io_backend); }
+
   size_t block_size() const { return options_.block_size; }
   // Fraction of the published log currently resident in memory.
   double MemoryResidentFraction() const;
@@ -146,17 +177,23 @@ class HybridLog {
   void RotateTo(uint64_t block_no);
   Status ReadWithinBlock(uint64_t addr, std::span<uint8_t> out) const;
 
-  const HybridLogOptions options_;
+  const HybridLogOptions options_;  // io_backend resolved by Create
   File file_;
+  // Flush submission backend (sync pwritev or io_uring). Flusher thread only,
+  // except for the tail flush in Close() after the flusher has joined.
+  std::unique_ptr<BlockWriter> block_writer_;
 
   // Block slot `i` holds block number slot_version_[i]; readers use the
   // version to detect recycles (seqlock validation).
   std::vector<std::unique_ptr<uint8_t[]>> slots_;
   std::unique_ptr<std::atomic<uint64_t>[]> slot_version_;
 
-  // Writer-local state.
-  uint64_t tail_ = 0;            // next append address
-  uint64_t active_block_ = 0;    // block number being written
+  // Writer-local state. tail_ is written by the single appender only, but
+  // stats()/tail() may sample it from any thread (the engine's metrics hooks
+  // and pipelined-ingest tests do), so it is a relaxed atomic rather than a
+  // plain counter.
+  std::atomic<uint64_t> tail_{0};  // next append address
+  uint64_t active_block_ = 0;      // block number being written
   bool closed_ = false;
 
   std::atomic<uint64_t> queryable_tail_{0};
@@ -170,10 +207,12 @@ class HybridLog {
   SpscQueue<uint64_t> flush_queue_;
   std::thread flusher_;
 
-  // Stats. Writer-owned counters are plain; reader-side are atomic.
-  uint64_t appends_ = 0;
-  uint64_t pad_bytes_ = 0;
-  uint64_t writer_stall_nanos_ = 0;
+  // Stats. Single-writer counters, but stats() may sample them from any
+  // thread, so all are relaxed atomics. The stall total likewise feeds the
+  // metrics collection hook from scrape threads.
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> pad_bytes_{0};
+  std::atomic<uint64_t> writer_stall_nanos_{0};
   mutable std::atomic<uint64_t> snapshot_fallbacks_{0};
   mutable std::atomic<uint64_t> disk_reads_{0};
   mutable std::atomic<uint64_t> memory_reads_{0};

@@ -104,8 +104,28 @@ void ChunkSummaryBuilder::Update(size_t slot, uint32_t bin, double value, Timest
   MarkDirty(slot);
 }
 
+void ChunkSummaryBuilder::UpdateBatch(size_t slot, const uint32_t* bins, const double* values,
+                                      const TimestampNanos* ts, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  Slot& s = slots_[slot];
+  for (size_t i = 0; i < n; ++i) {
+    s.bins[bins[i]].Update(values[i], ts[i]);
+  }
+  MarkDirty(slot);
+}
+
 void ChunkSummaryBuilder::NoteEvaluated(size_t slot) {
   ++slots_[slot].evaluated;
+  MarkDirty(slot);
+}
+
+void ChunkSummaryBuilder::NoteEvaluatedBatch(size_t slot, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  slots_[slot].evaluated += n;
   MarkDirty(slot);
 }
 

@@ -119,9 +119,21 @@ class ChunkSummaryBuilder {
   // Records an indexed value for the active chunk.
   void Update(size_t slot, uint32_t bin, double value, TimestampNanos ts);
 
+  // Batch variant of Update: folds n pre-classified (bin, value, ts) triples
+  // into the slot in array order. Because BinStats accumulate per (slot, bin)
+  // and the per-bin visit order equals record order either way, the finalized
+  // summary is bit-identical (double addition order included) to n scalar
+  // Update calls. The staged ingest path classifies `bins` with the
+  // vectorized classify_bins kernel before calling this.
+  void UpdateBatch(size_t slot, const uint32_t* bins, const double* values,
+                   const TimestampNanos* ts, size_t n);
+
   // Notes that the index function ran on a record of this slot's source
   // (call once per record per index, whether or not a value was produced).
   void NoteEvaluated(size_t slot);
+
+  // Batch variant of NoteEvaluated (n records at once).
+  void NoteEvaluatedBatch(size_t slot, uint64_t n);
 
   // Records the presence of a (possibly unindexed) source record.
   void UpdatePresence(size_t presence_slot, TimestampNanos ts);

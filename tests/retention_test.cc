@@ -107,10 +107,21 @@ TEST_F(LoomRetentionTest, QueriesReturnRetainedSuffix) {
     clock_.AdvanceNanos(100);
     ASSERT_TRUE(loom_->Push(1, ValuePayload(i)).ok());
   }
-  // Let the flusher advance retention.
-  for (int spin = 0; spin < 1000 && loom_->stats().record_log.blocks_flushed < 150; ++spin) {
+  // Let the flusher fully quiesce: the queries below each take their own
+  // snapshot, so retention must not advance between the raw scan and the
+  // aggregates it is compared against. Ingest is done, so the flusher owes
+  // exactly one flush per full block (the active partial block stays in
+  // memory); once blocks_flushed reaches that count, no further retention
+  // movement is possible. One extra sleep covers the instant between the
+  // final flush being counted and its floor advance landing.
+  const uint64_t full_blocks = loom_->stats().record_log.bytes_appended / 4096;
+  ASSERT_GE(full_blocks, 150u);  // >> the 8-block retained window
+  for (int spin = 0; spin < 2000 && loom_->stats().record_log.blocks_flushed < full_blocks;
+       ++spin) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  ASSERT_EQ(loom_->stats().record_log.blocks_flushed, full_blocks);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
 
   // Raw scan over all time returns a dense suffix ending at the newest
   // record; the oldest records are gone.

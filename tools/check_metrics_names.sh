@@ -88,6 +88,30 @@ while read -r prefix; do
 done < <(grep -rhoE 'metrics_prefix = "[^"]+"' "$src" --include='*.cc' --include='*.h' |
   sed -E 's/.*"([^"]+)"$/\1/' | sort -u)
 
+# The ingest-pipeline metric family is part of the engine's public
+# observability surface (DESIGN.md): every name below must stay registered
+# somewhere in src/ or dashboards built on them silently go dark.
+required_ingest="
+loom_ingest_chunks_sealed_total
+loom_ingest_coalesced_writes_total
+loom_ingest_coalesced_write_bytes
+loom_ingest_finalize_seconds
+loom_ingest_finalize_stall_seconds_total
+loom_ingest_writer_stall_seconds_total
+loom_ingest_flush_queue_depth
+loom_ingest_finalize_queue_depth
+loom_ingest_finalize_lag_chunks
+loom_ingest_io_backend_mode
+"
+all_names="$( (extract Counter; extract Gauge; extract Histogram) | sort -u)"
+for name in $required_ingest; do
+  total=$((total + 1))
+  if ! printf '%s\n' "$all_names" | grep -qx "$name"; then
+    echo "BAD  $name  (required loom_ingest_* metric is no longer registered)" >&2
+    fail=1
+  fi
+done
+
 if [ "$total" -lt 30 ]; then
   echo "BAD  extraction found only $total checked names; the grep patterns no longer match" \
     "the registration call sites" >&2

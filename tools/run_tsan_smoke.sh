@@ -9,6 +9,8 @@
 #                             live ingest, block recycling, and retention
 #   loom_parallel_query_test  the pool-backed executor: RunOrdered emission,
 #                             worker trace absorption, per-morsel floor checks
+#   loom_ingest_pipeline_test the pipelined write path: the sealing thread's
+#                             SealEvent queue, drains, and concurrent readers
 #
 # Wired as a ctest (tsan_smoke) in the default build so `ctest` exercises it;
 # run manually from anywhere:
@@ -21,9 +23,10 @@ build="$repo/build-tsan"
 
 cmake --preset tsan -S "$repo" >/dev/null
 cmake --build "$build" --target loom_concurrency_test loom_parallel_query_test \
-  -j "$(nproc)"
+  loom_ingest_pipeline_test -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 "$build/tests/loom_concurrency_test"
 "$build/tests/loom_parallel_query_test"
+"$build/tests/loom_ingest_pipeline_test"
 echo "tsan smoke: OK"
