@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
 #include <sys/stat.h>
@@ -164,6 +165,33 @@ Status File::Sync() {
     return Status::IoError(ErrnoMessage("fdatasync", path_));
   }
   return Status::Ok();
+}
+
+Status File::RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename", from + " -> " + to));
+  }
+  return Status::Ok();
+}
+
+Status File::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(ErrnoMessage("unlink", path));
+  }
+  return Status::Ok();
+}
+
+Status File::SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open dir", dir));
+  }
+  Status st;
+  if (::fsync(fd) != 0) {
+    st = Status::IoError(ErrnoMessage("fsync dir", dir));
+  }
+  ::close(fd);
+  return st;
 }
 
 void File::Close() {

@@ -55,6 +55,17 @@ class File {
   Status PunchHole(uint64_t offset, uint64_t len);
   void Close();
 
+  // Atomically replaces `to` with `from` (rename(2)). Both paths must be on
+  // the same filesystem. The archive writers use this for crash-safe
+  // publication: write + fdatasync a ".tmp" sibling, rename onto the final
+  // path, then SyncDirectory the parent so the rename itself is durable.
+  static Status RenameFile(const std::string& from, const std::string& to);
+  // Unlinks `path`. Missing files are not an error (idempotent cleanup).
+  static Status RemoveFile(const std::string& path);
+  // fsyncs the directory at `dir` so recently created/renamed entries in it
+  // survive a crash.
+  static Status SyncDirectory(const std::string& dir);
+
  private:
   File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 

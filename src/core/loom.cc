@@ -5,6 +5,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <limits>
@@ -80,6 +81,41 @@ std::vector<std::pair<size_t, size_t>> MakeMorsels(size_t n, size_t workers) {
   return morsels;
 }
 
+// Per-source facts a zone map (chunk summary) states about one chunk, shared
+// by the archive-tier classification in the query operators. Mirrors the
+// entry sweeps in ProcessScanCandidate / ProcessAggregateCandidate.
+struct ZoneFacts {
+  bool has_presence = false;
+  uint64_t presence_count = 0;
+  uint64_t evaluated_count = 0;
+  bool bin_match = false;
+  TimestampNanos min_ts = 0;
+  TimestampNanos max_ts = 0;
+};
+
+ZoneFacts CollectZoneFacts(const ChunkSummary& s, uint32_t source_id, uint32_t index_id,
+                           uint32_t first_bin, uint32_t last_bin) {
+  ZoneFacts f;
+  for (const ChunkSummary::Entry& e : s.entries) {
+    if (e.source_id != source_id) {
+      continue;
+    }
+    if (e.index_id == kPresenceIndexId) {
+      f.has_presence = true;
+      f.presence_count = e.stats.count;
+      f.min_ts = e.stats.min_ts;
+      f.max_ts = e.stats.max_ts;
+    } else if (e.index_id == index_id) {
+      if (e.bin == kEvaluatedBin) {
+        f.evaluated_count = e.stats.count;
+      } else if (e.bin >= first_bin && e.bin <= last_bin) {
+        f.bin_match = true;
+      }
+    }
+  }
+  return f;
+}
+
 }  // namespace
 
 Status LoomOptions::Validate() {
@@ -98,6 +134,13 @@ Status LoomOptions::Validate() {
   }
   if (ts_marker_period == 0) {
     ts_marker_period = 1;
+  }
+  if (!archive_dir.empty() && !enable_chunk_index) {
+    return Status::InvalidArgument(
+        "archive_dir requires enable_chunk_index (zone maps are chunk summaries)");
+  }
+  if (demote_batch_chunks == 0) {
+    demote_batch_chunks = 1;
   }
   record_block_size = RoundUp(std::max(record_block_size, chunk_size), chunk_size);
   ts_index_block_size =
@@ -178,10 +221,14 @@ Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
   if (!ts_log.ok()) {
     return ts_log.status();
   }
-  return std::unique_ptr<Loom>(new Loom(opts, std::move(owned_metrics),
+  std::unique_ptr<Loom> engine(new Loom(opts, std::move(owned_metrics),
                                         std::move(record_log.value()),
                                         std::move(chunk_log.value()),
                                         std::move(ts_log.value())));
+  if (!opts.archive_dir.empty()) {
+    LOOM_RETURN_IF_ERROR(engine->InitTiering());
+  }
+  return engine;
 }
 
 Loom::Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_metrics,
@@ -224,6 +271,15 @@ Loom::~Loom() {
   // The sealing thread writes the chunk/ts logs and observes registry
   // histograms: stop it before anything it touches goes away.
   StopIngestPipeline();
+  // The demoter reads the logs and the catalog: join it before either dies.
+  if (demoter_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(demote_mu_);
+      demote_stop_.store(true, std::memory_order_relaxed);
+    }
+    demote_cv_.notify_all();
+    demoter_.join();
+  }
   // A shared registry (LoomOptions.metrics) outlives this engine; the hooks
   // capture `summary_cache_` / `query_pool_` / `prefetcher_` / `this` and
   // must go first.
@@ -238,6 +294,9 @@ Loom::~Loom() {
   }
   if (ingest_hook_id_ != 0) {
     metrics_->RemoveCollectionHook(ingest_hook_id_);
+  }
+  if (tier_hook_id_ != 0) {
+    metrics_->RemoveCollectionHook(tier_hook_id_);
   }
 }
 
@@ -325,6 +384,22 @@ void Loom::RegisterMetrics() {
         });
   }
   {
+    // Tiered-storage family. Demotion counters tick in the demoter; the
+    // per-query block counters fold from finished traces. Registered
+    // unconditionally (always zero without archive_dir) so exposition is
+    // stable across configurations; the catalog gauges join in InitTiering.
+    m_.tier_demoted_chunks = metrics_->AddCounter("loom_tier_demoted_chunks_total");
+    m_.tier_demoted_records = metrics_->AddCounter("loom_tier_demoted_records_total");
+    m_.tier_demoted_bytes = metrics_->AddCounter("loom_tier_demoted_bytes");
+    m_.tier_demote_failures = metrics_->AddCounter("loom_tier_demote_failures_total");
+    m_.tier_quarantined = metrics_->AddCounter("loom_tier_quarantined_total");
+    m_.tier_blocks_considered = metrics_->AddCounter("loom_tier_blocks_considered_total");
+    m_.tier_blocks_pruned = metrics_->AddCounter("loom_tier_blocks_pruned_total");
+    m_.tier_blocks_scanned = metrics_->AddCounter("loom_tier_blocks_scanned_total");
+    m_.tier_read_bytes = metrics_->AddCounter("loom_tier_read_bytes");
+    m_.tier_demote_seconds = metrics_->AddHistogram("loom_tier_demote_seconds");
+  }
+  {
     // Ingest-pipeline family. The cumulative counters live in the engine /
     // record log as writer-owned or pair-of-atomics state; a hook folds them
     // into gauges at each Snapshot(), mirroring the summary-cache pattern.
@@ -358,6 +433,14 @@ void Loom::FoldTraceIntoMetrics(const QueryTrace& trace, Histogram* op_hist) con
     m_.query_chunks_considered->Increment(trace.chunks_considered);
     m_.query_chunks_pruned->Increment(trace.chunks_pruned);
     m_.query_chunks_scanned->Increment(trace.chunks_scanned);
+  }
+  if (trace.tier_chunks_considered > 0) {
+    m_.tier_blocks_considered->Increment(trace.tier_chunks_considered);
+    m_.tier_blocks_pruned->Increment(trace.tier_chunks_pruned);
+    m_.tier_blocks_scanned->Increment(trace.tier_chunks_scanned);
+  }
+  if (trace.tier_bytes_read > 0) {
+    m_.tier_read_bytes->Increment(trace.tier_bytes_read);
   }
   if (trace.records_examined > 0) {
     m_.query_records_examined->Increment(trace.records_examined);
@@ -1127,6 +1210,311 @@ void Loom::MaybeInvalidateCacheForRetention(uint64_t floor) const {
   }
 }
 
+// --- Tiered storage -------------------------------------------------------------
+
+Status Loom::InitTiering() {
+  auto catalog = ArchiveCatalog::Open(options_.archive_dir, m_.tier_quarantined);
+  if (!catalog.ok()) {
+    return catalog.status();
+  }
+  catalog_ = std::move(catalog.value());
+  // Nothing may be dropped before it is archived: pin the retention barrier
+  // at 0 before ingest can advance the floor. Demotion moves it forward past
+  // each durable archive, turning retention from deletion into demotion.
+  record_log_->SetRetentionBarrier(0);
+  {
+    Gauge* archives = metrics_->AddGauge("loom_tier_archives");
+    Gauge* archived_chunks = metrics_->AddGauge("loom_tier_archived_chunks");
+    Gauge* archived_bytes = metrics_->AddGauge("loom_tier_archived_bytes");
+    Gauge* barrier = metrics_->AddGauge("loom_tier_retention_barrier_bytes");
+    ArchiveCatalog* cat = catalog_.get();
+    HybridLog* rec = record_log_.get();
+    tier_hook_id_ = metrics_->AddCollectionHook(
+        [cat, rec, archives, archived_chunks, archived_bytes, barrier] {
+          archives->Set(static_cast<double>(cat->archive_count()));
+          archived_chunks->Set(static_cast<double>(cat->total_blocks()));
+          archived_bytes->Set(static_cast<double>(cat->total_bytes()));
+          const uint64_t b = rec->retention_barrier();
+          barrier->Set(b == kNullAddr ? 0.0 : static_cast<double>(b));
+        });
+  }
+  if (options_.demote_interval_ms > 0) {
+    demoter_ = std::thread([this] { DemoterMain(); });
+  }
+  return Status::Ok();
+}
+
+void Loom::DemoterMain() {
+  std::unique_lock<std::mutex> lock(demote_mu_);
+  while (!demote_stop_.load(std::memory_order_relaxed)) {
+    demote_cv_.wait_for(lock, std::chrono::milliseconds(options_.demote_interval_ms), [this] {
+      return demote_stop_.load(std::memory_order_relaxed);
+    });
+    if (demote_stop_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    const bool timed = options_.enable_latency_metrics;
+    const uint64_t t0 = timed ? MetricsNowNanos() : 0;
+    if (!DemoteOnce().ok()) {
+      // Sticky failures would wedge tiering forever; the cursor did not
+      // advance, so the next pass simply retries the same chunks.
+      m_.tier_demote_failures->Increment();
+    }
+    if (timed) {
+      m_.tier_demote_seconds->ObserveNanos(MetricsNowNanos() - t0);
+    }
+  }
+}
+
+Status Loom::DemoteNow() {
+  if (catalog_ == nullptr) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(demote_mu_);
+  const bool timed = options_.enable_latency_metrics;
+  const uint64_t t0 = timed ? MetricsNowNanos() : 0;
+  Status st = DemoteOnce();
+  if (!st.ok()) {
+    m_.tier_demote_failures->Increment();
+  }
+  if (timed) {
+    m_.tier_demote_seconds->ObserveNanos(MetricsNowNanos() - t0);
+  }
+  return st;
+}
+
+size_t Loom::ArchiveCount() const {
+  return catalog_ != nullptr ? catalog_->archive_count() : 0;
+}
+
+Status Loom::DemoteOnce() {
+  // Candidate window: chunks wholly below both the desired retention floor
+  // (what retention would drop if the barrier let it) and the indexed
+  // watermark (a candidate needs its finalized summary as the zone map).
+  const uint64_t desired = record_log_->DesiredRetentionFloor();
+  const uint64_t indexed = published_indexed_tail_.load(std::memory_order_acquire);
+  const uint64_t limit = std::min(desired, indexed);
+  const uint64_t barrier = record_log_->retention_barrier();
+  if (limit == 0 || (barrier != kNullAddr && barrier >= limit)) {
+    return Status::Ok();  // nothing new below the floor
+  }
+
+  // Walk chunk-log frames from the cursor, decoding summaries until one
+  // reaches past the demotion limit or the batch fills. Frames are appended
+  // in chunk-address order, so the walk and the record log stay in step.
+  struct Demotable {
+    ChunkSummary summary;
+    uint64_t frame_end = 0;  // chunk-log address just past this frame
+  };
+  std::vector<Demotable> batch;
+  const uint64_t chunk_tail = chunk_log_->queryable_tail();
+  CachedLogReader reader(chunk_log_.get(), chunk_tail, kScanWindow);
+  const size_t bs = chunk_log_->block_size();
+  uint64_t addr = demote_cursor_;
+  while (batch.size() < options_.demote_batch_chunks && addr + 4 <= chunk_tail) {
+    auto len_bytes = reader.Fetch(addr, 4);
+    if (!len_bytes.ok()) {
+      return len_bytes.status();
+    }
+    const uint32_t len = LoadU32(len_bytes.value().data());
+    if (len == 0xFFFFFFFFu) {
+      addr = addr - (addr % bs) + bs;  // block padding
+      continue;
+    }
+    if (addr + 4 + len > chunk_tail) {
+      break;
+    }
+    auto body = reader.Fetch(addr + 4, len);
+    if (!body.ok()) {
+      return body.status();
+    }
+    auto summary = ChunkSummary::Decode(body.value());
+    if (!summary.ok()) {
+      return summary.status();
+    }
+    if (summary.value().chunk_addr + summary.value().chunk_len > limit) {
+      break;
+    }
+    addr += 4 + len;
+    batch.push_back({std::move(summary.value()), addr});
+  }
+  if (batch.empty()) {
+    return Status::Ok();
+  }
+
+  // Stage the archive under a ".tmp" name; one block per demoted chunk, the
+  // chunk's summary as its zone map, with the record-address column so
+  // queries reproduce hot-log RecordViews bit for bit.
+  char name[64];
+  std::snprintf(name, sizeof(name), "tier-%016llx.loomarc",
+                static_cast<unsigned long long>(batch.front().summary.chunk_addr));
+  const std::string path = catalog_->dir() + "/" + name;
+  auto writer = ArchiveWriter::Create(path);
+  if (!writer.ok()) {
+    return writer.status();
+  }
+  uint64_t demoted_records = 0;
+  uint64_t demoted_bytes = 0;
+  size_t blocks_appended = 0;
+  QueryTrace scratch;  // demotion reads stay out of the query metrics
+  std::vector<uint8_t> backing;
+  struct RecMeta {
+    uint32_t source_id;
+    TimestampNanos ts;
+    uint64_t addr;
+    size_t offset;
+    size_t len;
+  };
+  std::vector<RecMeta> metas;
+  std::vector<ArchiveRecord> records;
+  for (const Demotable& d : batch) {
+    const ChunkSummary& s = d.summary;
+    backing.clear();
+    metas.clear();
+    // Payloads are copied out of the scan window first (the span a callback
+    // sees dies with the next fetch); spans are rebuilt once `backing` has
+    // its final size.
+    LOOM_RETURN_IF_ERROR(ScanRecordRange(
+        s.chunk_addr, s.chunk_addr + s.chunk_len,
+        [&](const RecordView& view) -> bool {
+          metas.push_back(
+              {view.source_id, view.ts, view.addr, backing.size(), view.payload.size()});
+          backing.insert(backing.end(), view.payload.begin(), view.payload.end());
+          return true;
+        },
+        &scratch));
+    if (metas.empty()) {
+      continue;  // padding-only chunk: nothing to archive
+    }
+    records.clear();
+    records.reserve(metas.size());
+    for (const RecMeta& m : metas) {
+      records.push_back(
+          {m.source_id, m.ts, m.addr, std::span<const uint8_t>(backing.data() + m.offset, m.len)});
+    }
+    LOOM_RETURN_IF_ERROR(writer.value().AppendBlock(records, /*with_addrs=*/true, &s));
+    ++blocks_appended;
+    demoted_records += metas.size();
+    demoted_bytes += s.chunk_len;
+  }
+  if (blocks_appended > 0) {
+    // Seal + durable rename, then serve it, and only then let retention
+    // reclaim the hot copies: a crash anywhere in between loses no data.
+    LOOM_RETURN_IF_ERROR(writer.value().Finish().status());
+    LOOM_RETURN_IF_ERROR(catalog_->Register(path));
+  } else {
+    writer.value().Abort();  // all-padding batch: no archive needed
+  }
+  record_log_->SetRetentionBarrier(batch.back().summary.chunk_addr +
+                                   batch.back().summary.chunk_len);
+  record_log_->ApplyRetention();
+  demote_cursor_ = batch.back().frame_end;
+  m_.tier_demoted_chunks->Increment(blocks_appended);
+  m_.tier_demoted_records->Increment(demoted_records);
+  m_.tier_demoted_bytes->Increment(demoted_bytes);
+  return Status::Ok();
+}
+
+std::vector<Loom::ArchiveCandidate> Loom::PlanArchiveCandidates(uint64_t floor,
+                                                                TimeRange t_range,
+                                                                QueryTrace* trace) const {
+  std::vector<ArchiveCandidate> out;
+  if (catalog_ == nullptr || floor == 0) {
+    return out;
+  }
+  for (const std::shared_ptr<const ArchiveReader>& reader : catalog_->Snapshot()) {
+    ++trace->tier_archives_consulted;
+    for (size_t b = 0; b < reader->block_count(); ++b) {
+      const ChunkSummary& s = reader->block(b).summary;
+      if (s.chunk_addr + s.chunk_len > floor) {
+        continue;  // chunk still hot at plan time: the hot tier serves it
+      }
+      if (s.max_ts < t_range.start || s.min_ts > t_range.end) {
+        continue;  // time-disjoint, mirroring LoadCandidate's filter
+      }
+      out.push_back({reader, b, &s});
+    }
+  }
+  return out;
+}
+
+Status Loom::ScanArchiveBlockFor(const ArchiveCandidate& cand, uint32_t source_id,
+                                 TimeRange t_range,
+                                 const std::function<bool(const RecordView&)>& fn,
+                                 QueryTrace* trace) const {
+  const uint64_t scan_t0 = trace->detailed ? MetricsNowNanos() : 0;
+  uint64_t bytes = 0;
+  Status st = cand.reader->ScanBlock(
+      cand.block,
+      [&](const ArchiveRecord& rec) -> bool {
+        ++trace->records_examined;
+        if (rec.source_id != source_id || !t_range.Contains(rec.ts)) {
+          return true;
+        }
+        RecordView view;
+        view.source_id = rec.source_id;
+        view.ts = rec.ts;
+        view.addr = rec.addr;
+        view.payload = rec.payload;
+        return fn(view);
+      },
+      &bytes);
+  trace->bytes_read += bytes;
+  trace->tier_bytes_read += bytes;
+  if (trace->detailed) {
+    trace->scan_nanos += MetricsNowNanos() - scan_t0;
+  }
+  return st;
+}
+
+Status Loom::RawScanArchiveTier(uint32_t source_id, TimeRange t_range,
+                                const RecordCallback& cb, QueryTrace* trace) const {
+  if (catalog_ == nullptr) {
+    return Status::Ok();
+  }
+  const std::vector<ArchiveCandidate> archived =
+      PlanArchiveCandidates(record_log_->retained_floor(), t_range, trace);
+  for (size_t i = archived.size(); i-- > 0;) {
+    const ArchiveCandidate& a = archived[i];
+    ++trace->chunks_considered;
+    ++trace->tier_chunks_considered;
+    const ZoneFacts f = CollectZoneFacts(*a.summary, source_id, kPresenceIndexId, 1, 0);
+    if (!f.has_presence || f.max_ts < t_range.start || f.min_ts > t_range.end) {
+      ++trace->chunks_pruned;
+      ++trace->tier_chunks_pruned;
+      continue;
+    }
+    ++trace->chunks_scanned;
+    ++trace->tier_chunks_scanned;
+    // Blocks decode oldest-first; buffer one block's matches (bounded by a
+    // chunk) and emit them reversed.
+    std::vector<ChunkOutcome::Match> buffered;
+    LOOM_RETURN_IF_ERROR(ScanArchiveBlockFor(
+        a, source_id, t_range,
+        [&](const RecordView& view) -> bool {
+          ChunkOutcome::Match m;
+          m.ts = view.ts;
+          m.addr = view.addr;
+          m.payload.assign(view.payload.begin(), view.payload.end());
+          buffered.push_back(std::move(m));
+          return true;
+        },
+        trace));
+    for (size_t r = buffered.size(); r-- > 0;) {
+      RecordView view;
+      view.source_id = source_id;
+      view.ts = buffered[r].ts;
+      view.addr = buffered[r].addr;
+      view.payload = std::span<const uint8_t>(buffered[r].payload);
+      ++trace->records_matched;
+      if (!cb(view)) {
+        return Status::Ok();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status Loom::PlanCandidates(const Snapshot& snap, TimeRange t_range, CandidatePlan* plan,
                             QueryTrace* trace) const {
   plan->addrs.clear();
@@ -1511,11 +1899,26 @@ Status Loom::RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCall
     return Status::Ok();
   }
 
+  // Track whether the caller stopped the scan: archived records are only
+  // emitted after the hot walk ran to completion (they are strictly older
+  // than everything the walk delivered).
+  bool cb_stopped = false;
+  const RecordCallback hot_cb = [&](const RecordView& view) -> bool {
+    if (!cb(view)) {
+      cb_stopped = true;
+      return false;
+    }
+    return true;
+  };
+
   if (CanRunParallel()) {
     bool executed = false;
-    Status st = RawScanParallel(source_id, t_range, snap, start, cb, trace, &executed);
-    if (!st.ok() || executed) {
+    Status st = RawScanParallel(source_id, t_range, snap, start, hot_cb, trace, &executed);
+    if (!st.ok()) {
       return st;
+    }
+    if (executed) {
+      return cb_stopped ? Status::Ok() : RawScanArchiveTier(source_id, t_range, cb, trace);
     }
     // Not enough chain segments to be worth fanning out: fall through to the
     // serial walk.
@@ -1587,7 +1990,7 @@ Status Loom::RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCall
         view.addr = batch.addrs[i];
         view.payload = payload.value();
         ++trace->records_matched;
-        if (!cb(view)) {
+        if (!hot_cb(view)) {
           done = true;
           break;
         }
@@ -1609,7 +2012,7 @@ Status Loom::RawScanImpl(uint32_t source_id, TimeRange t_range, const RecordCall
   if (trace->detailed) {
     trace->scan_nanos += MetricsNowNanos() - scan_t0;
   }
-  return Status::Ok();
+  return cb_stopped ? Status::Ok() : RawScanArchiveTier(source_id, t_range, cb, trace);
 }
 
 Status Loom::RawScanParallel(uint32_t source_id, TimeRange t_range, const Snapshot& snap,
@@ -1881,6 +2284,43 @@ Status Loom::IndexedScanValuesImpl(uint32_t source_id, uint32_t index_id, TimeRa
     const size_t n = plan.size();
     const std::unique_ptr<ChunkPrefetcher::Job> ring = SubmitCandidatePrefetch(plan, snap);
 
+    // Archive tier first: demoted blocks hold strictly older data than any
+    // hot chunk, so emitting them first preserves the operator's global
+    // oldest-first order. Zone maps prune exactly like hot summaries.
+    for (const ArchiveCandidate& a :
+         PlanArchiveCandidates(record_log_->retained_floor(), t_range, trace)) {
+      ++trace->chunks_considered;
+      ++trace->tier_chunks_considered;
+      const ZoneFacts f = CollectZoneFacts(*a.summary, source_id, index_id, first_bin, last_bin);
+      const bool has_unindexed = f.evaluated_count < f.presence_count;
+      if (!f.has_presence || f.max_ts < t_range.start || f.min_ts > t_range.end ||
+          (!f.bin_match && !has_unindexed)) {
+        ++trace->chunks_pruned;
+        ++trace->tier_chunks_pruned;
+        continue;
+      }
+      ++trace->chunks_scanned;
+      ++trace->tier_chunks_scanned;
+      LOOM_RETURN_IF_ERROR(ScanArchiveBlockFor(
+          a, source_id, t_range,
+          [&](const RecordView& view) -> bool {
+            std::optional<double> value = func(view.payload);
+            if (!value.has_value() || !v_range.Contains(*value)) {
+              return true;
+            }
+            ++trace->records_matched;
+            if (!cb(*value, view)) {
+              stopped = true;
+              return false;
+            }
+            return true;
+          },
+          trace));
+      if (stopped) {
+        return Status::Ok();
+      }
+    }
+
     // Emits one processed candidate's buffered matches. Always runs on the
     // calling thread, strictly in candidate (= timestamp) order, so the
     // caller observes the exact serial delivery sequence. Returns false when
@@ -2082,7 +2522,7 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
     return true;
   };
 
-  std::vector<const ChunkSummary*>& fully_merged = out->fully_merged;
+  std::vector<BinAccumulation::MergedChunk>& fully_merged = out->fully_merged;
   std::vector<std::shared_ptr<const ChunkSummary>>& candidates = out->candidates;
 
   if (options_.enable_chunk_index) {
@@ -2092,6 +2532,64 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
     const std::unique_ptr<ChunkPrefetcher::Job> ring = SubmitCandidatePrefetch(plan, snap);
     std::vector<double> scan_vals;
     std::vector<uint32_t> scan_bins;
+
+    // Archive tier first: demoted blocks are strictly older than any hot
+    // chunk, so folding them first keeps the accumulation in global time
+    // order — bit-identical to what the same data produced before demotion.
+    std::vector<ArchiveCandidate>& archived = out->archive_candidates;
+    archived = PlanArchiveCandidates(record_log_->retained_floor(), t_range, trace);
+    for (size_t ai = 0; ai < archived.size(); ++ai) {
+      const ChunkSummary& s = *archived[ai].summary;
+      ++trace->chunks_considered;
+      ++trace->tier_chunks_considered;
+      const ZoneFacts f = CollectZoneFacts(s, source_id, index_id, 1, 0);
+      if (!f.has_presence || f.max_ts < t_range.start || f.min_ts > t_range.end) {
+        ++trace->chunks_pruned;
+        ++trace->tier_chunks_pruned;
+        continue;
+      }
+      const bool fully_covered = f.min_ts >= t_range.start && f.max_ts <= t_range.end;
+      if (fully_covered && f.evaluated_count == f.presence_count) {
+        for (const ChunkSummary::Entry& e : s.entries) {
+          if (e.source_id == source_id && e.index_id == index_id && e.bin != kEvaluatedBin) {
+            merged.Merge(e.stats);
+            bin_counts[e.bin] += e.stats.count;
+          }
+        }
+        fully_merged.push_back({&s, static_cast<int>(ai)});
+        ++trace->chunks_pruned;
+        ++trace->chunks_summary_folded;
+        ++trace->tier_chunks_pruned;
+        ++trace->tier_chunks_summary_folded;
+        continue;
+      }
+      ++trace->chunks_scanned;
+      ++trace->tier_chunks_scanned;
+      // Same collect-then-batch-classify shape as the hot scanned path, so
+      // bin assignment stays bit-exact across tiers.
+      std::vector<std::pair<double, TimestampNanos>> vals;
+      LOOM_RETURN_IF_ERROR(ScanArchiveBlockFor(
+          archived[ai], source_id, t_range,
+          [&](const RecordView& view) -> bool {
+            std::optional<double> value = func(view.payload);
+            if (value.has_value()) {
+              vals.emplace_back(*value, view.ts);
+            }
+            return true;
+          },
+          trace));
+      scan_vals.clear();
+      for (const auto& [value, ts] : vals) {
+        scan_vals.push_back(value);
+      }
+      scan_bins.resize(scan_vals.size());
+      spec.ClassifyBatch(*kernels_, scan_vals.data(), scan_vals.size(), scan_bins.data());
+      for (size_t i = 0; i < vals.size(); ++i) {
+        merged.Update(vals[i].first, vals[i].second);
+        bin_counts[scan_bins[i]]++;
+        loose_values.push_back(vals[i].first);
+      }
+    }
 
     // Folds one processed outcome into the accumulation. Always runs on the
     // coordinator, strictly in candidate (= log) order: partial aggregates
@@ -2114,7 +2612,7 @@ Status Loom::AccumulateIndexed(uint32_t source_id, uint32_t index_id, const Inde
             }
           }
           candidates.push_back(o.summary);
-          fully_merged.push_back(candidates.back().get());
+          fully_merged.push_back({candidates.back().get(), -1});
           // Answered from summary bins alone: pruned from record reads. The
           // percentile path may still rescan some of these in stage 2, which
           // reclassifies them (see IndexedAggregateImpl).
@@ -2263,6 +2761,30 @@ Result<uint64_t> Loom::CountRecordsImpl(uint32_t source_id, TimeRange t_range,
   }
   std::vector<std::shared_ptr<const ChunkSummary>> candidates;
   LOOM_RETURN_IF_ERROR(CollectCandidateSummaries(snap, t_range, candidates, trace));
+  // Archive tier: fully-covered demoted blocks answer straight from their
+  // zone maps; partially-covered ones decompress and count.
+  for (const ArchiveCandidate& a :
+       PlanArchiveCandidates(record_log_->retained_floor(), t_range, trace)) {
+    ++trace->chunks_considered;
+    ++trace->tier_chunks_considered;
+    const ZoneFacts f = CollectZoneFacts(*a.summary, source_id, kPresenceIndexId, 1, 0);
+    if (!f.has_presence || f.max_ts < t_range.start || f.min_ts > t_range.end) {
+      ++trace->chunks_pruned;
+      ++trace->tier_chunks_pruned;
+      continue;
+    }
+    if (f.min_ts >= t_range.start && f.max_ts <= t_range.end) {
+      count += f.presence_count;
+      ++trace->chunks_pruned;
+      ++trace->chunks_summary_folded;
+      ++trace->tier_chunks_pruned;
+      ++trace->tier_chunks_summary_folded;
+      continue;
+    }
+    ++trace->chunks_scanned;
+    ++trace->tier_chunks_scanned;
+    LOOM_RETURN_IF_ERROR(ScanArchiveBlockFor(a, source_id, t_range, count_scan, trace));
+  }
   for (const auto& candidate : candidates) {
     const ChunkSummary& s = *candidate;
     ++trace->chunks_considered;
@@ -2363,7 +2885,7 @@ Result<double> Loom::IndexedAggregateImpl(uint32_t source_id, uint32_t index_id,
   BinStats& merged = acc.merged;
   std::vector<uint64_t>& bin_counts = acc.bin_counts;
   std::vector<double>& loose_values = acc.loose_values;
-  std::vector<const ChunkSummary*>& fully_merged = acc.fully_merged;
+  std::vector<BinAccumulation::MergedChunk>& fully_merged = acc.fully_merged;
 
   switch (method) {
     case AggregateMethod::kCount:
@@ -2423,12 +2945,17 @@ Result<double> Loom::IndexedAggregateImpl(uint32_t source_id, uint32_t index_id,
   }
   // Stage 2: the summaries did not settle these chunks after all — read their
   // records to materialize the target bin. Reclassify so the trace invariant
-  // (pruned + scanned == considered) keeps holding.
-  std::vector<const ChunkSummary*> rescan;
-  for (const ChunkSummary* mc : fully_merged) {
-    for (const ChunkSummary::Entry& e : mc->entries) {
+  // (pruned + scanned == considered) keeps holding, in the tier_* family too
+  // for chunks whose records now live in the archive.
+  std::vector<BinAccumulation::MergedChunk> rescan;
+  size_t rescan_archived = 0;
+  for (const BinAccumulation::MergedChunk& mc : fully_merged) {
+    for (const ChunkSummary::Entry& e : mc.summary->entries) {
       if (e.source_id == source_id && e.index_id == index_id && e.bin == target_bin) {
         rescan.push_back(mc);
+        if (mc.archive_ref >= 0) {
+          ++rescan_archived;
+        }
         break;
       }
     }
@@ -2436,47 +2963,61 @@ Result<double> Loom::IndexedAggregateImpl(uint32_t source_id, uint32_t index_id,
   trace->chunks_pruned -= rescan.size();
   trace->chunks_summary_folded -= rescan.size();
   trace->chunks_scanned += rescan.size();
+  trace->tier_chunks_pruned -= rescan_archived;
+  trace->tier_chunks_summary_folded -= rescan_archived;
+  trace->tier_chunks_scanned += rescan_archived;
   // Stage-2 chunks are known exactly (decoded summaries in hand), so the
   // prefetch ring gets precise ranges — no derivation, no verification miss.
+  // Archived rescans stream from their archives instead, so the ring only
+  // runs when every rescan chunk is hot (slot indexes must line up).
   std::unique_ptr<ChunkPrefetcher::Job> stage2_ring;
-  if (options_.prefetch_depth > 0 && rescan.size() >= 2) {
+  if (options_.prefetch_depth > 0 && rescan.size() >= 2 && rescan_archived == 0) {
     std::vector<ChunkPrefetcher::Range> ranges;
     ranges.reserve(rescan.size());
-    for (const ChunkSummary* mc : rescan) {
-      const uint64_t end = std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
-      ranges.push_back({mc->chunk_addr,
-                        static_cast<uint32_t>(end > mc->chunk_addr ? end - mc->chunk_addr : 0)});
+    for (const BinAccumulation::MergedChunk& mc : rescan) {
+      const uint64_t end =
+          std::min<uint64_t>(mc.summary->chunk_addr + mc.summary->chunk_len, snap.record_tail);
+      ranges.push_back({mc.summary->chunk_addr,
+                        static_cast<uint32_t>(end > mc.summary->chunk_addr
+                                                  ? end - mc.summary->chunk_addr
+                                                  : 0)});
     }
     stage2_ring = prefetcher_.Submit(record_log_.get(), std::move(ranges),
                                      options_.prefetch_depth);
   }
   std::vector<std::vector<double>> chunk_values(rescan.size());
   auto scan_chunk = [&](size_t i, QueryTrace* t) -> Status {
-    const ChunkSummary* mc = rescan[i];
-    const uint64_t end = std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
-    std::optional<std::vector<uint8_t>> pre;
-    if (stage2_ring != nullptr) {
-      pre = stage2_ring->Take(i);
-    }
-    std::span<const uint8_t> preloaded;
-    if (pre.has_value() && end > mc->chunk_addr && pre->size() >= end - mc->chunk_addr) {
-      preloaded =
-          std::span<const uint8_t>(pre->data(), static_cast<size_t>(end - mc->chunk_addr));
-    }
+    const BinAccumulation::MergedChunk& mchunk = rescan[i];
     // Collect the chunk's extracted values, then classify them in one kernel
     // pass; order (and therefore nth_element input) matches the per-record
     // BinOf filter exactly.
     std::vector<double> vals;
-    Status st = ScanRecordRangeFor(
-        mc->chunk_addr, end, source_id, t_range, preloaded,
-        [&](const RecordView& view) -> bool {
-          std::optional<double> value = func(view.payload);
-          if (value.has_value()) {
-            vals.push_back(*value);
-          }
-          return true;
-        },
-        t);
+    auto collect = [&](const RecordView& view) -> bool {
+      std::optional<double> value = func(view.payload);
+      if (value.has_value()) {
+        vals.push_back(*value);
+      }
+      return true;
+    };
+    Status st;
+    if (mchunk.archive_ref >= 0) {
+      st = ScanArchiveBlockFor(
+          acc.archive_candidates[static_cast<size_t>(mchunk.archive_ref)], source_id, t_range,
+          collect, t);
+    } else {
+      const ChunkSummary* mc = mchunk.summary;
+      const uint64_t end = std::min<uint64_t>(mc->chunk_addr + mc->chunk_len, snap.record_tail);
+      std::optional<std::vector<uint8_t>> pre;
+      if (stage2_ring != nullptr) {
+        pre = stage2_ring->Take(i);
+      }
+      std::span<const uint8_t> preloaded;
+      if (pre.has_value() && end > mc->chunk_addr && pre->size() >= end - mc->chunk_addr) {
+        preloaded =
+            std::span<const uint8_t>(pre->data(), static_cast<size_t>(end - mc->chunk_addr));
+      }
+      st = ScanRecordRangeFor(mc->chunk_addr, end, source_id, t_range, preloaded, collect, t);
+    }
     if (!st.ok()) {
       return st;
     }

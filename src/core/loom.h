@@ -33,6 +33,7 @@
 #define SRC_CORE_LOOM_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,6 +59,7 @@
 #include "src/index/histogram.h"
 #include "src/index/summary_cache.h"
 #include "src/index/timestamp_index.h"
+#include "src/tier/catalog.h"
 
 namespace loom {
 
@@ -86,6 +88,24 @@ struct LoomOptions {
   // floor return the retained suffix of the data. Index logs are small and
   // always retained in full.
   uint64_t record_retain_bytes = 0;
+
+  // --- Tiered storage (cold archive tier) ---------------------------------
+
+  // When set, retention demotes instead of deletes: a background tiering
+  // service archives chunks below the desired retention floor into
+  // crash-safe LOOMEXP1 archives (with per-block zone-map footers) under
+  // this directory, and queries transparently federate over both tiers.
+  // Requires enable_chunk_index (the zone maps are chunk summaries). Empty
+  // (the default) keeps the lossy drop-on-retention behavior.
+  std::string archive_dir;
+
+  // Demotion cadence of the background tiering thread. 0 (the default)
+  // disables the thread: demotion then runs only through explicit
+  // DemoteNow() calls — the deterministic mode tests and replay tools use.
+  uint64_t demote_interval_ms = 0;
+
+  // At most this many chunks move into one archive per demotion pass.
+  size_t demote_batch_chunks = 64;
 
   // Ablation switches (§6.4, Figure 16). Production leaves both on.
   bool enable_chunk_index = true;
@@ -317,6 +337,19 @@ class Loom {
                                                  TimeRange t_range,
                                                  QueryTrace* trace = nullptr) const;
 
+  // --- Tiered storage (any thread) -----------------------------------------
+
+  // Runs one demotion pass synchronously: chunks wholly below both the
+  // desired retention floor and the indexed watermark are archived (at most
+  // options().demote_batch_chunks of them), the retention barrier advances
+  // past the durable archive, and the demoted hot bytes are reclaimed.
+  // No-op without archive_dir. Passes are serialized internally, so this is
+  // safe concurrently with the background demoter.
+  Status DemoteNow();
+
+  // Sealed archives currently served by the query tier.
+  size_t ArchiveCount() const;
+
   // --- Introspection -------------------------------------------------------
 
   // The histogram spec of a defined index (copies; safe from any thread).
@@ -543,6 +576,46 @@ class Loom {
                                    std::vector<std::shared_ptr<const ChunkSummary>>& out,
                                    QueryTrace* trace) const;
 
+  // --- Tiered storage internals (archive_dir set) --------------------------
+
+  // One archived block a query may have to consult: the zone map points into
+  // the reader's footer, and the shared reader keeps it alive for the whole
+  // query even if the catalog grows concurrently.
+  struct ArchiveCandidate {
+    std::shared_ptr<const ArchiveReader> reader;
+    size_t block = 0;
+    const ChunkSummary* summary = nullptr;  // zone map, owned by `reader`
+  };
+  // Collects archived blocks overlapping `t_range` whose chunks sit wholly
+  // below `floor` (the hot retention floor snapshotted at plan time), in
+  // demotion (= hot-log address, = time) order. Blocks at or above the floor
+  // are excluded — the hot tier still serves those chunks, so the two tiers
+  // never double-deliver. Counts consulted archives into `trace`.
+  std::vector<ArchiveCandidate> PlanArchiveCandidates(uint64_t floor, TimeRange t_range,
+                                                      QueryTrace* trace) const;
+  // Decompresses one archived block and streams its records filtered by
+  // (source_id, t_range), reproducing the original hot-log RecordViews from
+  // the stored address column. Accounts examined records and compressed
+  // bytes (bytes_read and tier_bytes_read) into `trace`.
+  Status ScanArchiveBlockFor(const ArchiveCandidate& cand, uint32_t source_id,
+                             TimeRange t_range,
+                             const std::function<bool(const RecordView&)>& fn,
+                             QueryTrace* trace) const;
+  // Archive-tier continuation of RawScan, run after the hot backward walk:
+  // emits matching archived records newest block first, records within each
+  // block reversed, so the overall delivery stays newest-first. Blocks are
+  // pruned by zone-map presence and counted into both the main chunks_* and
+  // the tier_* trace families.
+  Status RawScanArchiveTier(uint32_t source_id, TimeRange t_range, const RecordCallback& cb,
+                            QueryTrace* trace) const;
+  // Opens the catalog (startup sweep included), pins the retention barrier
+  // at 0 so nothing is dropped before it is archived, registers the tier
+  // gauges, and starts the background demoter when demote_interval_ms > 0.
+  Status InitTiering();
+  void DemoterMain();
+  // One demotion pass body. Caller holds demote_mu_.
+  Status DemoteOnce();
+
   // Shared accumulation phase of IndexedAggregate / IndexedHistogram: folds
   // chunk summaries where possible and scans partial/unindexed/active data.
   struct BinAccumulation {
@@ -554,10 +627,18 @@ class Loom {
     // Collected once per query; the percentile path reuses this vector for
     // its second (target-bin materialization) stage instead of re-reading.
     std::vector<std::shared_ptr<const ChunkSummary>> candidates;
+    // Archived blocks this query consulted (readers keep zone maps alive).
+    std::vector<ArchiveCandidate> archive_candidates;
     // Candidates folded purely from summary bins (percentile stage 2 rescans
-    // only these when their bins hold the target rank). Point into
-    // `candidates`, which keeps them alive.
-    std::vector<const ChunkSummary*> fully_merged;
+    // only these when their bins hold the target rank). `summary` points
+    // into `candidates` or an `archive_candidates` footer; `archive_ref`
+    // says which tier a stage-2 rescan must read (-1 = hot record log,
+    // otherwise an index into archive_candidates).
+    struct MergedChunk {
+      const ChunkSummary* summary = nullptr;
+      int archive_ref = -1;
+    };
+    std::vector<MergedChunk> fully_merged;
   };
   Status AccumulateIndexed(uint32_t source_id, uint32_t index_id, const IndexSnapshot& idx,
                            TimeRange t_range, BinAccumulation* out, QueryTrace* trace) const;
@@ -639,6 +720,18 @@ class Loom {
   // reads the record log, so it must be destroyed first.
   mutable ChunkPrefetcher prefetcher_;
 
+  // Tiered storage (null unless archive_dir is set). The demoter thread is
+  // the only writer of archives; queries snapshot the catalog and read
+  // sealed archives lock-free of it. demote_mu_ serializes demotion passes
+  // (background thread and DemoteNow callers) and guards demote_cursor_.
+  std::unique_ptr<ArchiveCatalog> catalog_;
+  std::thread demoter_;
+  std::atomic<bool> demote_stop_{false};
+  std::condition_variable demote_cv_;
+  mutable std::mutex demote_mu_;
+  // Next chunk-log frame address to consider for demotion.
+  uint64_t demote_cursor_ = 0;
+
   // Decoded chunk-summary cache (null when disabled). Query threads only.
   std::unique_ptr<SummaryCache> summary_cache_;
   // Highest record-log retention floor already pushed to the cache.
@@ -703,6 +796,18 @@ class Loom {
     Counter* ingest_chunks_sealed = nullptr;      // seals routed to the pipeline
     Histogram* ingest_finalize_seconds = nullptr; // per applied chunk seal
     Gauge* ingest_finalize_stall = nullptr;       // cumulative ingest-side stall secs
+    // Tiered storage. Demotion counters tick per demoted chunk; the block
+    // counters fold from finished QueryTraces (tier_* fields).
+    Counter* tier_demoted_chunks = nullptr;
+    Counter* tier_demoted_records = nullptr;
+    Counter* tier_demoted_bytes = nullptr;
+    Counter* tier_demote_failures = nullptr;
+    Counter* tier_quarantined = nullptr;
+    Counter* tier_blocks_considered = nullptr;
+    Counter* tier_blocks_pruned = nullptr;
+    Counter* tier_blocks_scanned = nullptr;
+    Counter* tier_read_bytes = nullptr;
+    Histogram* tier_demote_seconds = nullptr;  // per demotion pass
   };
   CoreMetrics m_;
   // Collection hooks refreshing the summary-cache and pool gauges; removed in
@@ -711,6 +816,7 @@ class Loom {
   uint64_t pool_hook_id_ = 0;
   uint64_t prefetch_hook_id_ = 0;
   uint64_t ingest_hook_id_ = 0;
+  uint64_t tier_hook_id_ = 0;
   // Writer-local sampling counter for the 1-in-64 Push latency timer.
   uint64_t push_sample_tick_ = 0;
 

@@ -13,6 +13,13 @@
 // folded directly into the aggregate), and "scanned" when its record data
 // had to be read.
 //
+// The invariant holds ACROSS TIERS: archived blocks consulted through the
+// tier catalog count into the same chunks_* totals (an archive block is one
+// demoted chunk, classified by its zone map exactly like a hot summary), and
+// additionally into the tier_* counters below — which obey the same
+// tier_chunks_pruned + tier_chunks_scanned == tier_chunks_considered
+// equation, so the hot-only share is recoverable by subtraction.
+//
 // The engine also folds each finished trace into the metrics registry
 // (loom_query_* counters and per-operator latency histograms), so the
 // aggregate picture is available from the daemon's exposition endpoint even
@@ -40,6 +47,17 @@ struct QueryTrace {
 
   uint64_t cache_hits = 0;    // decoded-summary cache
   uint64_t cache_misses = 0;
+
+  // Archive tier (all zero when no archived data was consulted). These are
+  // subsets of the chunks_* / bytes totals above, not additions to them:
+  // tier_bytes_read counts compressed archive bytes fetched, included in
+  // bytes_read.
+  uint64_t tier_archives_consulted = 0;     // archives whose zone maps were read
+  uint64_t tier_chunks_considered = 0;      // archived blocks examined
+  uint64_t tier_chunks_pruned = 0;          // settled by the zone map alone
+  uint64_t tier_chunks_summary_folded = 0;  // subset of tier pruned
+  uint64_t tier_chunks_scanned = 0;         // blocks decompressed + decoded
+  uint64_t tier_bytes_read = 0;
 
   // Parallel execution (0 when the query ran serially). `parallel_workers`
   // counts distinct threads — pool workers plus the calling thread — that
@@ -75,7 +93,16 @@ struct QueryTrace {
          " matched=" + std::to_string(records_matched) +
          " bytes=" + std::to_string(bytes_read) +
          " cache_hit=" + std::to_string(cache_hits) + "/" +
-         std::to_string(cache_hits + cache_misses) +
+         std::to_string(cache_hits + cache_misses);
+    if (tier_archives_consulted > 0 || tier_chunks_considered > 0) {
+      s += " tier_archives=" + std::to_string(tier_archives_consulted) +
+           " tier_chunks=" + std::to_string(tier_chunks_considered) +
+           " tier_pruned=" + std::to_string(tier_chunks_pruned) +
+           " tier_folded=" + std::to_string(tier_chunks_summary_folded) +
+           " tier_scanned=" + std::to_string(tier_chunks_scanned) +
+           " tier_bytes=" + std::to_string(tier_bytes_read);
+    }
+    s +=
          " morsels=" + std::to_string(parallel_morsels) + "x" +
          std::to_string(parallel_workers) +
          " plan_us=" + std::to_string(plan_nanos / 1000) +

@@ -1,44 +1,22 @@
 #include "src/export/exporter.h"
 
 #include <algorithm>
-#include <cstring>
-
-#include "src/common/codec.h"
-#include "src/common/file.h"
-#include "src/export/codec.h"
+#include <cstdint>
+#include <span>
+#include <utility>
 
 namespace loom {
 
 namespace {
 
-constexpr char kMagic[8] = {'L', 'O', 'O', 'M', 'E', 'X', 'P', '1'};
 constexpr size_t kRecordsPerBlock = 4096;
 
 struct PendingRecord {
   uint32_t source_id;
   TimestampNanos ts;
+  uint64_t addr;  // record-log address: the arrival-order tiebreak
   std::vector<uint8_t> payload;
 };
-
-void EncodeBlock(const std::vector<PendingRecord>& records, size_t begin, size_t end,
-                 std::vector<uint8_t>& raw) {
-  raw.clear();
-  TimestampNanos prev_ts = 0;
-  for (size_t i = begin; i < end; ++i) {
-    PutVarint(raw, ZigZagEncode(static_cast<int64_t>(records[i].ts) -
-                                static_cast<int64_t>(prev_ts)));
-    prev_ts = records[i].ts;
-  }
-  for (size_t i = begin; i < end; ++i) {
-    PutVarint(raw, records[i].source_id);
-  }
-  for (size_t i = begin; i < end; ++i) {
-    PutVarint(raw, records[i].payload.size());
-  }
-  for (size_t i = begin; i < end; ++i) {
-    raw.insert(raw.end(), records[i].payload.begin(), records[i].payload.end());
-  }
-}
 
 }  // namespace
 
@@ -53,6 +31,7 @@ Result<ExportStats> ExportTimeRange(const Loom& engine, const std::vector<uint32
       PendingRecord rec;
       rec.source_id = r.source_id;
       rec.ts = r.ts;
+      rec.addr = r.addr;
       rec.payload.assign(r.payload.begin(), r.payload.end());
       records.push_back(std::move(rec));
       return true;
@@ -61,140 +40,53 @@ Result<ExportStats> ExportTimeRange(const Loom& engine, const std::vector<uint32
       return st;
     }
   }
+  // Arrival timestamps are not unique across sources (or even within one when
+  // the clock is coarse); the record-log address is the true ingest sequence,
+  // so equal stamps sort by address rather than by whichever source was
+  // scanned first.
   std::stable_sort(records.begin(), records.end(),
-                   [](const PendingRecord& a, const PendingRecord& b) { return a.ts < b.ts; });
+                   [](const PendingRecord& a, const PendingRecord& b) {
+                     if (a.ts != b.ts) {
+                       return a.ts < b.ts;
+                     }
+                     return a.addr < b.addr;
+                   });
 
-  auto file = File::CreateTruncate(path);
-  if (!file.ok()) {
-    return file.status();
+  // The tier ArchiveWriter stages in `path` + ".tmp" and renames on Finish;
+  // every error path below aborts the writer (or its destructor does), so a
+  // failed export leaves nothing at the final path.
+  auto writer = ArchiveWriter::Create(path);
+  if (!writer.ok()) {
+    return writer.status();
   }
-  uint64_t offset = 0;
-  Status st = file->PWriteAll(
-      offset, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(kMagic), 8));
-  if (!st.ok()) {
-    return st;
-  }
-  offset += 8;
 
   ExportStats stats;
   stats.records = records.size();
-  std::vector<uint8_t> raw;
-  std::vector<uint8_t> compressed;
-  std::vector<uint8_t> block;
+  std::vector<ArchiveRecord> block;
   for (size_t begin = 0; begin < records.size(); begin += kRecordsPerBlock) {
     const size_t end = std::min(records.size(), begin + kRecordsPerBlock);
-    EncodeBlock(records, begin, end, raw);
-    compressed.clear();
-    RleCompress(raw, compressed);
     block.clear();
-    PutU32(block, static_cast<uint32_t>(end - begin));
-    PutU32(block, static_cast<uint32_t>(raw.size()));
-    PutU32(block, static_cast<uint32_t>(compressed.size()));
-    block.insert(block.end(), compressed.begin(), compressed.end());
-    st = file->PWriteAll(offset, block);
+    for (size_t i = begin; i < end; ++i) {
+      ArchiveRecord rec;
+      rec.source_id = records[i].source_id;
+      rec.ts = records[i].ts;
+      rec.payload = std::span<const uint8_t>(records[i].payload);
+      block.push_back(rec);
+    }
+    // No address column and no zone maps: plain exports stay byte-identical
+    // to the legacy v1 format.
+    Status st = writer.value().AppendBlock(block, /*with_addrs=*/false, nullptr);
     if (!st.ok()) {
       return st;
     }
-    offset += block.size();
-    stats.raw_bytes += raw.size();
   }
-  stats.archived_bytes = offset;
+  stats.raw_bytes = writer.value().raw_bytes();
+  auto archived = writer.value().Finish();
+  if (!archived.ok()) {
+    return archived.status();
+  }
+  stats.archived_bytes = archived.value();
   return stats;
-}
-
-Result<ArchiveReader> ArchiveReader::Open(const std::string& path) {
-  auto file = File::OpenReadOnly(path);
-  if (!file.ok()) {
-    return file.status();
-  }
-  auto size = file->Size();
-  if (!size.ok()) {
-    return size.status();
-  }
-  std::vector<uint8_t> bytes(size.value());
-  if (!bytes.empty()) {
-    Status st = file->PReadAll(0, bytes);
-    if (!st.ok()) {
-      return st;
-    }
-  }
-  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 8) != 0) {
-    return Status::DataLoss("not a loom export archive");
-  }
-  return ArchiveReader(std::move(bytes));
-}
-
-Status ArchiveReader::Scan(const RecordCallback& cb) const {
-  size_t offset = 8;
-  std::vector<uint8_t> raw;
-  while (offset < bytes_.size()) {
-    if (offset + 12 > bytes_.size()) {
-      return Status::DataLoss("truncated block header");
-    }
-    const uint32_t count = GetU32(bytes_, offset);
-    const uint32_t raw_len = GetU32(bytes_, offset + 4);
-    const uint32_t compressed_len = GetU32(bytes_, offset + 8);
-    offset += 12;
-    // Sanity bounds: a corrupt header must not drive huge allocations. The
-    // writer produces blocks of at most kRecordsPerBlock records, far below
-    // this cap.
-    constexpr uint32_t kMaxBlockBytes = 256u << 20;
-    if (raw_len > kMaxBlockBytes || count > (1u << 24)) {
-      return Status::DataLoss("implausible block header");
-    }
-    if (offset + compressed_len > bytes_.size()) {
-      return Status::DataLoss("truncated block payload");
-    }
-    raw.clear();
-    raw.reserve(raw_len);
-    LOOM_RETURN_IF_ERROR(RleDecompress(
-        std::span<const uint8_t>(bytes_.data() + offset, compressed_len), raw, raw_len));
-    offset += compressed_len;
-    if (raw.size() != raw_len) {
-      return Status::DataLoss("block decompressed to unexpected size");
-    }
-
-    // Columnar decode.
-    size_t pos = 0;
-    std::vector<TimestampNanos> stamps(count);
-    TimestampNanos prev = 0;
-    for (uint32_t i = 0; i < count; ++i) {
-      auto delta = GetVarint(raw, &pos);
-      if (!delta.ok()) {
-        return delta.status();
-      }
-      prev = static_cast<TimestampNanos>(static_cast<int64_t>(prev) +
-                                         ZigZagDecode(delta.value()));
-      stamps[i] = prev;
-    }
-    std::vector<uint32_t> source_ids(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      auto id = GetVarint(raw, &pos);
-      if (!id.ok()) {
-        return id.status();
-      }
-      source_ids[i] = static_cast<uint32_t>(id.value());
-    }
-    std::vector<uint32_t> lengths(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      auto len = GetVarint(raw, &pos);
-      if (!len.ok()) {
-        return len.status();
-      }
-      lengths[i] = static_cast<uint32_t>(len.value());
-    }
-    for (uint32_t i = 0; i < count; ++i) {
-      if (pos + lengths[i] > raw.size()) {
-        return Status::DataLoss("truncated payload column");
-      }
-      if (!cb(source_ids[i], stamps[i],
-              std::span<const uint8_t>(raw.data() + pos, lengths[i]))) {
-        return Status::Ok();
-      }
-      pos += lengths[i];
-    }
-  }
-  return Status::Ok();
 }
 
 }  // namespace loom

@@ -7,28 +7,27 @@
 // (the paper suggests HDFS/Kafka as destinations; the archive here is a
 // self-contained file).
 //
-// Archive layout:
-//   "LOOMEXP1" magic (8 bytes)
-//   blocks until EOF, each:
-//     u32 record_count | u32 raw_len | u32 compressed_len | RLE payload
-//   Block payload (before RLE), columnar:
-//     varint zigzag-delta timestamps (vs previous record, first vs 0)
-//     varint source ids
-//     varint payload lengths
-//     raw payload bytes, concatenated
+// The archive format (and the reader for it) lives in src/tier/archive.h:
+// exports write the legacy footerless LOOMEXP1 layout, byte-identical to the
+// original v1 exporter, and are read back with loom::ArchiveReader. Writes go
+// through the tier ArchiveWriter, so an export is staged in `path` + ".tmp",
+// made durable, and atomically renamed — an interrupted or failed export
+// never leaves a partial archive at the final path.
 //
-// Timestamps are Loom arrival timestamps; records appear in arrival order.
+// Timestamps are Loom arrival timestamps; records appear in arrival order
+// (ties between equal timestamps broken by ingest sequence, i.e. record-log
+// address).
 
 #ifndef SRC_EXPORT_EXPORTER_H_
 #define SRC_EXPORT_EXPORTER_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/core/loom.h"
+#include "src/tier/archive.h"
 
 namespace loom {
 
@@ -43,23 +42,6 @@ struct ExportStats {
 // normal snapshot read path, so ingest continues undisturbed.
 Result<ExportStats> ExportTimeRange(const Loom& engine, const std::vector<uint32_t>& sources,
                                     TimeRange t_range, const std::string& path);
-
-// Streams an archive back out, in the order it was written.
-class ArchiveReader {
- public:
-  using RecordCallback =
-      std::function<bool(uint32_t source_id, TimestampNanos ts, std::span<const uint8_t>)>;
-
-  static Result<ArchiveReader> Open(const std::string& path);
-
-  // Scans the whole archive. Returns DataLoss on corruption.
-  Status Scan(const RecordCallback& cb) const;
-
- private:
-  explicit ArchiveReader(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
-
-  std::vector<uint8_t> bytes_;
-};
 
 }  // namespace loom
 

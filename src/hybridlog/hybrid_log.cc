@@ -245,17 +245,46 @@ void HybridLog::FlusherMain() {
       // re-validate after copying), so a concurrent punch is never served as
       // data.
       if (options_.retain_bytes > 0) {
-        const uint64_t tail_now = (last + 1) * bs;
-        if (tail_now > options_.retain_bytes) {
-          const uint64_t new_floor = (tail_now - options_.retain_bytes) / bs * bs;
-          const uint64_t old_floor = retained_floor_.load(std::memory_order_relaxed);
-          if (new_floor > old_floor) {
-            retained_floor_.store(new_floor, std::memory_order_release);
-            (void)file_.PunchHole(old_floor, new_floor - old_floor);
-          }
-        }
+        AdvanceRetention((last + 1) * bs);
       }
     }
+  }
+}
+
+uint64_t HybridLog::DesiredRetentionFloor() const {
+  if (options_.retain_bytes == 0) {
+    return 0;
+  }
+  const uint64_t flushed = flushed_bytes_.load(std::memory_order_acquire);
+  if (flushed <= options_.retain_bytes) {
+    return 0;
+  }
+  const uint64_t bs = options_.block_size;
+  return (flushed - options_.retain_bytes) / bs * bs;
+}
+
+void HybridLog::ApplyRetention() {
+  if (options_.retain_bytes == 0) {
+    return;
+  }
+  AdvanceRetention(flushed_bytes_.load(std::memory_order_acquire));
+}
+
+void HybridLog::AdvanceRetention(uint64_t tail_now) {
+  if (tail_now <= options_.retain_bytes) {
+    return;
+  }
+  const uint64_t bs = options_.block_size;
+  uint64_t new_floor = (tail_now - options_.retain_bytes) / bs * bs;
+  const uint64_t barrier = retention_barrier_.load(std::memory_order_acquire);
+  if (barrier != kNullAddr) {
+    new_floor = std::min(new_floor, barrier / bs * bs);
+  }
+  std::lock_guard<std::mutex> lock(retention_mu_);
+  const uint64_t old_floor = retained_floor_.load(std::memory_order_relaxed);
+  if (new_floor > old_floor) {
+    retained_floor_.store(new_floor, std::memory_order_release);
+    (void)file_.PunchHole(old_floor, new_floor - old_floor);
   }
 }
 

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -148,6 +149,27 @@ class HybridLog {
   // below this fail with OutOfRange.
   uint64_t retained_floor() const { return retained_floor_.load(std::memory_order_acquire); }
 
+  // --- Tiered retention (any thread) -------------------------------------
+  // Retention never drops bytes at or above `barrier`: the applied floor is
+  // min(computed floor, barrier rounded down to a block). kNullAddr (the
+  // default) leaves retention unrestricted. The tiering service starts the
+  // barrier at 0 (drop nothing) and advances it only past chunks that are
+  // durably archived, so retention turns from deletion into demotion.
+  void SetRetentionBarrier(uint64_t barrier) {
+    retention_barrier_.store(barrier, std::memory_order_release);
+  }
+  uint64_t retention_barrier() const {
+    return retention_barrier_.load(std::memory_order_acquire);
+  }
+  // The floor retention would pick from the flushed tail and retain_bytes
+  // alone (block aligned), ignoring the barrier — i.e. how far the tiering
+  // service should demote.
+  uint64_t DesiredRetentionFloor() const;
+  // Applies retention (clamped by the barrier) immediately instead of at the
+  // next block flush. The tiering service calls this right after advancing
+  // the barrier so demoted chunks are reclaimed without waiting for ingest.
+  void ApplyRetention();
+
   HybridLogStats stats() const;
 
   // Full blocks queued for (or being) flushed. Approximate; safe from any
@@ -171,6 +193,10 @@ class HybridLog {
   HybridLog(File file, const HybridLogOptions& options);
 
   void FlusherMain();
+  // Shared floor-advance body of the flusher retention step and
+  // ApplyRetention: clamps to the barrier, then (under retention_mu_)
+  // monotonically advances the floor and punches the dropped range.
+  void AdvanceRetention(uint64_t tail_now);
   // Ensures the slot for `block_no` is free to be (re)used by the writer.
   void RecycleSlot(uint64_t block_no);
   // Hands the current active block to the flusher and activates `block_no`.
@@ -200,6 +226,11 @@ class HybridLog {
   std::atomic<uint64_t> flushed_bytes_{0};
   std::atomic<uint64_t> flushed_block_count_{0};
   std::atomic<uint64_t> retained_floor_{0};
+  // Tiered retention: the floor never passes the barrier (kNullAddr = no
+  // limit). retention_mu_ serializes floor advancement between the flusher
+  // and ApplyRetention callers (rarely contended).
+  std::atomic<uint64_t> retention_barrier_{kNullAddr};
+  std::mutex retention_mu_;
 
   // Flush pipeline: block numbers travel writer -> flusher; kStopSentinel
   // terminates the flusher.

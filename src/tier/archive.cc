@@ -1,0 +1,407 @@
+#include "src/tier/archive.h"
+
+#include <cstring>
+
+#include "src/common/codec.h"
+#include "src/tier/codec.h"
+
+namespace loom {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'O', 'O', 'M', 'E', 'X', 'P', '1'};
+constexpr char kFooterMagic[8] = {'L', 'O', 'O', 'M', 'F', 'T', 'R', '1'};
+constexpr size_t kTrailerBytes = 8 + 4 + 8;  // footer_start | footer_len | magic
+// Sanity bound: a corrupt header must not drive huge allocations. The writers
+// produce blocks far below this (one chunk or kRecordsPerBlock records).
+constexpr uint32_t kMaxBlockBytes = 256u << 20;
+constexpr uint32_t kKnownFlags = kArchiveBlockHasAddrs;
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+// One data block, decoded. Payload bytes live in `raw` from `payload_pos`.
+struct DecodedBlock {
+  uint32_t count = 0;
+  uint32_t flags = 0;
+  uint32_t block_len = 0;  // header + compressed payload
+  std::vector<TimestampNanos> stamps;
+  std::vector<uint32_t> source_ids;
+  std::vector<uint32_t> lengths;
+  std::vector<uint64_t> addrs;  // empty without kArchiveBlockHasAddrs
+  std::vector<uint8_t> raw;
+  size_t payload_pos = 0;
+};
+
+// Reads and decodes the block at `off`. `data_end` bounds the data region
+// (the footer, when present, is not data). All corruption diagnostics carry
+// the block's byte offset so operators can triage partial archives.
+Status ReadBlockAt(const File& file, uint64_t off, uint64_t data_end, DecodedBlock* out) {
+  const std::string at = " at byte offset " + std::to_string(off);
+  const uint64_t remaining = data_end - off;
+  if (remaining < 12) {
+    return Status::DataLoss("truncated block header" + at + ": " + std::to_string(remaining) +
+                            " of 12 header bytes present");
+  }
+  uint8_t header[12];
+  LOOM_RETURN_IF_ERROR(file.PReadAll(off, std::span<uint8_t>(header, 12)));
+  const uint32_t word0 = LoadU32(header);
+  out->count = word0 & 0x00FFFFFFu;
+  out->flags = word0 >> 24;
+  const uint32_t raw_len = LoadU32(header + 4);
+  const uint32_t compressed_len = LoadU32(header + 8);
+  if ((out->flags & ~kKnownFlags) != 0) {
+    return Status::DataLoss("unknown block flags" + at);
+  }
+  if (raw_len > kMaxBlockBytes || compressed_len > kMaxBlockBytes) {
+    return Status::DataLoss("implausible block header" + at);
+  }
+  if (12 + static_cast<uint64_t>(compressed_len) > remaining) {
+    return Status::DataLoss("truncated block payload" + at + ": block needs " +
+                            std::to_string(12 + static_cast<uint64_t>(compressed_len)) +
+                            " bytes, " + std::to_string(remaining) + " available");
+  }
+  out->block_len = 12 + compressed_len;
+  std::vector<uint8_t> compressed(compressed_len);
+  if (compressed_len > 0) {
+    LOOM_RETURN_IF_ERROR(file.PReadAll(off + 12, compressed));
+  }
+  out->raw.clear();
+  out->raw.reserve(raw_len);
+  LOOM_RETURN_IF_ERROR(RleDecompress(compressed, out->raw, raw_len));
+  if (out->raw.size() != raw_len) {
+    return Status::DataLoss("block" + at + " decompressed to unexpected size");
+  }
+
+  // Columnar decode.
+  const uint32_t count = out->count;
+  size_t pos = 0;
+  out->stamps.assign(count, 0);
+  TimestampNanos prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto delta = GetVarint(out->raw, &pos);
+    if (!delta.ok()) {
+      return Status::DataLoss("truncated timestamp column in block" + at);
+    }
+    prev = static_cast<TimestampNanos>(static_cast<int64_t>(prev) + ZigZagDecode(delta.value()));
+    out->stamps[i] = prev;
+  }
+  out->source_ids.assign(count, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto id = GetVarint(out->raw, &pos);
+    if (!id.ok()) {
+      return Status::DataLoss("truncated source-id column in block" + at);
+    }
+    out->source_ids[i] = static_cast<uint32_t>(id.value());
+  }
+  out->lengths.assign(count, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto len = GetVarint(out->raw, &pos);
+    if (!len.ok()) {
+      return Status::DataLoss("truncated payload-length column in block" + at);
+    }
+    out->lengths[i] = static_cast<uint32_t>(len.value());
+  }
+  out->addrs.clear();
+  if ((out->flags & kArchiveBlockHasAddrs) != 0) {
+    out->addrs.assign(count, 0);
+    uint64_t prev_addr = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      auto delta = GetVarint(out->raw, &pos);
+      if (!delta.ok()) {
+        return Status::DataLoss("truncated record-address column in block" + at);
+      }
+      prev_addr = static_cast<uint64_t>(static_cast<int64_t>(prev_addr) +
+                                        ZigZagDecode(delta.value()));
+      out->addrs[i] = prev_addr;
+    }
+  }
+  out->payload_pos = pos;
+  uint64_t payload_bytes = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    payload_bytes += out->lengths[i];
+  }
+  if (pos + payload_bytes > out->raw.size()) {
+    return Status::DataLoss("truncated payload column in block" + at);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- ArchiveWriter -----------------------------------------------------------
+
+Result<ArchiveWriter> ArchiveWriter::Create(const std::string& path) {
+  std::string tmp = path + ".tmp";
+  auto file = File::CreateTruncate(tmp);
+  if (!file.ok()) {
+    return file.status();
+  }
+  ArchiveWriter w(std::move(file.value()), path, std::move(tmp));
+  Status st = w.file_.PWriteAll(
+      0, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(kMagic), 8));
+  if (!st.ok()) {
+    w.Abort();
+    return st;
+  }
+  w.offset_ = 8;
+  return w;
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  if (!finished_ && !tmp_path_.empty()) {
+    Abort();
+  }
+}
+
+void ArchiveWriter::Abort() {
+  file_.Close();
+  if (!tmp_path_.empty()) {
+    (void)File::RemoveFile(tmp_path_);
+  }
+}
+
+Status ArchiveWriter::AppendBlock(std::span<const ArchiveRecord> records, bool with_addrs,
+                                  const ChunkSummary* summary) {
+  if (finished_) {
+    return Status::FailedPrecondition("AppendBlock on finished archive");
+  }
+  if (records.size() >= (1u << 24)) {
+    return Status::InvalidArgument("archive block record count exceeds 24-bit limit");
+  }
+  if ((summary == nullptr) == any_summary_ && offset_ > 8) {
+    return Status::InvalidArgument("archive blocks must consistently carry zone maps or not");
+  }
+
+  raw_.clear();
+  TimestampNanos prev_ts = 0;
+  for (const ArchiveRecord& r : records) {
+    PutVarint(raw_, ZigZagEncode(static_cast<int64_t>(r.ts) - static_cast<int64_t>(prev_ts)));
+    prev_ts = r.ts;
+  }
+  for (const ArchiveRecord& r : records) {
+    PutVarint(raw_, r.source_id);
+  }
+  for (const ArchiveRecord& r : records) {
+    PutVarint(raw_, r.payload.size());
+  }
+  if (with_addrs) {
+    uint64_t prev_addr = 0;
+    for (const ArchiveRecord& r : records) {
+      PutVarint(raw_, ZigZagEncode(static_cast<int64_t>(r.addr) - static_cast<int64_t>(prev_addr)));
+      prev_addr = r.addr;
+    }
+  }
+  for (const ArchiveRecord& r : records) {
+    raw_.insert(raw_.end(), r.payload.begin(), r.payload.end());
+  }
+
+  compressed_.clear();
+  RleCompress(raw_, compressed_);
+  const uint32_t flags = with_addrs ? kArchiveBlockHasAddrs : 0;
+  block_.clear();
+  PutU32(block_, static_cast<uint32_t>(records.size()) | (flags << 24));
+  PutU32(block_, static_cast<uint32_t>(raw_.size()));
+  PutU32(block_, static_cast<uint32_t>(compressed_.size()));
+  block_.insert(block_.end(), compressed_.begin(), compressed_.end());
+  Status st = file_.PWriteAll(offset_, block_);
+  if (!st.ok()) {
+    Abort();
+    return st;
+  }
+  if (summary != nullptr) {
+    ArchiveBlockMeta meta;
+    meta.file_offset = offset_;
+    meta.block_len = static_cast<uint32_t>(block_.size());
+    meta.summary = *summary;
+    footer_.push_back(std::move(meta));
+    any_summary_ = true;
+  }
+  offset_ += block_.size();
+  raw_bytes_ += raw_.size();
+  return Status::Ok();
+}
+
+Result<uint64_t> ArchiveWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish on finished archive");
+  }
+  Status st;
+  if (any_summary_) {
+    std::vector<uint8_t> footer;
+    for (const ArchiveBlockMeta& meta : footer_) {
+      PutU64(footer, meta.file_offset);
+      PutU32(footer, meta.block_len);
+      PutU32(footer, static_cast<uint32_t>(meta.summary.EncodedSize()));
+      meta.summary.EncodeTo(footer);
+    }
+    const uint64_t footer_start = offset_;
+    st = file_.PWriteAll(footer_start, footer);
+    if (st.ok()) {
+      std::vector<uint8_t> trailer;
+      PutU64(trailer, footer_start);
+      PutU32(trailer, static_cast<uint32_t>(footer.size()));
+      trailer.insert(trailer.end(), kFooterMagic, kFooterMagic + 8);
+      st = file_.PWriteAll(footer_start + footer.size(), trailer);
+      offset_ = footer_start + footer.size() + trailer.size();
+    }
+  }
+  if (st.ok()) {
+    st = file_.Sync();
+  }
+  if (!st.ok()) {
+    Abort();
+    return st;
+  }
+  file_.Close();
+  st = File::RenameFile(tmp_path_, final_path_);
+  if (!st.ok()) {
+    (void)File::RemoveFile(tmp_path_);
+    return st;
+  }
+  st = File::SyncDirectory(ParentDir(final_path_));
+  if (!st.ok()) {
+    // The rename already happened; remove the published file so a failed
+    // finish never leaves an archive of uncertain durability behind.
+    (void)File::RemoveFile(final_path_);
+    return st;
+  }
+  finished_ = true;
+  return offset_;
+}
+
+// --- ArchiveReader -----------------------------------------------------------
+
+Result<ArchiveReader> ArchiveReader::Open(const std::string& path) {
+  auto file = File::OpenReadOnly(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  auto size = file->Size();
+  if (!size.ok()) {
+    return size.status();
+  }
+  uint8_t magic[8];
+  if (size.value() < 8) {
+    return Status::DataLoss("not a loom export archive");
+  }
+  LOOM_RETURN_IF_ERROR(file->PReadAll(0, std::span<uint8_t>(magic, 8)));
+  if (std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::DataLoss("not a loom export archive");
+  }
+
+  ArchiveReader r(std::move(file.value()), path);
+  r.size_ = size.value();
+  r.data_end_ = r.size_;
+
+  // Footer detection: a valid trailer at EOF names the footer range. Legacy
+  // archives (plain exports) have no trailer and stay sequential-scan only.
+  if (r.size_ >= 8 + kTrailerBytes) {
+    uint8_t trailer[kTrailerBytes];
+    LOOM_RETURN_IF_ERROR(
+        r.file_.PReadAll(r.size_ - kTrailerBytes, std::span<uint8_t>(trailer, kTrailerBytes)));
+    if (std::memcmp(trailer + 12, kFooterMagic, 8) == 0) {
+      const uint64_t footer_start = LoadU64(trailer);
+      const uint32_t footer_len = LoadU32(trailer + 8);
+      if (footer_start < 8 || footer_start + footer_len + kTrailerBytes != r.size_) {
+        return Status::DataLoss("corrupt archive footer trailer in " + path);
+      }
+      std::vector<uint8_t> footer(footer_len);
+      if (footer_len > 0) {
+        LOOM_RETURN_IF_ERROR(r.file_.PReadAll(footer_start, footer));
+      }
+      size_t pos = 0;
+      uint64_t prev_end = 8;
+      while (pos < footer.size()) {
+        if (pos + 16 > footer.size()) {
+          return Status::DataLoss("corrupt archive footer entry in " + path);
+        }
+        ArchiveBlockMeta meta;
+        meta.file_offset = GetU64(footer, pos);
+        meta.block_len = GetU32(footer, pos + 8);
+        const uint32_t summary_len = GetU32(footer, pos + 12);
+        pos += 16;
+        if (pos + summary_len > footer.size()) {
+          return Status::DataLoss("corrupt archive footer entry in " + path);
+        }
+        auto summary = ChunkSummary::Decode(
+            std::span<const uint8_t>(footer.data() + pos, summary_len));
+        if (!summary.ok()) {
+          return Status::DataLoss("corrupt zone map in archive footer of " + path + ": " +
+                                  summary.status().message());
+        }
+        meta.summary = std::move(summary.value());
+        pos += summary_len;
+        if (meta.file_offset != prev_end || meta.block_len < 12 ||
+            meta.file_offset + meta.block_len > footer_start) {
+          return Status::DataLoss("corrupt archive footer entry in " + path);
+        }
+        prev_end = meta.file_offset + meta.block_len;
+        r.blocks_.push_back(std::move(meta));
+      }
+      if (prev_end != footer_start) {
+        return Status::DataLoss("archive footer does not cover the data region in " + path);
+      }
+      r.data_end_ = footer_start;
+      r.has_footer_ = true;
+    }
+  }
+  return r;
+}
+
+Status ArchiveReader::Scan(const RecordCallback& cb) const {
+  uint64_t offset = 8;
+  DecodedBlock block;
+  while (offset < data_end_) {
+    // offset == data_end_ is the clean end of the archive; anything that
+    // fails inside ReadBlockAt names the offending offset.
+    LOOM_RETURN_IF_ERROR(ReadBlockAt(file_, offset, data_end_, &block));
+    size_t pos = block.payload_pos;
+    for (uint32_t i = 0; i < block.count; ++i) {
+      if (!cb(block.source_ids[i], block.stamps[i],
+              std::span<const uint8_t>(block.raw.data() + pos, block.lengths[i]))) {
+        return Status::Ok();
+      }
+      pos += block.lengths[i];
+    }
+    offset += block.block_len;
+  }
+  return Status::Ok();
+}
+
+Status ArchiveReader::ScanBlock(size_t i, const BlockRecordCallback& cb,
+                                uint64_t* bytes_read) const {
+  if (i >= blocks_.size()) {
+    return Status::InvalidArgument("archive block index out of range");
+  }
+  const ArchiveBlockMeta& meta = blocks_[i];
+  DecodedBlock block;
+  LOOM_RETURN_IF_ERROR(
+      ReadBlockAt(file_, meta.file_offset, meta.file_offset + meta.block_len, &block));
+  if (bytes_read != nullptr) {
+    *bytes_read += block.block_len;
+  }
+  size_t pos = block.payload_pos;
+  ArchiveRecord rec;
+  for (uint32_t r = 0; r < block.count; ++r) {
+    rec.source_id = block.source_ids[r];
+    rec.ts = block.stamps[r];
+    rec.addr = block.addrs.empty() ? 0 : block.addrs[r];
+    rec.payload = std::span<const uint8_t>(block.raw.data() + pos, block.lengths[r]);
+    if (!cb(rec)) {
+      return Status::Ok();
+    }
+    pos += block.lengths[r];
+  }
+  return Status::Ok();
+}
+
+}  // namespace loom

@@ -1,0 +1,168 @@
+// LOOMEXP1-family archives: the cold tier of the storage hierarchy.
+//
+// The §3 export path and the tiering service share one on-disk format:
+//
+//   "LOOMEXP1" magic (8 bytes)
+//   data blocks, each:
+//     u32 word0 | u32 raw_len | u32 compressed_len | RLE payload
+//     word0 packs record_count (low 24 bits) and flags (high 8 bits); legacy
+//     readers reject any flagged block as an implausible header, so format
+//     extensions fail cleanly instead of misdecoding.
+//     Block payload (before RLE), columnar:
+//       varint zigzag-delta timestamps (vs previous record, first vs 0)
+//       varint source ids
+//       varint payload lengths
+//       varint record-address deltas  (only with kArchiveBlockHasAddrs;
+//                                      first absolute, then ascending deltas)
+//       raw payload bytes, concatenated
+//   optional footer (written by the tiering service), one entry per block:
+//     u64 block_file_offset | u32 block_len | u32 summary_len | summary bytes
+//     The summary is the block's zone map — the demoted chunk's ChunkSummary
+//     verbatim (chunk_addr/chunk_len preserved), so queries prune and fold
+//     archived blocks exactly like hot chunks, without decompression.
+//   trailer (present iff the footer is):
+//     u64 footer_start | u32 footer_len | "LOOMFTR1" (8 bytes)
+//
+// Footerless archives (plain exports) are byte-identical to the original v1
+// format. Readers detect the footer from the trailer magic at EOF.
+//
+// Crash safety: ArchiveWriter stages everything in `path` + ".tmp", makes the
+// bytes durable with fdatasync, atomically renames onto the final path, and
+// fsyncs the parent directory. An interrupted write never leaves a partial
+// archive visible at the final path — only a ".tmp" sibling that the catalog
+// removes on startup.
+
+#ifndef SRC_TIER_ARCHIVE_H_
+#define SRC_TIER_ARCHIVE_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/file.h"
+#include "src/common/status.h"
+#include "src/index/chunk_summary.h"
+
+namespace loom {
+
+// Block flag bits (word0 >> 24). Unknown flags fail the block's decode.
+inline constexpr uint32_t kArchiveBlockHasAddrs = 1u << 0;
+
+// Footer entry: where a block lives and its zone map.
+struct ArchiveBlockMeta {
+  uint64_t file_offset = 0;  // of the block's 12-byte header
+  uint32_t block_len = 0;    // header + compressed payload
+  ChunkSummary summary;      // zone map (chunk_addr/chunk_len from the hot log)
+};
+
+// One archived record. `addr` is the record's original hot-log address when
+// the block carries the address column, 0 otherwise.
+struct ArchiveRecord {
+  uint32_t source_id = 0;
+  TimestampNanos ts = 0;
+  uint64_t addr = 0;
+  std::span<const uint8_t> payload;
+};
+
+// Crash-safe archive writer (see the file comment for the protocol).
+class ArchiveWriter {
+ public:
+  static Result<ArchiveWriter> Create(const std::string& path);
+  ~ArchiveWriter();
+
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+  ArchiveWriter(ArchiveWriter&&) noexcept = default;
+  ArchiveWriter& operator=(ArchiveWriter&&) noexcept = default;
+
+  // Appends one block. `with_addrs` writes the record-address column (the
+  // tiering service needs it to reproduce hot-log RecordViews bit for bit;
+  // plain exports omit it to stay byte-compatible with legacy archives).
+  // When `summary` is non-null it becomes the block's footer zone map; blocks
+  // of one archive must be consistently with or without summaries.
+  Status AppendBlock(std::span<const ArchiveRecord> records, bool with_addrs,
+                     const ChunkSummary* summary);
+
+  // Seals the archive: footer + trailer (when zone maps were supplied),
+  // fdatasync, rename onto the final path, parent directory fsync. Returns
+  // total archived bytes. The writer is unusable afterwards.
+  Result<uint64_t> Finish();
+
+  // Removes the temp file. Called by the destructor unless Finish()
+  // succeeded, so failed or abandoned writes leave nothing behind.
+  void Abort();
+
+  // Uncompressed column bytes encoded so far (export stats).
+  uint64_t raw_bytes() const { return raw_bytes_; }
+
+ private:
+  ArchiveWriter(File file, std::string final_path, std::string tmp_path)
+      : file_(std::move(file)),
+        final_path_(std::move(final_path)),
+        tmp_path_(std::move(tmp_path)) {}
+
+  File file_;
+  std::string final_path_;
+  std::string tmp_path_;
+  uint64_t offset_ = 0;
+  uint64_t raw_bytes_ = 0;
+  bool finished_ = false;
+  std::vector<ArchiveBlockMeta> footer_;
+  bool any_summary_ = false;
+  // Scratch, reused across blocks.
+  std::vector<uint8_t> raw_;
+  std::vector<uint8_t> compressed_;
+  std::vector<uint8_t> block_;
+};
+
+// Seekable, block-granular archive reader. Open reads only the trailer and
+// footer (when present); record data streams from the file per block, so
+// memory stays bounded by one decompressed block regardless of archive size.
+class ArchiveReader {
+ public:
+  using RecordCallback =
+      std::function<bool(uint32_t source_id, TimestampNanos ts, std::span<const uint8_t>)>;
+  using BlockRecordCallback = std::function<bool(const ArchiveRecord&)>;
+
+  static Result<ArchiveReader> Open(const std::string& path);
+
+  ArchiveReader(ArchiveReader&&) noexcept = default;
+  ArchiveReader& operator=(ArchiveReader&&) noexcept = default;
+
+  // Scans the whole data region sequentially, in the order it was written.
+  // Returns DataLoss on corruption; a truncated final block is diagnosed
+  // with its byte offset and distinguished from clean end-of-archive (an
+  // archive ending exactly at a block boundary scans Ok).
+  Status Scan(const RecordCallback& cb) const;
+
+  // Footer-backed random access. block_count() is 0 for legacy (footerless)
+  // archives, which only support Scan().
+  bool has_footer() const { return has_footer_; }
+  size_t block_count() const { return blocks_.size(); }
+  const ArchiveBlockMeta& block(size_t i) const { return blocks_[i]; }
+
+  // Decodes footer block `i` and streams its records in write order. The
+  // callback may stop early. `bytes_read` (nullable) accumulates the
+  // compressed bytes fetched from disk.
+  Status ScanBlock(size_t i, const BlockRecordCallback& cb, uint64_t* bytes_read = nullptr) const;
+
+  const std::string& path() const { return path_; }
+  uint64_t file_size() const { return size_; }
+
+ private:
+  ArchiveReader(File file, std::string path) : file_(std::move(file)), path_(std::move(path)) {}
+
+  File file_;
+  std::string path_;
+  uint64_t size_ = 0;
+  uint64_t data_end_ = 0;  // first byte past the last data block
+  bool has_footer_ = false;
+  std::vector<ArchiveBlockMeta> blocks_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_TIER_ARCHIVE_H_

@@ -1,0 +1,103 @@
+#include "src/tier/catalog.h"
+
+#include <filesystem>
+
+#include "src/common/file.h"
+
+namespace loom {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ArchiveCatalog>> ArchiveCatalog::Open(const std::string& dir,
+                                                             Counter* quarantined) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("create archive dir " + dir + ": " + ec.message());
+  }
+  std::unique_ptr<ArchiveCatalog> catalog(new ArchiveCatalog(dir, quarantined));
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string path = entry.path().string();
+    if (EndsWith(path, ".tmp")) {
+      // Staging file from an interrupted write: by construction it was never
+      // visible at a final path, so it holds nothing the tier promised.
+      (void)File::RemoveFile(path);
+      continue;
+    }
+    if (!EndsWith(path, ".loomarc")) {
+      continue;
+    }
+    // Probe every archive so damage is diagnosed at startup. Intact archives
+    // from a previous engine incarnation are left in place but not served
+    // (their chunk addresses belong to the previous log's address space).
+    auto reader = ArchiveReader::Open(path);
+    if (!reader.ok() || !reader->has_footer()) {
+      catalog->Quarantine(path);
+    }
+  }
+  if (ec) {
+    return Status::IoError("scan archive dir " + dir + ": " + ec.message());
+  }
+  return catalog;
+}
+
+Status ArchiveCatalog::Register(const std::string& path) {
+  auto reader = ArchiveReader::Open(path);
+  if (reader.ok() && !reader->has_footer()) {
+    reader = Status::DataLoss("archive has no zone-map footer: " + path);
+  }
+  if (!reader.ok()) {
+    Quarantine(path);
+    return reader.status();
+  }
+  auto shared = std::make_shared<const ArchiveReader>(std::move(reader.value()));
+  std::lock_guard<std::mutex> lock(mu_);
+  archives_.push_back(std::move(shared));
+  return Status::Ok();
+}
+
+std::vector<std::shared_ptr<const ArchiveReader>> ArchiveCatalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return archives_;
+}
+
+size_t ArchiveCatalog::archive_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return archives_.size();
+}
+
+uint64_t ArchiveCatalog::total_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t blocks = 0;
+  for (const auto& a : archives_) {
+    blocks += a->block_count();
+  }
+  return blocks;
+}
+
+uint64_t ArchiveCatalog::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = 0;
+  for (const auto& a : archives_) {
+    bytes += a->file_size();
+  }
+  return bytes;
+}
+
+void ArchiveCatalog::Quarantine(const std::string& path) {
+  (void)File::RenameFile(path, path + ".quarantine");
+  if (quarantined_ != nullptr) {
+    quarantined_->Increment();
+  }
+}
+
+}  // namespace loom

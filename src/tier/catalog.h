@@ -1,0 +1,66 @@
+// Archive catalog: the set of sealed archives the query tier may serve.
+//
+// The tiering service registers each archive right after its crash-safe
+// rename; queries take a cheap snapshot (shared_ptr copies under a mutex) and
+// prune blocks via the footer zone maps. Archives are immutable once sealed,
+// so a snapshot stays valid for the whole query even if the catalog grows
+// concurrently.
+//
+// Startup hygiene: Open() sweeps the directory, removing stale ".tmp"
+// staging files (crash leftovers — never visible at a final path) and moving
+// unreadable or footerless archives aside to "<name>.quarantine" so a
+// damaged file is diagnosed once instead of served. Archives from a previous
+// engine incarnation that survive the sweep intact are left on disk but not
+// served: the hot log is recreated at open, so their chunk addresses belong
+// to a dead address space.
+
+#ifndef SRC_TIER_CATALOG_H_
+#define SRC_TIER_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/tier/archive.h"
+
+namespace loom {
+
+class ArchiveCatalog {
+ public:
+  // Creates the directory if needed and sweeps it (see file comment).
+  // `quarantined` (nullable) counts archives moved aside, at open and later.
+  static Result<std::unique_ptr<ArchiveCatalog>> Open(const std::string& dir,
+                                                      Counter* quarantined);
+
+  // Opens the sealed archive at `path` and adds it to the served set. On a
+  // damaged archive the file is quarantined and an error returned.
+  Status Register(const std::string& path);
+
+  // The archives to serve, ordered by first-block chunk address (the demoter
+  // registers them in demotion order, which is hot-log address order).
+  std::vector<std::shared_ptr<const ArchiveReader>> Snapshot() const;
+
+  size_t archive_count() const;
+  uint64_t total_blocks() const;
+  uint64_t total_bytes() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit ArchiveCatalog(std::string dir, Counter* quarantined)
+      : dir_(std::move(dir)), quarantined_(quarantined) {}
+
+  // Renames `path` to `path` + ".quarantine" and counts it.
+  void Quarantine(const std::string& path);
+
+  const std::string dir_;
+  Counter* quarantined_ = nullptr;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const ArchiveReader>> archives_;
+};
+
+}  // namespace loom
+
+#endif  // SRC_TIER_CATALOG_H_

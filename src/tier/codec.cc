@@ -1,4 +1,4 @@
-#include "src/export/codec.h"
+#include "src/tier/codec.h"
 
 namespace loom {
 

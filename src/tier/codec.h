@@ -1,0 +1,51 @@
+// Varint + run-length encoding used by the export archive (§3 "Managing
+// Historical Data"): Loom itself never compresses (it is not a long-term
+// store), but it can copy a time range out in bulk for retention, and the
+// archive format wants the cheap, dependency-free compression implemented
+// here.
+//
+// RLE format: a sequence of ops.
+//   0x00 len      literal run: `len` (varint) raw bytes follow
+//   0x01 len byte repeat run: `byte` repeated `len` (varint) times
+// Runs of >= 4 equal bytes are emitted as repeat runs; telemetry payloads
+// (zero padding, repeated field bytes) compress well under this.
+
+#ifndef SRC_TIER_CODEC_H_
+#define SRC_TIER_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace loom {
+
+// --- Varint (LEB128) ----------------------------------------------------------
+
+void PutVarint(std::vector<uint8_t>& out, uint64_t value);
+
+// Decodes a varint at `offset`, advancing it. Fails on truncation.
+Result<uint64_t> GetVarint(std::span<const uint8_t> data, size_t* offset);
+
+// ZigZag for signed deltas.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// --- RLE -----------------------------------------------------------------------
+
+void RleCompress(std::span<const uint8_t> input, std::vector<uint8_t>& out);
+
+// Appends the decompressed bytes to `out`. Fails on malformed input, and on
+// input that would expand `out` beyond `max_output` total bytes — corrupt
+// run lengths must not be able to exhaust memory.
+Status RleDecompress(std::span<const uint8_t> input, std::vector<uint8_t>& out,
+                     size_t max_output = SIZE_MAX);
+
+}  // namespace loom
+
+#endif  // SRC_TIER_CODEC_H_

@@ -243,6 +243,44 @@ TEST_F(ExportTest, EmptyExportIsValidArchive) {
   EXPECT_EQ(count, 0);
 }
 
+TEST_F(ExportTest, EqualTimestampsKeepArrivalOrder) {
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  ASSERT_TRUE(loom_->DefineSource(2).ok());
+  // Four records share one arrival timestamp, alternating sources, with
+  // source 2 arriving first. The export gathers per source (1 before 2), so
+  // only the ingest-sequence tiebreak can restore true arrival order.
+  clock_.SetNanos(100);
+  std::vector<uint8_t> a{10}, b{11}, c{12}, d{13};
+  ASSERT_TRUE(loom_->Push(2, a).ok());
+  ASSERT_TRUE(loom_->Push(1, b).ok());
+  ASSERT_TRUE(loom_->Push(2, c).ok());
+  ASSERT_TRUE(loom_->Push(1, d).ok());
+
+  const std::string path = dir_.FilePath("ties.loomexp");
+  auto stats = ExportTimeRange(*loom_, {1, 2}, {0, ~0ULL}, path);
+  ASSERT_TRUE(stats.ok());
+  std::vector<uint8_t> order;
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader
+                  ->Scan([&](uint32_t, TimestampNanos ts, std::span<const uint8_t> p) {
+                    EXPECT_EQ(ts, 100u);
+                    order.push_back(p[0]);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(order, (std::vector<uint8_t>{10, 11, 12, 13}));
+}
+
+TEST_F(ExportTest, ExportLeavesNoTempFileBehind) {
+  ASSERT_TRUE(loom_->DefineSource(1).ok());
+  PushRecord(1, 10, std::vector<uint8_t>(16, 7));
+  const std::string path = dir_.FilePath("clean.loomexp");
+  ASSERT_TRUE(ExportTimeRange(*loom_, {1}, {0, ~0ULL}, path).ok());
+  EXPECT_TRUE(File::OpenReadOnly(path).ok());
+  EXPECT_FALSE(File::OpenReadOnly(path + ".tmp").ok());
+}
+
 TEST_F(ExportTest, NotAnArchiveRejected) {
   const std::string path = dir_.FilePath("junk");
   auto file = File::CreateTruncate(path);

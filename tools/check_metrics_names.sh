@@ -112,6 +112,32 @@ for name in $required_ingest; do
   fi
 done
 
+# The tiered-storage family: demotion progress, the retention barrier, and
+# cross-tier query accounting (DESIGN.md "Tiered storage").
+required_tier="
+loom_tier_demoted_chunks_total
+loom_tier_demoted_records_total
+loom_tier_demoted_bytes
+loom_tier_demote_failures_total
+loom_tier_demote_seconds
+loom_tier_quarantined_total
+loom_tier_blocks_considered_total
+loom_tier_blocks_pruned_total
+loom_tier_blocks_scanned_total
+loom_tier_read_bytes
+loom_tier_archives
+loom_tier_archived_chunks
+loom_tier_archived_bytes
+loom_tier_retention_barrier_bytes
+"
+for name in $required_tier; do
+  total=$((total + 1))
+  if ! printf '%s\n' "$all_names" | grep -qx "$name"; then
+    echo "BAD  $name  (required loom_tier_* metric is no longer registered)" >&2
+    fail=1
+  fi
+done
+
 if [ "$total" -lt 30 ]; then
   echo "BAD  extraction found only $total checked names; the grep patterns no longer match" \
     "the registration call sites" >&2

@@ -10,6 +10,11 @@
 #                              (destructor with work still queued included)
 #   hybridlog_test             block recycling, the coalesced multi-block
 #                              vectored flush, and close-time sync readback
+#   tiering_test               demotion payload staging (spans rebuilt over a
+#                              scan window), archive block decode buffers, and
+#                              the crash-safe tmp/rename write protocol
+#   export_test                the export gather/sort/encode path through the
+#                              shared ArchiveWriter
 #
 # Wired as a ctest (asan_smoke) in the default build so `ctest` exercises it;
 # run manually from anywhere:
@@ -22,9 +27,11 @@ build="$repo/build-asan"
 
 cmake --preset asan -S "$repo" >/dev/null
 cmake --build "$build" --target loom_ingest_pipeline_test hybridlog_test \
-  -j "$(nproc)"
+  tiering_test export_test -j "$(nproc)"
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 "$build/tests/loom_ingest_pipeline_test"
 "$build/tests/hybridlog_test"
+"$build/tests/tiering_test"
+"$build/tests/export_test"
 echo "asan smoke: OK"

@@ -11,6 +11,8 @@
 #                             worker trace absorption, per-morsel floor checks
 #   loom_ingest_pipeline_test the pipelined write path: the sealing thread's
 #                             SealEvent queue, drains, and concurrent readers
+#   tiering_test              the background demoter advancing the retention
+#                             barrier and catalog under live cross-tier queries
 #
 # Wired as a ctest (tsan_smoke) in the default build so `ctest` exercises it;
 # run manually from anywhere:
@@ -23,10 +25,11 @@ build="$repo/build-tsan"
 
 cmake --preset tsan -S "$repo" >/dev/null
 cmake --build "$build" --target loom_concurrency_test loom_parallel_query_test \
-  loom_ingest_pipeline_test -j "$(nproc)"
+  loom_ingest_pipeline_test tiering_test -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 "$build/tests/loom_concurrency_test"
 "$build/tests/loom_parallel_query_test"
 "$build/tests/loom_ingest_pipeline_test"
+"$build/tests/tiering_test"
 echo "tsan smoke: OK"
