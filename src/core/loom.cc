@@ -257,6 +257,23 @@ Loom::Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_me
                                ? SimdModeFromEnv(SimdMode::kAuto)
                                : options_.simd_mode);
   stage_bins_.resize(options_.summary_stage_records);
+  if (options_.enable_chunk_index) {
+    StandingQueryEngineOptions standing_opts;
+    standing_opts.kernels = kernels_;
+    standing_opts.metrics = metrics_;
+    standing_opts.scan_chunk = [this](uint64_t chunk_addr, uint32_t chunk_len,
+                                      uint32_t source_id, TimestampNanos start,
+                                      TimestampNanos end,
+                                      const std::function<bool(const RecordView&)>& fn) {
+      // Straddling-chunk rescan: same batched walk as the one-shot planner's
+      // scanned path, bounded to the just-sealed chunk. The caller (seal
+      // path) guarantees the chunk's record bytes are published.
+      QueryTrace scratch;
+      return ScanRecordRangeFor(chunk_addr, chunk_addr + chunk_len, source_id,
+                                TimeRange{start, end}, {}, fn, &scratch);
+    };
+    standing_ = std::make_unique<StandingQueryEngine>(std::move(standing_opts));
+  }
   RegisterMetrics();
   if (options_.pipelined_ingest) {
     // Started after RegisterMetrics: the sealing thread observes the
@@ -553,7 +570,8 @@ Status Loom::CloseIndex(uint32_t index_id) {
 
 // --- Ingest ------------------------------------------------------------------
 
-Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
+Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload,
+                  TimestampNanos* arrival_ts) {
   // Timing every Push would cost two clock reads per record — more than the
   // append itself for small payloads — so the latency histogram is fed by a
   // 1-in-64 sample. Counters are always exact.
@@ -570,6 +588,9 @@ Status Loom::Push(uint32_t source_id, std::span<const uint8_t> payload) {
   SourceState& src = *it->second;
   const TimestampNanos now = clock_->NowNanos();
   LOOM_RETURN_IF_ERROR(AppendRecord(src, payload, now));
+  if (arrival_ts != nullptr) {
+    *arrival_ts = now;
+  }
   PublishAll(src);
   if (sampled) {
     m_.push_seconds->ObserveNanos(MetricsNowNanos() - t0);
@@ -752,6 +773,14 @@ Status Loom::FinalizeChunk(TimestampNanos now) {
     }
     m_.ts_entries->Increment();
   }
+  if (standing_ != nullptr) {
+    if (standing_->has_queries()) {
+      // Standing rescans read the sealed chunk's record bytes through the
+      // published watermark, and the caller's PublishAll has not run yet.
+      record_log_->Publish();
+    }
+    standing_->OnChunkSealed(summary, now);
+  }
   return Status::Ok();
 }
 
@@ -928,6 +957,12 @@ Status Loom::ApplyChunkSeal(SealEvent& ev, std::vector<uint8_t>& buf) {
     ts_log_->Publish();
   }
   published_indexed_tail_.store(chunk_end, std::memory_order_release);
+  if (standing_ != nullptr) {
+    // Seal events apply in seal order on this one thread, and the record
+    // bytes below chunk_end were published before the event was enqueued —
+    // exactly the ordering OnChunkSealed requires.
+    standing_->OnChunkSealed(ev.summary, ev.ts);
+  }
   return Status::Ok();
 }
 
@@ -1005,6 +1040,37 @@ Result<Loom::IndexSnapshot> Loom::GetIndexSnapshot(uint32_t index_id) const {
     return Status::NotFound("index not defined");
   }
   return it->second;
+}
+
+// --- Standing queries --------------------------------------------------------
+
+Status Loom::UnregisterStandingQuery(uint64_t query_id) {
+  if (standing_ == nullptr) {
+    return Status::FailedPrecondition("standing queries require enable_chunk_index");
+  }
+  return standing_->Unregister(query_id);
+}
+
+Result<uint64_t> Loom::RegisterStandingQuery(const StandingQuerySpec& spec) {
+  if (standing_ == nullptr) {
+    return Status::FailedPrecondition("standing queries require enable_chunk_index");
+  }
+  auto idx = GetIndexSnapshot(spec.index_id);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  if (idx.value().source_id != spec.source_id) {
+    return Status::InvalidArgument("index does not cover the requested source");
+  }
+  return standing_->Register(spec, idx.value().func, idx.value().spec);
+}
+
+std::shared_ptr<StandingSubscription> Loom::SubscribeStanding(uint64_t query_id,
+                                                              size_t capacity) {
+  if (standing_ == nullptr) {
+    return nullptr;
+  }
+  return standing_->Subscribe(query_id, capacity);
 }
 
 // --- Scan helpers ---------------------------------------------------------------

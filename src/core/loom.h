@@ -58,6 +58,7 @@
 #include "src/index/chunk_summary.h"
 #include "src/index/histogram.h"
 #include "src/index/summary_cache.h"
+#include "src/standing/standing_query.h"
 #include "src/index/timestamp_index.h"
 #include "src/tier/catalog.h"
 
@@ -275,8 +276,12 @@ class Loom {
   // --- Data ingest operators (ingest thread) ------------------------------
 
   // Appends one record. The payload is opaque bytes; Loom timestamps it with
-  // the internal monotonic clock on arrival (§5.2).
-  Status Push(uint32_t source_id, std::span<const uint8_t> payload);
+  // the internal monotonic clock on arrival (§5.2). When `arrival_ts` is
+  // non-null it receives the timestamp actually stamped on the record, so
+  // callers binning events into windows (TraceSink) use the record's true
+  // provenance instead of re-reading the clock after the append.
+  Status Push(uint32_t source_id, std::span<const uint8_t> payload,
+              TimestampNanos* arrival_ts = nullptr);
 
   // Appends a batch of records for one source, amortizing the source lookup,
   // the clock read, and the publish fence across the batch. All records in
@@ -349,6 +354,24 @@ class Loom {
 
   // Sealed archives currently served by the query tier.
   size_t ArchiveCount() const;
+
+  // --- Standing queries (any thread) ---------------------------------------
+
+  // Registers a continuous windowed aggregate over a defined index
+  // (src/standing/). Evaluation happens on the seal path: each freshly
+  // sealed ChunkSummary is folded into the open windows, and every window
+  // the watermark passes is emitted with results bit-identical to the
+  // one-shot IndexedAggregate/IndexedHistogram over the same range.
+  // Requires enable_chunk_index; the index must cover spec.source_id.
+  Result<uint64_t> RegisterStandingQuery(const StandingQuerySpec& spec);
+  Status UnregisterStandingQuery(uint64_t query_id);
+
+  // Live stream of window results and alert transitions (query_id 0 = all).
+  std::shared_ptr<StandingSubscription> SubscribeStanding(uint64_t query_id = 0,
+                                                          size_t capacity = 1024);
+
+  // The standing-query engine itself (stats, watermark). Never null.
+  StandingQueryEngine* standing() const { return standing_.get(); }
 
   // --- Introspection -------------------------------------------------------
 
@@ -731,6 +754,13 @@ class Loom {
   mutable std::mutex demote_mu_;
   // Next chunk-log frame address to consider for demotion.
   uint64_t demote_cursor_ = 0;
+
+  // Standing-query engine (null when enable_chunk_index is off — standing
+  // evaluation folds ChunkSummaries, so without summaries there is nothing
+  // to evaluate). Fed from the seal path: FinalizeChunk inline, or
+  // ApplyChunkSeal on the sealing thread when pipelined. Declared after the
+  // logs: its rescan callback reads the record log.
+  std::unique_ptr<StandingQueryEngine> standing_;
 
   // Decoded chunk-summary cache (null when disabled). Query threads only.
   std::unique_ptr<SummaryCache> summary_cache_;

@@ -1,0 +1,44 @@
+// Daemon configuration parsing: one place that maps textual config —
+// command-line "--key value" pairs or "key = value" file lines — onto
+// DaemonOptions, so every engine knob a deployment needs (including the
+// tiered-storage knobs archive_dir / demote_interval_ms /
+// demote_batch_chunks, which PR 6 left engine-only) is reachable without
+// recompiling the embedding binary.
+//
+// Key names use the underscore form of the LoomOptions / DaemonOptions
+// field ("archive_dir"); flags additionally accept the dashed form
+// ("--archive-dir"). Unknown keys and malformed values are errors — a typo
+// silently falling back to a default is how retention misconfigurations
+// ship.
+
+#ifndef SRC_DAEMON_DAEMON_CONFIG_H_
+#define SRC_DAEMON_DAEMON_CONFIG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/daemon/monitoring_daemon.h"
+
+namespace loom {
+
+// Applies one key/value pair onto `options`. Accepts underscores or dashes
+// in the key. Returns InvalidArgument for unknown keys or unparseable
+// values.
+Status ApplyDaemonConfigOption(DaemonOptions* options, std::string_view key,
+                               std::string_view value);
+
+// Parses "--key value" / "--key=value" argument pairs (the daemon's flag
+// surface) on top of `base`. Boolean keys accept "true/false/1/0/on/off".
+Result<DaemonOptions> ParseDaemonConfigArgs(const std::vector<std::string>& args,
+                                            DaemonOptions base = {});
+
+// Parses "key = value" lines ('#' comments, blank lines ignored) on top of
+// `base` — the config-file surface.
+Result<DaemonOptions> ParseDaemonConfigText(std::string_view text,
+                                            DaemonOptions base = {});
+
+}  // namespace loom
+
+#endif  // SRC_DAEMON_DAEMON_CONFIG_H_

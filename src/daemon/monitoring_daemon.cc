@@ -28,6 +28,24 @@ void EncodeSelfSample(uint32_t id, double value, uint8_t* out) {
 
 }  // namespace
 
+std::vector<SelfWatch> DefaultSelfWatches() {
+  std::vector<SelfWatch> watches;
+  SelfWatch drops;
+  drops.metric = "loom_daemon_dropped_records_total";
+  drops.aggregate = StandingAggregate::kSum;  // deltas, so sum = drops/window
+  drops.alert.kind = StandingAlertRule::Kind::kAbove;
+  drops.alert.threshold = 0.0;
+  drops.alert.for_windows = 1;
+  watches.push_back(std::move(drops));
+  SelfWatch cache_hits;
+  // Exported as a gauge (cumulative value, not a delta): kMax per window is
+  // the hit count as of the window's end, so dashboards difference windows.
+  cache_hits.metric = "loom_cache_hits_total";
+  cache_hits.aggregate = StandingAggregate::kMax;
+  watches.push_back(std::move(cache_hits));
+  return watches;
+}
+
 Loom::IndexFunc SelfValueIndexFunc(const std::string& metric_name) {
   const uint32_t want = SelfMetricId(metric_name);
   return [want](std::span<const uint8_t> payload) -> std::optional<double> {
@@ -258,10 +276,48 @@ void MonitoringDaemon::PushSelfTelemetrySamples() {
   }
 }
 
+std::vector<std::pair<std::string, uint64_t>> MonitoringDaemon::self_watch_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return self_watch_ids_;
+}
+
+void MonitoringDaemon::InstallSelfWatches() {
+  // Runs first thing on the ingest thread, before any pending op: callers
+  // whose AddSource/AddIndex completed are therefore ordered after the
+  // watches exist. Index definitions must run here (single-writer contract).
+  std::vector<std::pair<std::string, uint64_t>> installed;
+  for (const SelfWatch& watch : options_.self_watches) {
+    auto spec = HistogramSpec::Exponential(1.0, 2.0, 20);
+    if (!spec.ok()) {
+      continue;
+    }
+    auto index =
+        loom_->DefineIndex(kSelfTelemetrySourceId, SelfValueIndexFunc(watch.metric),
+                           std::move(spec.value()));
+    if (!index.ok()) {
+      continue;
+    }
+    StandingQuerySpec query;
+    query.name = watch.metric;
+    query.source_id = kSelfTelemetrySourceId;
+    query.index_id = index.value();
+    query.aggregate = watch.aggregate;
+    query.window_nanos = watch.window_nanos;
+    query.alert = watch.alert;
+    auto id = loom_->RegisterStandingQuery(query);
+    if (id.ok()) {
+      installed.emplace_back(watch.metric, id.value());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  self_watch_ids_ = std::move(installed);
+}
+
 void MonitoringDaemon::IngestMain() {
   size_t rr = 0;  // round-robin cursor over channels
   if (options_.self_telemetry) {
     (void)loom_->DefineSource(kSelfTelemetrySourceId);
+    InstallSelfWatches();
     last_self_sample_nanos_ = MetricsNowNanos();
   }
   for (;;) {

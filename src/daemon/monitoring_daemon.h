@@ -39,6 +39,23 @@ namespace loom {
 // sentinel (0xFFFFFFFF).
 inline constexpr uint32_t kSelfTelemetrySourceId = 0xFFFFFF00u;
 
+// A standing watch the daemon installs over its own self-telemetry stream:
+// one metric name (by exact registry name; counters arrive as per-sample
+// deltas, so kSum over a window is the metric's increase in that window),
+// aggregated per window, with an optional alert rule. The first consumer of
+// standing queries is Loom watching itself.
+struct SelfWatch {
+  std::string metric;
+  StandingAggregate aggregate = StandingAggregate::kSum;
+  uint64_t window_nanos = 200'000'000;  // 200 ms
+  StandingAlertRule alert;
+};
+
+// The default self-watch set: alert when the daemon drops records at its
+// front door (any drop in a window), and surface the summary-cache hit rate
+// per window for dashboards (no alert rule — cold starts would flap).
+std::vector<SelfWatch> DefaultSelfWatches();
+
 struct DaemonOptions {
   LoomOptions loom;
   // Per-source channel capacity (records). Rounded up to a power of two.
@@ -52,6 +69,10 @@ struct DaemonOptions {
   // gauges as values, histograms as mean-over-period under "<name>:mean".
   bool self_telemetry = false;
   uint64_t self_telemetry_period_nanos = 50'000'000;  // 50 ms
+  // Standing watches installed over the self-telemetry source at startup
+  // (requires self_telemetry). Empty = none; use DefaultSelfWatches() for
+  // the drop-rate alert + cache-hit watch.
+  std::vector<SelfWatch> self_watches;
 };
 
 // Stable 32-bit id (FNV-1a) of a metric name; the first field of every
@@ -125,6 +146,24 @@ class MonitoringDaemon {
   // thread's schedule; effective for records ingested afterwards).
   Result<uint32_t> AddIndex(uint32_t source_id, Loom::IndexFunc func, HistogramSpec spec);
 
+  // Registers a standing query against the engine (any thread; the index
+  // must already be defined — e.g. via AddIndex, which blocks until the
+  // ingest thread ran the definition).
+  Result<uint64_t> AddStandingQuery(const StandingQuerySpec& spec) {
+    return loom_->RegisterStandingQuery(spec);
+  }
+
+  // Subscribes to standing-query events (query_id 0 = all queries).
+  std::shared_ptr<StandingSubscription> SubscribeStanding(uint64_t query_id = 0,
+                                                          size_t capacity = 1024) {
+    return loom_->SubscribeStanding(query_id, capacity);
+  }
+
+  // The standing query ids of the installed self-watches, in
+  // options.self_watches order (empty until the ingest thread has started;
+  // installation is ordered before any AddSource/AddIndex completion).
+  std::vector<std::pair<std::string, uint64_t>> self_watch_ids() const;
+
   // Drains all channels and publishes, so tests and shutdown see everything.
   void Flush();
 
@@ -146,6 +185,7 @@ class MonitoringDaemon {
   explicit MonitoringDaemon(const DaemonOptions& options) : options_(options) {}
 
   void IngestMain();
+  void InstallSelfWatches();
   void RegisterMetrics();
   // Samples the registry and pushes the delta/value records into the
   // self-telemetry source. Ingest thread only.
@@ -187,6 +227,10 @@ class MonitoringDaemon {
   // Collection hook refreshing the aggregate queue-depth gauge; removed in
   // the destructor (the registry may be external and outlive the daemon).
   uint64_t queue_depth_hook_id_ = 0;
+
+  // Installed self-watch queries (written once by the ingest thread at
+  // startup, guarded by mu_).
+  std::vector<std::pair<std::string, uint64_t>> self_watch_ids_;
 
   // Self-telemetry sampler state (ingest thread only): previous counter /
   // histogram readings for delta computation.

@@ -56,6 +56,7 @@ Result<std::unique_ptr<IngestServer>> IngestServer::Start(MonitoringDaemon* daem
   server->bytes_metric_ = reg->AddCounter("loom_net_received_bytes");
   server->rejected_metric_ = reg->AddCounter("loom_net_rejected_total");
   server->scrapes_metric_ = reg->AddCounter("loom_net_scrapes_total");
+  server->standing_subs_metric_ = reg->AddCounter("loom_net_standing_subscriptions_total");
   server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server->listen_fd_ < 0) {
     return ErrnoStatus("socket");
@@ -85,14 +86,16 @@ Result<std::unique_ptr<IngestServer>> IngestServer::Start(MonitoringDaemon* daem
 IngestServer::~IngestServer() {
   stop_.store(true, std::memory_order_release);
   // Closing the listener unblocks accept(); shutdown is belt-and-braces.
+  // listen_fd_ itself is only overwritten after the accept thread joins —
+  // AcceptLoop reads it concurrently until then.
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
-    listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  listen_fd_ = -1;
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -114,8 +117,11 @@ void IngestServer::BindSource(uint32_t source_id, SourceChannel* channel) {
 }
 
 void IngestServer::AcceptLoop() {
+  // Set before the thread starts and stable until after it joins; reading
+  // the member in the loop would race the destructor's reset.
+  const int listen_fd = listen_fd_;
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stop_.load(std::memory_order_acquire)) {
         return;
@@ -200,6 +206,15 @@ void IngestServer::ConnectionLoop(int fd) {
       ::close(fd);
       return;
     }
+    // Standing-query text commands ride the same first-bytes dispatch:
+    // "SUB " / "REG " decode to source ids 0x20425553 / 0x20474552, outside
+    // any plausible source range just like "GET ".
+    if (first_wave && buf.size() >= 4 &&
+        (std::memcmp(buf.data(), "SUB ", 4) == 0 || std::memcmp(buf.data(), "REG ", 4) == 0)) {
+      ServeStanding(fd, std::move(buf));
+      ::close(fd);
+      return;
+    }
     first_wave = false;
     while (buf.size() - start < kMaxBatchBytes) {
       auto more = fill(/*nonblocking=*/true);
@@ -277,6 +292,180 @@ void IngestServer::ServeMetrics(int fd) {
   (void)WriteFull(fd, reinterpret_cast<const uint8_t*>(response.data()), response.size());
 }
 
+namespace {
+
+Status WriteLine(int fd, const std::string& line) {
+  return WriteFull(fd, reinterpret_cast<const uint8_t*>(line.data()), line.size());
+}
+
+std::vector<std::string> SplitTokens(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+      ++i;
+    }
+    size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') {
+      ++j;
+    }
+    if (j > i) {
+      out.push_back(s.substr(i, j - i));
+    }
+    i = j;
+  }
+  return out;
+}
+
+bool ParseU64Token(const std::string& tok, uint64_t* out) {
+  if (tok.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::string FormatEventLine(const StandingEvent& ev) {
+  char buf[256];
+  if (ev.kind == StandingEvent::Kind::kWindow) {
+    const StandingWindowResult& w = ev.window;
+    char value[40];
+    if (w.has_value) {
+      snprintf(value, sizeof(value), "%.17g", w.value);
+    } else {
+      snprintf(value, sizeof(value), "nan");
+    }
+    snprintf(buf, sizeof(buf), "WINDOW %llu %llu %llu %llu %llu %s %d\n",
+             static_cast<unsigned long long>(w.query_id),
+             static_cast<unsigned long long>(w.window_index),
+             static_cast<unsigned long long>(w.window_start),
+             static_cast<unsigned long long>(w.window_end),
+             static_cast<unsigned long long>(w.count), value, w.alert_firing ? 1 : 0);
+  } else {
+    const StandingAlertEvent& a = ev.alert;
+    snprintf(buf, sizeof(buf), "ALERT %llu %s %llu %llu %.17g %.17g\n",
+             static_cast<unsigned long long>(a.query_id), a.firing ? "FIRING" : "RESOLVED",
+             static_cast<unsigned long long>(a.window_start),
+             static_cast<unsigned long long>(a.window_end), a.value, a.threshold);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void IngestServer::ServeStanding(int fd, std::vector<uint8_t> initial) {
+  // Complete the command line (the first wave may have split it).
+  std::string line(initial.begin(), initial.end());
+  while (line.find('\n') == std::string::npos) {
+    if (line.size() > 1024) {
+      (void)WriteLine(fd, "ERR command line too long\n");
+      return;
+    }
+    char chunk[256];
+    ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    if (r <= 0) {
+      return;  // client went away mid-command
+    }
+    line.append(chunk, static_cast<size_t>(r));
+  }
+  line.resize(line.find('\n'));
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+
+  std::vector<std::string> tok = SplitTokens(line);
+  if (tok.empty()) {
+    (void)WriteLine(fd, "ERR empty command\n");
+    return;
+  }
+  if (tok[0] == "SUB") {
+    uint64_t query_id = 0;
+    if (tok.size() != 2 || !ParseU64Token(tok[1], &query_id)) {
+      (void)WriteLine(fd, "ERR usage: SUB <query_id>\n");
+      return;
+    }
+    if (!WriteLine(fd, "OK\n").ok()) {
+      return;
+    }
+    standing_subs_metric_->Increment();
+    StreamStandingEvents(fd, query_id);
+    return;
+  }
+  // REG <name> <source_id> <index_id> <aggregate> <window_nanos>
+  //     [<kind> <threshold> <for_windows>]
+  if (tok.size() != 6 && tok.size() != 9) {
+    (void)WriteLine(fd,
+                    "ERR usage: REG <name> <source_id> <index_id> <aggregate> "
+                    "<window_nanos> [<above|below|outlier> <threshold> <for_windows>]\n");
+    return;
+  }
+  StandingQuerySpec spec;
+  spec.name = tok[1];
+  uint64_t source_id = 0;
+  uint64_t index_id = 0;
+  auto aggregate = ParseStandingAggregate(tok[4]);
+  if (!ParseU64Token(tok[2], &source_id) || !ParseU64Token(tok[3], &index_id) ||
+      !aggregate.ok() || !ParseU64Token(tok[5], &spec.window_nanos)) {
+    (void)WriteLine(fd, "ERR bad REG arguments\n");
+    return;
+  }
+  spec.source_id = static_cast<uint32_t>(source_id);
+  spec.index_id = static_cast<uint32_t>(index_id);
+  spec.aggregate = aggregate.value();
+  if (tok.size() == 9) {
+    auto kind = ParseStandingAlertKind(tok[6]);
+    uint64_t for_windows = 0;
+    char* end = nullptr;
+    const double threshold = strtod(tok[7].c_str(), &end);
+    if (!kind.ok() || end != tok[7].c_str() + tok[7].size() ||
+        !ParseU64Token(tok[8], &for_windows)) {
+      (void)WriteLine(fd, "ERR bad alert rule\n");
+      return;
+    }
+    spec.alert.kind = kind.value();
+    spec.alert.threshold = threshold;
+    spec.alert.for_windows = static_cast<uint32_t>(for_windows);
+  }
+  auto id = daemon_->AddStandingQuery(spec);
+  if (!id.ok()) {
+    (void)WriteLine(fd, "ERR " + id.status().message() + "\n");
+    return;
+  }
+  (void)WriteLine(fd, "OK " + std::to_string(id.value()) + "\n");
+}
+
+void IngestServer::StreamStandingEvents(int fd, uint64_t query_id) {
+  std::shared_ptr<StandingSubscription> sub = daemon_->SubscribeStanding(query_id, 4096);
+  if (sub == nullptr) {
+    (void)WriteLine(fd, "ERR standing queries unavailable\n");
+    return;
+  }
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<StandingEvent> events = sub->Poll(128, 200);
+    bool write_failed = false;
+    for (const StandingEvent& ev : events) {
+      const std::string line = FormatEventLine(ev);
+      if (!WriteLine(fd, line).ok()) {
+        write_failed = true;
+        break;
+      }
+    }
+    if (write_failed) {
+      break;
+    }
+  }
+  sub->Close();  // detaches from the engine at its next publish
+}
+
 IngestServerStats IngestServer::stats() const {
   IngestServerStats s;
   s.connections = connections_.load(std::memory_order_relaxed);
@@ -307,6 +496,69 @@ Result<std::unique_ptr<IngestClient>> IngestClient::Connect(const std::string& h
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::unique_ptr<IngestClient>(new IngestClient(fd));
+}
+
+Result<std::unique_ptr<WatchClient>> WatchClient::Connect(const std::string& host,
+                                                          uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = ErrnoStatus("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<WatchClient>(new WatchClient(fd));
+}
+
+WatchClient::~WatchClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status WatchClient::SendLine(const std::string& line) {
+  std::string out = line;
+  if (out.empty() || out.back() != '\n') {
+    out.push_back('\n');
+  }
+  return WriteFull(fd_, reinterpret_cast<const uint8_t*>(out.data()), out.size());
+}
+
+Result<std::string> WatchClient::ReadLine() {
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return line;
+    }
+    char chunk[4096];
+    ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("recv");
+    }
+    if (r == 0) {
+      return Status::IoError("connection closed");
+    }
+    buf_.append(chunk, static_cast<size_t>(r));
+  }
 }
 
 IngestClient::~IngestClient() {

@@ -21,6 +21,19 @@
 // carrying the registry in Prometheus text format and then closed (the
 // binary framing above can never start with those bytes — they would decode
 // as source id 0x20544547). `curl http://127.0.0.1:<port>/metrics` works.
+//
+// It is also the standing-query front door, with the same first-bytes
+// dispatch ("SUB " / "REG " decode to no plausible source id either):
+//
+//   REG <name> <source_id> <index_id> <aggregate> <window_nanos>
+//       [<above|below|outlier> <threshold> <for_windows>]\n
+//     -> "OK <query_id>\n" or "ERR <message>\n", then close.
+//
+//   SUB <query_id>\n        (0 subscribes to every standing query)
+//     -> "OK\n", then one line per event until either side closes:
+//        WINDOW <query_id> <window_index> <start> <end> <count> <value> <firing>
+//        ALERT <query_id> <FIRING|RESOLVED> <window_start> <window_end> <value> <threshold>
+//     <value> is printed with %.17g ("nan" when the window has no value).
 
 #ifndef SRC_NET_INGEST_SERVER_H_
 #define SRC_NET_INGEST_SERVER_H_
@@ -71,6 +84,10 @@ class IngestServer {
   void ConnectionLoop(int fd);
   // Serves one HTTP metrics scrape on `fd` (headers + Prometheus body).
   void ServeMetrics(int fd);
+  // Serves one "SUB "/"REG " standing-query command whose first bytes are
+  // already in `initial`; reads the rest of the line itself.
+  void ServeStanding(int fd, std::vector<uint8_t> initial);
+  void StreamStandingEvents(int fd, uint64_t query_id);
 
   MonitoringDaemon* daemon_;
   int listen_fd_ = -1;
@@ -94,6 +111,31 @@ class IngestServer {
   Counter* bytes_metric_ = nullptr;
   Counter* rejected_metric_ = nullptr;
   Counter* scrapes_metric_ = nullptr;
+  Counter* standing_subs_metric_ = nullptr;
+};
+
+// Client side of the standing-query text protocol: sends SUB/REG command
+// lines and reads response/event lines. Used by `loom_cli watch` and tests.
+class WatchClient {
+ public:
+  static Result<std::unique_ptr<WatchClient>> Connect(const std::string& host, uint16_t port);
+  ~WatchClient();
+
+  WatchClient(const WatchClient&) = delete;
+  WatchClient& operator=(const WatchClient&) = delete;
+
+  // Sends one command line ("\n" appended if missing).
+  Status SendLine(const std::string& line);
+
+  // Blocks for the next "\n"-terminated line (returned without the
+  // terminator). IoError("connection closed") on EOF.
+  Result<std::string> ReadLine();
+
+ private:
+  explicit WatchClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buf_;
 };
 
 // Client side: buffers records and writes them to the server.

@@ -6,12 +6,13 @@ namespace loom {
 
 TraceSink::TraceSink(Loom* engine, TimestampNanos window_nanos, SummaryCallback on_window)
     : engine_(engine), window_nanos_(window_nanos), on_window_(std::move(on_window)) {
+  // The engine registry is never null, and registering here (rather than
+  // keeping sink-local counters) is what makes these visible to /metrics
+  // scrapes and queryable through SelfTelemetry.
   MetricsRegistry* reg = engine_->metrics();
-  if (reg != nullptr) {
-    windows_emitted_metric_ = reg->AddCounter("loom_sink_windows_emitted_total");
-    windows_skipped_metric_ = reg->AddCounter("loom_sink_windows_skipped_total");
-    late_events_metric_ = reg->AddCounter("loom_sink_late_events_total");
-  }
+  windows_emitted_metric_ = reg->AddCounter("loom_sink_windows_emitted_total");
+  windows_skipped_metric_ = reg->AddCounter("loom_sink_windows_skipped_total");
+  late_events_metric_ = reg->AddCounter("loom_sink_late_events_total");
 }
 
 Status TraceSink::AddSource(uint32_t source_id, Loom::IndexFunc value_func, HistogramSpec spec) {
@@ -39,10 +40,14 @@ Status TraceSink::OnEvent(uint32_t source_id, std::span<const uint8_t> payload) 
   SourceAgg& agg = it->second;
 
   // Full-fidelity capture first: the raw event is always retrievable later.
-  LOOM_RETURN_IF_ERROR(engine_->Push(source_id, payload));
-  const TimestampNanos now = engine_->Now();
+  // Window assignment uses the timestamp Loom actually stamped on the
+  // record, not a second clock read after the append — a seal or flush
+  // inside Push could otherwise advance the clock and bin the summary one
+  // window later than the stored record it describes.
+  TimestampNanos now = 0;
+  LOOM_RETURN_IF_ERROR(engine_->Push(source_id, payload, &now));
 
-  if (agg.open && now < agg.window_start && late_events_metric_ != nullptr) {
+  if (agg.open && now < agg.window_start) {
     // The engine clock is monotonic, but injected test clocks (and fleet
     // members with skew) can hand us an event before its open window. It is
     // still aggregated; the counter makes the skew visible.
@@ -54,7 +59,7 @@ Status TraceSink::OnEvent(uint32_t source_id, std::span<const uint8_t> payload) 
     // Windows that fully elapsed between the emitted one and the one this
     // event lands in produced no summary — the streaming model silently
     // shows nothing for them, so count them.
-    if (window_nanos_ != 0 && windows_skipped_metric_ != nullptr && now >= emitted_end) {
+    if (window_nanos_ != 0 && now >= emitted_end) {
       windows_skipped_metric_->Increment((now - emitted_end) / window_nanos_);
     }
   }
@@ -90,9 +95,7 @@ void TraceSink::Emit(uint32_t source_id, SourceAgg& agg, TimestampNanos window_e
   if (on_window_) {
     on_window_(agg.current);
   }
-  if (windows_emitted_metric_ != nullptr) {
-    windows_emitted_metric_->Increment();
-  }
+  windows_emitted_metric_->Increment();
   agg.open = false;
 }
 

@@ -191,5 +191,72 @@ TEST_F(ObservabilityTest, SelfMetricIdIsStableAndIndexFuncFilters) {
   EXPECT_FALSE(func(std::span<const uint8_t>(sample, 8)).has_value());
 }
 
+// --- Self-watch alerts end to end -----------------------------------------
+
+// Loom watching itself: the default self-watches turn the daemon's own
+// dropped-records metric into a standing alert, and the TCP subscription
+// stream delivers the FIRING and RESOLVED transitions to a live client.
+TEST(SelfWatchAlertTest, DropsAlertFiresAndResolvesOverSubscription) {
+  TempDir dir;
+  DaemonOptions opts;
+  opts.loom.dir = dir.FilePath("daemon");
+  opts.loom.chunk_size = 4 << 10;  // seal often so windows close promptly
+  opts.self_telemetry = true;
+  opts.self_telemetry_period_nanos = 2'000'000;  // 2 ms
+  opts.channel_capacity = 8;                     // tiny: flooding must drop
+  opts.self_watches = DefaultSelfWatches();
+  auto daemon = MonitoringDaemon::Start(opts);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  // The watches install on the ingest thread before any other op completes.
+  ASSERT_TRUE(WaitUntil([&] { return (*daemon)->self_watch_ids().size() == 2; }));
+
+  auto server = IngestServer::Start(daemon->get(), 0);
+  ASSERT_TRUE(server.ok());
+  auto sub = WatchClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE((*sub)->SendLine("SUB 0").ok());
+  auto ok = (*sub)->ReadLine();
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok.value(), "OK");
+
+  // Flood a tiny unserved channel until drops are recorded; the drops
+  // self-watch (sum of per-tick deltas > 0) must fire within a window or
+  // two, then resolve once the flood stops and deltas return to zero.
+  auto channel = (*daemon)->AddSource(kAppSource);
+  ASSERT_TRUE(channel.ok());
+  std::vector<uint8_t> payload(32, 0);
+  uint64_t dropped = 0;
+  for (int i = 0; i < 200'000 && dropped == 0; ++i) {
+    channel.value()->Offer(payload);
+    dropped = channel.value()->stats().dropped;
+  }
+  ASSERT_GT(dropped, 0u);
+
+  bool fired = false;
+  bool resolved = false;
+  for (int i = 0; i < 200 && !(fired && resolved); ++i) {
+    auto line = (*sub)->ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    if (line.value().rfind("ALERT ", 0) != 0) {
+      continue;
+    }
+    if (line.value().find(" FIRING ") != std::string::npos) {
+      EXPECT_FALSE(fired) << "alert fired twice without resolving";
+      fired = true;
+    } else if (line.value().find(" RESOLVED ") != std::string::npos) {
+      EXPECT_TRUE(fired) << "resolved before firing: " << line.value();
+      resolved = true;
+    }
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(resolved);
+
+  // The alert transitions are also visible in the standing metric family.
+  MetricsSnapshot snap = (*daemon)->metrics()->Snapshot();
+  EXPECT_GE(snap.counters.at("loom_standing_alerts_fired_total"), 1u);
+  EXPECT_GE(snap.counters.at("loom_standing_alerts_resolved_total"), 1u);
+  EXPECT_GE(snap.counters.at("loom_standing_windows_emitted_total"), 1u);
+}
+
 }  // namespace
 }  // namespace loom

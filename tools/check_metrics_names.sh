@@ -138,6 +138,36 @@ for name in $required_tier; do
   fi
 done
 
+# The standing-query family: evaluation cost, window/alert lifecycle, and
+# subscription backpressure (DESIGN.md "Standing queries"), plus the sink
+# counters and the daemon front door's subscription counter that ride on it.
+required_standing="
+loom_standing_evaluations_total
+loom_standing_windows_emitted_total
+loom_standing_windows_empty_total
+loom_standing_late_windows_total
+loom_standing_alerts_fired_total
+loom_standing_alerts_resolved_total
+loom_standing_events_dropped_total
+loom_standing_chunk_scans_total
+loom_standing_scan_failures_total
+loom_standing_eval_seconds
+loom_standing_queries
+loom_standing_subscribers
+loom_standing_subscriber_lag_events
+loom_net_standing_subscriptions_total
+loom_sink_windows_emitted_total
+loom_sink_windows_skipped_total
+loom_sink_late_events_total
+"
+for name in $required_standing; do
+  total=$((total + 1))
+  if ! printf '%s\n' "$all_names" | grep -qx "$name"; then
+    echo "BAD  $name  (required standing-query metric is no longer registered)" >&2
+    fail=1
+  fi
+done
+
 if [ "$total" -lt 30 ]; then
   echo "BAD  extraction found only $total checked names; the grep patterns no longer match" \
     "the registration call sites" >&2

@@ -15,6 +15,11 @@
 //             [--start T] [--end T]
 //   topk      largest indexed values
 //             --dir DIR --source N --extract NAME --k K
+//   watch     subscribe to a live daemon's standing-query event stream
+//             --host H --port P [--query ID] [--limit K]
+//             [--register "NAME SRC IDX AGG WINDOW_NS [KIND THRESH FOR]"]
+//             (--register first REGisters a standing query on the daemon and
+//             subscribes to it; flag value is the REG argument list)
 //
 // --extract names a well-known field extractor:
 //   app_latency | syscall_latency | pread64_latency | packet_dport | value8
@@ -29,6 +34,7 @@
 #include <string>
 
 #include "src/core/loom.h"
+#include "src/net/ingest_server.h"
 #include "src/query/drilldown.h"
 #include "src/readback/readback.h"
 #include "src/workload/case_studies.h"
@@ -353,9 +359,71 @@ int CmdTopK(const Args& args) {
   return 0;
 }
 
+int CmdWatch(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(args.GetU64("port", 0));
+  if (port == 0) {
+    return Fail("watch requires --port");
+  }
+  uint64_t query_id = args.GetU64("query", 0);
+  const uint64_t limit = args.GetU64("limit", 0);  // 0 = stream forever
+  const std::string reg = args.Get("register");
+
+  if (!reg.empty()) {
+    // Register first on a dedicated connection (REG closes after replying),
+    // then subscribe to the id it returned.
+    auto client = WatchClient::Connect(host, port);
+    if (!client.ok()) {
+      return Fail(client.status().ToString());
+    }
+    Status st = (*client)->SendLine("REG " + reg);
+    if (!st.ok()) {
+      return Fail(st.ToString());
+    }
+    auto reply = (*client)->ReadLine();
+    if (!reply.ok()) {
+      return Fail(reply.status().ToString());
+    }
+    if (reply.value().rfind("OK ", 0) != 0) {
+      return Fail("registration failed: " + reply.value());
+    }
+    query_id = strtoull(reply.value().c_str() + 3, nullptr, 10);
+    printf("registered standing query %llu\n", static_cast<unsigned long long>(query_id));
+  }
+
+  auto client = WatchClient::Connect(host, port);
+  if (!client.ok()) {
+    return Fail(client.status().ToString());
+  }
+  Status st = (*client)->SendLine("SUB " + std::to_string(query_id));
+  if (!st.ok()) {
+    return Fail(st.ToString());
+  }
+  auto reply = (*client)->ReadLine();
+  if (!reply.ok()) {
+    return Fail(reply.status().ToString());
+  }
+  if (reply.value() != "OK") {
+    return Fail("subscribe failed: " + reply.value());
+  }
+  uint64_t shown = 0;
+  for (;;) {
+    auto line = (*client)->ReadLine();
+    if (!line.ok()) {
+      break;  // daemon went away; everything already printed
+    }
+    printf("%s\n", line.value().c_str());
+    fflush(stdout);
+    if (limit != 0 && ++shown >= limit) {
+      break;
+    }
+  }
+  return 0;
+}
+
 int Usage() {
   fprintf(stderr,
-          "usage: loom_cli <capture|sources|bounds|scan|count|agg|topk> [--flag value ...]\n"
+          "usage: loom_cli <capture|sources|bounds|scan|count|agg|topk|watch> [--flag value ...]\n"
           "see the header comment of tools/loom_cli.cc for full flag lists\n");
   return 2;
 }
@@ -386,6 +454,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "topk") {
     return CmdTopK(args);
+  }
+  if (args.command == "watch") {
+    return CmdWatch(args);
   }
   return Usage();
 }

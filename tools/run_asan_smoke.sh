@@ -15,6 +15,8 @@
 #                              the crash-safe tmp/rename write protocol
 #   export_test                the export gather/sort/encode path through the
 #                              shared ArchiveWriter
+#   standing_query_test        seal-path window accumulators, the shared
+#                              chunk-rescan cache, and event queue teardown
 #
 # Wired as a ctest (asan_smoke) in the default build so `ctest` exercises it;
 # run manually from anywhere:
@@ -27,11 +29,12 @@ build="$repo/build-asan"
 
 cmake --preset asan -S "$repo" >/dev/null
 cmake --build "$build" --target loom_ingest_pipeline_test hybridlog_test \
-  tiering_test export_test -j "$(nproc)"
+  tiering_test export_test standing_query_test -j "$(nproc)"
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 "$build/tests/loom_ingest_pipeline_test"
 "$build/tests/hybridlog_test"
 "$build/tests/tiering_test"
 "$build/tests/export_test"
+"$build/tests/standing_query_test"
 echo "asan smoke: OK"
