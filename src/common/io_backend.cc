@@ -1,8 +1,10 @@
 #include "src/common/io_backend.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #if defined(__linux__) && __has_include(<linux/io_uring.h>)
 #include <linux/io_uring.h>
@@ -12,10 +14,16 @@
 #if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
 #define LOOM_HAS_IO_URING 1
 #endif
+#if defined(__NR_io_uring_register)
+#define LOOM_HAS_IO_URING_REGISTER 1
+#endif
 #endif
 
 #ifndef LOOM_HAS_IO_URING
 #define LOOM_HAS_IO_URING 0
+#endif
+#ifndef LOOM_HAS_IO_URING_REGISTER
+#define LOOM_HAS_IO_URING_REGISTER 0
 #endif
 
 namespace loom {
@@ -125,9 +133,38 @@ class IoUringBlockWriter final : public BlockWriter {
 
   ~IoUringBlockWriter() override { Teardown(); }
 
+  bool RegisterBuffers(const struct iovec* buffers, unsigned count) override {
+#if LOOM_HAS_IO_URING_REGISTER
+    if (!ok_ || count == 0) {
+      return false;
+    }
+    // The register call pins the pages up front; EPERM/ENOMEM (locked-memory
+    // rlimits) or ENOSYS (seccomp) mean the probe fails and the plain WRITEV
+    // path keeps working untouched.
+    if (::syscall(__NR_io_uring_register, ring_fd_, IORING_REGISTER_BUFFERS, buffers,
+                  count) != 0) {
+      return false;
+    }
+    fixed_.assign(buffers, buffers + count);
+    return true;
+#else
+    (void)buffers;
+    (void)count;
+    return false;
+#endif
+  }
+
   Status WriteV(File& file, uint64_t offset, const struct iovec* iov, int iovcnt) override {
     if (!ok_) {
       return SyncWriteV(file, offset, iov, iovcnt);
+    }
+    if (!fixed_.empty()) {
+      Status st = Status::Ok();
+      if (TryWriteFixed(file, offset, iov, iovcnt, &st)) {
+        return st;
+      }
+      // A segment fell outside the registered set (e.g. a bounce buffer);
+      // degrade this one submission to the plain vectored path.
     }
     const unsigned tail = *sq_tail_;
     const unsigned idx = tail & *sq_mask_;
@@ -186,10 +223,116 @@ class IoUringBlockWriter final : public BlockWriter {
     return Status::Ok();
   }
 
-  const char* name() const override { return ok_ ? "io_uring" : "sync"; }
+  const char* name() const override {
+    if (!ok_) {
+      return "sync";
+    }
+    return fixed_.empty() ? "io_uring" : "io_uring_fixed";
+  }
 
  private:
   static constexpr unsigned kEntries = 8;
+
+  // Maps `base`/`len` onto a registered buffer index; nullopt when the
+  // segment is not a prefix of any registered buffer.
+  std::optional<unsigned> FixedIndexOf(const void* base, size_t len) const {
+    for (unsigned k = 0; k < fixed_.size(); ++k) {
+      if (fixed_[k].iov_base == base && len <= fixed_[k].iov_len) {
+        return k;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Fixed-buffer submission: one IORING_OP_WRITE_FIXED sqe per iov segment
+  // (the opcode takes a single registered buffer, not a vector), batched up
+  // to the ring size per io_uring_enter. Returns false — without touching the
+  // ring — when any segment is not registered, so the caller can fall back
+  // to one plain WRITEV. On true, `*out` is the submission's status.
+  bool TryWriteFixed(File& file, uint64_t offset, const struct iovec* iov, int iovcnt,
+                     Status* out) {
+    std::array<unsigned, 64> buf_index;
+    if (iovcnt <= 0 || static_cast<size_t>(iovcnt) > buf_index.size()) {
+      return false;
+    }
+    for (int i = 0; i < iovcnt; ++i) {
+      auto k = FixedIndexOf(iov[i].iov_base, iov[i].iov_len);
+      if (!k.has_value()) {
+        return false;
+      }
+      buf_index[static_cast<size_t>(i)] = *k;
+    }
+    uint64_t seg_off = offset;
+    int next = 0;
+    while (next < iovcnt) {
+      const int group = std::min<int>(iovcnt - next, static_cast<int>(kEntries));
+      const uint64_t group_off = seg_off;
+      unsigned tail = *sq_tail_;
+      for (int i = 0; i < group; ++i) {
+        const unsigned idx = (tail + static_cast<unsigned>(i)) & *sq_mask_;
+        struct io_uring_sqe* sqe = &sqes_[idx];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_WRITE_FIXED;
+        sqe->fd = file.fd();
+        sqe->off = seg_off;
+        sqe->addr = reinterpret_cast<uint64_t>(iov[next + i].iov_base);
+        sqe->len = static_cast<uint32_t>(iov[next + i].iov_len);
+        sqe->buf_index = static_cast<uint16_t>(buf_index[static_cast<size_t>(next + i)]);
+        sqe->user_data = static_cast<uint64_t>(i);
+        sq_array_[idx] = idx;
+        seg_off += iov[next + i].iov_len;
+      }
+      __atomic_store_n(sq_tail_, tail + static_cast<unsigned>(group), __ATOMIC_RELEASE);
+      if (IoUringEnter(ring_fd_, static_cast<unsigned>(group), static_cast<unsigned>(group),
+                       IORING_ENTER_GETEVENTS) < 0) {
+        // Mirrors the WRITEV path: a failed enter never reached the kernel
+        // queue, so the synchronous path finishes the remaining segments.
+        *out = SyncWriteV(file, group_off, iov + next, iovcnt - next);
+        return true;
+      }
+      // Collect exactly `group` completions (they may retire out of order;
+      // user_data identifies the segment within this group).
+      for (int done = 0; done < group;) {
+        unsigned head = __atomic_load_n(cq_head_, __ATOMIC_ACQUIRE);
+        if (head == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) {
+          if (IoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS) < 0) {
+            *out = Status::IoError("io_uring_enter wait failed on " + file.path());
+            return true;
+          }
+          continue;
+        }
+        const struct io_uring_cqe& cqe = cqes_[head & *cq_mask_];
+        const int seg = next + static_cast<int>(cqe.user_data);
+        const int res = cqe.res;
+        __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+        ++done;
+        if (res < 0) {
+          *out = Status::IoError("io_uring write_fixed " + file.path() + ": " +
+                                 std::strerror(-res));
+          return true;
+        }
+        const size_t len = iov[seg].iov_len;
+        if (static_cast<size_t>(res) < len) {
+          // Short write: finish this segment's tail synchronously.
+          uint64_t base_off = offset;
+          for (int j = 0; j < seg; ++j) {
+            base_off += iov[j].iov_len;
+          }
+          const uint8_t* base =
+              static_cast<const uint8_t*>(iov[seg].iov_base) + static_cast<size_t>(res);
+          Status st = file.PWriteAll(base_off + static_cast<size_t>(res),
+                                     std::span<const uint8_t>(base, len - static_cast<size_t>(res)));
+          if (!st.ok()) {
+            *out = st;
+            return true;
+          }
+        }
+      }
+      next += group;
+    }
+    *out = Status::Ok();
+    return true;
+  }
 
   void Teardown() {
     if (sqes_ != nullptr) {
@@ -213,6 +356,9 @@ class IoUringBlockWriter final : public BlockWriter {
 
   int ring_fd_ = -1;
   bool ok_ = false;
+  // Registered fixed buffers (empty until RegisterBuffers succeeds). Written
+  // once before the flusher starts; read-only afterwards.
+  std::vector<struct iovec> fixed_;
   void* sq_ring_ = nullptr;
   void* cq_ring_ = nullptr;
   size_t sq_ring_sz_ = 0;
@@ -280,6 +426,8 @@ IoBackend ResolveIoBackend(IoBackend requested) {
   // kAuto (no env override) and kIoUring both want io_uring when it exists.
   return IoUringAvailable() ? IoBackend::kIoUring : IoBackend::kSync;
 }
+
+bool IoUringRegisterSupported() { return LOOM_HAS_IO_URING_REGISTER != 0; }
 
 std::unique_ptr<BlockWriter> MakeBlockWriter(IoBackend resolved) {
 #if LOOM_HAS_IO_URING

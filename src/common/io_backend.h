@@ -64,6 +64,21 @@ class BlockWriter {
  public:
   virtual ~BlockWriter() = default;
   virtual Status WriteV(File& file, uint64_t offset, const struct iovec* iov, int iovcnt) = 0;
+
+  // Registers the caller's long-lived buffers (e.g. the hybrid log's block
+  // slot ring) for fixed-buffer submission. After a successful registration,
+  // WriteV segments that exactly cover a registered buffer's prefix are
+  // submitted as IORING_OP_WRITE_FIXED — the kernel skips the per-call page
+  // pinning that plain WRITEV pays. The buffers must stay mapped for the
+  // writer's lifetime. Returns true when fixed submission is active; the
+  // default (and any backend or kernel without support) returns false and
+  // WriteV keeps using the plain vectored path — callers never need to care.
+  virtual bool RegisterBuffers(const struct iovec* buffers, unsigned count) {
+    (void)buffers;
+    (void)count;
+    return false;
+  }
+
   virtual const char* name() const = 0;
 };
 
@@ -71,6 +86,11 @@ class BlockWriter {
 // first). An io_uring writer that fails ring setup falls back to the sync
 // path internally, so the returned writer always works.
 std::unique_ptr<BlockWriter> MakeBlockWriter(IoBackend resolved);
+
+// Whether this build has the io_uring_register syscall available (compile-time
+// probe; the runtime attempt is BlockWriter::RegisterBuffers itself). Exposed
+// so tests can tell an expected fallback from a broken one.
+bool IoUringRegisterSupported();
 
 }  // namespace loom
 

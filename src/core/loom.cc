@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <limits>
@@ -155,6 +156,12 @@ Status LoomOptions::Validate() {
   if (finalize_inflight_chunks == 0) {
     finalize_inflight_chunks = 1;
   }
+  if (seal_shards == 0) {
+    seal_shards = 1;
+  }
+  if (seal_shards > 32) {
+    seal_shards = 32;  // more workers than this only adds ticket contention
+  }
   if (flush_inflight_blocks == 0) {
     flush_inflight_blocks = 1;
   }
@@ -169,6 +176,16 @@ Status LoomOptions::Validate() {
 Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
   LoomOptions opts = options;
   LOOM_RETURN_IF_ERROR(opts.Validate());
+  // LOOM_INGEST (inline|pipelined) overrides the pipelined_ingest option,
+  // mirroring LOOM_SIMD / LOOM_IO: a test matrix can force either ingest
+  // path without code changes. Unset/garbage keeps the configured value.
+  if (const char* env = std::getenv("LOOM_INGEST"); env != nullptr) {
+    if (std::strcmp(env, "inline") == 0) {
+      opts.pipelined_ingest = false;
+    } else if (std::strcmp(env, "pipelined") == 0) {
+      opts.pipelined_ingest = true;
+    }
+  }
   std::error_code ec;
   std::filesystem::create_directories(opts.dir, ec);
   if (ec) {
@@ -193,6 +210,16 @@ Result<std::unique_ptr<Loom>> Loom::Open(const LoomOptions& options) {
   rec_opts.metrics_prefix = "loom_hybridlog_record";
   rec_opts.flush_inflight_blocks = opts.flush_inflight_blocks;
   rec_opts.io_backend = opts.io_backend;
+  rec_opts.sync_policy = opts.sync_policy;
+  rec_opts.group_commit_bytes = opts.group_commit_bytes;
+  rec_opts.group_commit_interval_ms = opts.group_commit_interval_ms;
+  // The record log's block slot ring is long-lived and flushed constantly:
+  // register it with the io backend so an io_uring writer can submit
+  // WRITE_FIXED (no-op everywhere else). Index logs flush rarely.
+  rec_opts.register_buffers = true;
+  rec_opts.group_commits_metric = opts.metrics->AddCounter("loom_ingest_group_commits_total");
+  rec_opts.group_commit_bytes_metric =
+      opts.metrics->AddCounter("loom_ingest_group_commit_bytes");
   // The writer needs a block to fill while a full coalescing batch is in
   // flight; only the record log gets the bigger ring (index logs flush
   // rarely and keep the double-buffer default).
@@ -276,11 +303,19 @@ Loom::Loom(const LoomOptions& options, std::unique_ptr<MetricsRegistry> owned_me
   }
   RegisterMetrics();
   if (options_.pipelined_ingest) {
-    // Started after RegisterMetrics: the sealing thread observes the
-    // finalize-latency histogram from its first applied event.
+    // Started after RegisterMetrics: the sealing workers observe the
+    // finalize-latency histogram from their first applied event. All queues
+    // exist before any worker runs so the metrics hook can sum depths.
     pipeline_active_ = true;
-    finalize_queue_ = std::make_unique<SpscQueue<SealEvent>>(1024);
-    finalizer_ = std::thread([this] { FinalizerMain(); });
+    seal_shards_.reserve(options_.seal_shards);
+    for (size_t i = 0; i < options_.seal_shards; ++i) {
+      auto shard = std::make_unique<SealShard>();
+      shard->queue = std::make_unique<SpscQueue<SealEvent>>(1024);
+      seal_shards_.push_back(std::move(shard));
+    }
+    for (size_t i = 0; i < seal_shards_.size(); ++i) {
+      seal_shards_[i]->worker = std::thread([this, i] { SealShardMain(i); });
+    }
   }
 }
 
@@ -426,18 +461,35 @@ void Loom::RegisterMetrics() {
     Gauge* writer_stall = metrics_->AddGauge("loom_ingest_writer_stall_seconds_total");
     Gauge* flush_depth = metrics_->AddGauge("loom_ingest_flush_queue_depth");
     Gauge* finalize_depth = metrics_->AddGauge("loom_ingest_finalize_queue_depth");
+    Gauge* shard_depth_max = metrics_->AddGauge("loom_ingest_seal_shard_queue_depth_max");
     Gauge* finalize_lag = metrics_->AddGauge("loom_ingest_finalize_lag_chunks");
+    // Sealing-worker count (0 = inline ingest), so dashboards can tell the
+    // seal topology a node runs without reading its config.
+    Gauge* seal_shards_gauge = metrics_->AddGauge("loom_ingest_seal_shards");
+    seal_shards_gauge->Set(
+        options_.pipelined_ingest ? static_cast<double>(options_.seal_shards) : 0.0);
     // Resolved flush backend as a mode gauge (0 sync, 1 io_uring), like
-    // loom_query_kernel_mode.
+    // loom_query_kernel_mode; the fixed-buffer gauge says whether the
+    // io_uring writer additionally registered the slot ring (WRITE_FIXED).
     Gauge* io_mode = metrics_->AddGauge("loom_ingest_io_backend_mode");
-    io_mode->Set(std::strcmp(record_log_->io_backend_name(), "io_uring") == 0 ? 1.0 : 0.0);
+    Gauge* write_fixed = metrics_->AddGauge("loom_ingest_io_write_fixed_mode");
+    const char* io_name = record_log_->io_backend_name();
+    io_mode->Set(std::strncmp(io_name, "io_uring", 8) == 0 ? 1.0 : 0.0);
+    write_fixed->Set(std::strcmp(io_name, "io_uring_fixed") == 0 ? 1.0 : 0.0);
     HybridLog* rec = record_log_.get();
     ingest_hook_id_ = metrics_->AddCollectionHook(
-        [this, rec, writer_stall, flush_depth, finalize_depth, finalize_lag] {
+        [this, rec, writer_stall, flush_depth, finalize_depth, shard_depth_max, finalize_lag] {
           writer_stall->Set(static_cast<double>(rec->writer_stall_nanos()) * 1e-9);
           flush_depth->Set(static_cast<double>(rec->FlushQueueDepthApprox()));
-          finalize_depth->Set(
-              finalize_queue_ ? static_cast<double>(finalize_queue_->SizeApprox()) : 0.0);
+          size_t depth_sum = 0;
+          size_t depth_max = 0;
+          for (const auto& shard : seal_shards_) {
+            const size_t d = shard->queue->SizeApprox();
+            depth_sum += d;
+            depth_max = std::max(depth_max, d);
+          }
+          finalize_depth->Set(static_cast<double>(depth_sum));
+          shard_depth_max->Set(static_cast<double>(depth_max));
           const uint64_t sealed = chunks_sealed_.load(std::memory_order_relaxed);
           const uint64_t applied = chunks_finalize_applied_.load(std::memory_order_relaxed);
           finalize_lag->Set(sealed >= applied ? static_cast<double>(sealed - applied) : 0.0);
@@ -739,14 +791,9 @@ Status Loom::FinalizeChunk(TimestampNanos now) {
   // latency (encode + two index appends) is a leading probe-effect signal.
   ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.chunk_finalize_seconds : nullptr);
   FlushSummaryStages();
-  ChunkSummary summary =
-      builder_.Finalize(active_chunk_start_, static_cast<uint32_t>(options_.chunk_size));
   m_.chunks_finalized->Increment();
-  if (!options_.enable_chunk_index) {
-    return Status::Ok();
-  }
-  if (pipeline_active_) {
-    // Publish the record log first: once the sealing thread applies this
+  if (pipeline_active_ && options_.enable_chunk_index) {
+    // Publish the record log first: once a sealing worker applies this
     // event it advances published_indexed_tail_ past the chunk, and §5.4
     // requires every record byte below that watermark (the pad tail
     // included) to be reader-visible already.
@@ -754,9 +801,16 @@ Status Loom::FinalizeChunk(TimestampNanos now) {
     m_.ingest_chunks_sealed->Increment();
     SealEvent ev;
     ev.kind = SealEvent::Kind::kChunk;
-    ev.summary = std::move(summary);
+    // Detach (cheap state move) here; the expensive materialize + encode
+    // runs on the worker, off the record hot path.
+    ev.pending = builder_.Detach(active_chunk_start_, static_cast<uint32_t>(options_.chunk_size));
     ev.ts = now;
     return EnqueueSealEvent(std::move(ev), /*is_chunk=*/true);
+  }
+  ChunkSummary summary =
+      builder_.Finalize(active_chunk_start_, static_cast<uint32_t>(options_.chunk_size));
+  if (!options_.enable_chunk_index) {
+    return Status::Ok();
   }
   std::vector<uint8_t> buf;
   buf.reserve(4 + summary.EncodedSize());
@@ -861,12 +915,20 @@ Status Loom::EnqueueSealEvent(SealEvent&& ev, bool is_chunk) {
   if (pipeline_failed_.load(std::memory_order_relaxed)) {
     return PipelineStatus();
   }
+  // Routing: chunk seals round-robin over the shards (by upcoming sequence
+  // number) so materialize + encode load-balances; markers by source hash so
+  // each source's marker chain lives on exactly one worker.
+  const size_t num_shards = seal_shards_.size();
+  const size_t shard_idx =
+      is_chunk ? static_cast<size_t>(seal_seq_next_ % num_shards)
+               : static_cast<size_t>((ev.source_id * 2654435761u) % num_shards);
+  SealShard& shard = *seal_shards_[shard_idx];
   // Backpressure: cap sealed-but-unapplied chunks at the configured budget
   // and never spin-move into a full queue. Producer-side SizeApprox is
   // exact, and only the consumer shrinks it, so a free slot stays free.
   const uint64_t budget = options_.finalize_inflight_chunks;
   const auto must_wait = [&] {
-    if (finalize_queue_->SizeApprox() >= finalize_queue_->capacity()) {
+    if (shard.queue->SizeApprox() >= shard.queue->capacity()) {
       return true;
     }
     return is_chunk && chunks_sealed_.load(std::memory_order_relaxed) -
@@ -883,24 +945,35 @@ Status Loom::EnqueueSealEvent(SealEvent&& ev, bool is_chunk) {
       return PipelineStatus();
     }
   }
+  // The sequence number is stamped only once the event is certain to be
+  // pushed: a consumed-but-never-enqueued sequence would stall the apply
+  // ticket (and with it every shard) forever.
+  ev.seq = seal_seq_next_++;
   // Counters bump before the push so applied counts never pass enqueued.
   if (is_chunk) {
     chunks_sealed_.fetch_add(1, std::memory_order_relaxed);
   }
   events_enqueued_.fetch_add(1, std::memory_order_relaxed);
-  const bool pushed = finalize_queue_->TryPush(std::move(ev));
+  const bool pushed = shard.queue->TryPush(std::move(ev));
   (void)pushed;
   assert(pushed);
   return Status::Ok();
 }
 
-void Loom::FinalizerMain() {
+void Loom::WaitSealTurn(uint64_t seq) {
+  while (seal_seq_applied_.load(std::memory_order_acquire) != seq) {
+    std::this_thread::yield();
+  }
+}
+
+void Loom::SealShardMain(size_t shard_idx) {
+  SealShard& shard = *seal_shards_[shard_idx];
   std::vector<uint8_t> encode_buf;
-  // Per-source marker chain heads: this thread owns the ts log in pipelined
-  // mode, so the chains live here, not in SourceState.
+  // Marker chain heads for the sources hashed to this shard. Source-hash
+  // routing means no other worker ever touches these chains.
   std::unordered_map<uint32_t, uint64_t> marker_chains;
   for (;;) {
-    std::optional<SealEvent> ev = finalize_queue_->TryPop();
+    std::optional<SealEvent> ev = shard.queue->TryPop();
     if (!ev.has_value()) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
       continue;
@@ -909,22 +982,40 @@ void Loom::FinalizerMain() {
       return;
     }
     Status st = Status::Ok();
-    if (!pipeline_failed_.load(std::memory_order_relaxed)) {
-      if (ev->kind == SealEvent::Kind::kChunk) {
-        ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.ingest_finalize_seconds
-                                                                 : nullptr);
-        st = ApplyChunkSeal(*ev, encode_buf);
-      } else {
+    if (ev->kind == SealEvent::Kind::kChunk) {
+      ScopedLatencyTimer timer(options_.enable_latency_metrics ? m_.ingest_finalize_seconds
+                                                               : nullptr);
+      // Parallel stage: materialize the summary and encode the chunk-log
+      // frame before taking the apply ticket — this is the expensive part of
+      // finalization, and it runs concurrently across shards.
+      ChunkSummary summary = ChunkSummaryBuilder::Materialize(std::move(ev->pending));
+      encode_buf.clear();
+      encode_buf.reserve(4 + summary.EncodedSize());
+      PutU32(encode_buf, static_cast<uint32_t>(summary.EncodedSize()));
+      summary.EncodeTo(encode_buf);
+      WaitSealTurn(ev->seq);
+      if (!pipeline_failed_.load(std::memory_order_relaxed)) {
+        st = ApplyChunkSeal(summary, ev->ts, encode_buf);
+      }
+    } else {
+      WaitSealTurn(ev->seq);
+      if (!pipeline_failed_.load(std::memory_order_relaxed)) {
         st = ApplyMarker(*ev, marker_chains);
       }
     }
     if (!st.ok()) {
+      Status annotated(st.code(), "seal shard " + std::to_string(shard_idx) + ": " +
+                                      std::string(st.message()));
       std::lock_guard<std::mutex> lock(pipeline_mu_);
       if (pipeline_status_.ok()) {
-        pipeline_status_ = st;
+        pipeline_status_ = std::move(annotated);
       }
       pipeline_failed_.store(true, std::memory_order_release);
     }
+    // The ticket advances even for failed or skipped events — the release
+    // store both unblocks the next sequence holder and hands it the
+    // single-writer chunk/ts log state this apply mutated.
+    seal_seq_applied_.store(ev->seq + 1, std::memory_order_release);
     // Applied even on error (the event is consumed either way) so drains and
     // the lag gauge terminate.
     if (ev->kind == SealEvent::Kind::kChunk) {
@@ -934,12 +1025,9 @@ void Loom::FinalizerMain() {
   }
 }
 
-Status Loom::ApplyChunkSeal(SealEvent& ev, std::vector<uint8_t>& buf) {
-  const uint64_t chunk_end = ev.summary.chunk_addr + ev.summary.chunk_len;
-  buf.clear();
-  buf.reserve(4 + ev.summary.EncodedSize());
-  PutU32(buf, static_cast<uint32_t>(ev.summary.EncodedSize()));
-  ev.summary.EncodeTo(buf);
+Status Loom::ApplyChunkSeal(const ChunkSummary& summary, TimestampNanos ts,
+                            const std::vector<uint8_t>& buf) {
+  const uint64_t chunk_end = summary.chunk_addr + summary.chunk_len;
   auto addr = chunk_log_->Append(std::span<const uint8_t>(buf.data(), buf.size()));
   if (!addr.ok()) {
     return addr.status();
@@ -949,7 +1037,7 @@ Status Loom::ApplyChunkSeal(SealEvent& ev, std::vector<uint8_t>& buf) {
   // below chunk_end were published before the seal was enqueued.
   chunk_log_->Publish();
   if (options_.enable_timestamp_index) {
-    auto event = ts_writer_.AppendChunkEvent(ev.ts, addr.value());
+    auto event = ts_writer_.AppendChunkEvent(ts, addr.value());
     if (!event.ok()) {
       return event.status();
     }
@@ -958,10 +1046,10 @@ Status Loom::ApplyChunkSeal(SealEvent& ev, std::vector<uint8_t>& buf) {
   }
   published_indexed_tail_.store(chunk_end, std::memory_order_release);
   if (standing_ != nullptr) {
-    // Seal events apply in seal order on this one thread, and the record
-    // bytes below chunk_end were published before the event was enqueued —
-    // exactly the ordering OnChunkSealed requires.
-    standing_->OnChunkSealed(ev.summary, ev.ts);
+    // The apply ticket serializes seal events in global seal order, and the
+    // record bytes below chunk_end were published before the event was
+    // enqueued — exactly the ordering OnChunkSealed requires.
+    standing_->OnChunkSealed(summary, ts);
   }
   return Status::Ok();
 }
@@ -993,15 +1081,19 @@ void Loom::StopIngestPipeline() {
     return;
   }
   DrainIngestPipeline();
-  for (;;) {
-    SealEvent stop;
-    stop.kind = SealEvent::Kind::kStop;
-    if (finalize_queue_->TryPush(std::move(stop))) {
-      break;
+  for (auto& shard : seal_shards_) {
+    for (;;) {
+      SealEvent stop;
+      stop.kind = SealEvent::Kind::kStop;
+      if (shard->queue->TryPush(std::move(stop))) {
+        break;
+      }
+      std::this_thread::yield();
     }
-    std::this_thread::yield();
   }
-  finalizer_.join();
+  for (auto& shard : seal_shards_) {
+    shard->worker.join();
+  }
   pipeline_active_ = false;
 }
 

@@ -144,16 +144,41 @@ struct LoomOptions {
 
   // --- Ingest pipeline (the write-path mirror of the query knobs above) ---
 
-  // Pipelined ingest: chunk finalization (summary encode + chunk-log append +
-  // ts-index appends) moves off the record hot path onto a sealing thread
-  // with a bounded queue. The §5.4 publish-ordering contract is preserved —
-  // published_indexed_tail_ never advances past an unfinalized chunk, so
-  // readers simply see sealing chunks as unindexed tail (scanned raw) until
-  // finalize lands; drained results are bit-identical to the inline path.
-  // Off by default: the inline path keeps finalization synchronous with
-  // ingest, which some tests and replay tools rely on for determinism
-  // between individual pushes. Sync() drains the pipeline.
-  bool pipelined_ingest = false;
+  // Pipelined ingest: chunk finalization (summary materialization + encode +
+  // chunk-log append + ts-index appends) moves off the record hot path onto
+  // sealing workers with bounded queues. The §5.4 publish-ordering contract
+  // is preserved — published_indexed_tail_ never advances past an
+  // unfinalized chunk, so readers simply see sealing chunks as unindexed
+  // tail (scanned raw) until finalize lands; drained results are
+  // bit-identical to the inline path. On by default; the LOOM_INGEST
+  // environment variable (inline|pipelined) overrides this at Open, so test
+  // matrices and replay tools that rely on finalization being synchronous
+  // between individual pushes can force the inline path without code
+  // changes. Sync() drains the pipeline.
+  bool pipelined_ingest = true;
+
+  // Number of sealing workers (pipelined mode). Each sealed chunk's summary
+  // materialization and frame encode — the expensive part of finalization —
+  // runs on one of `seal_shards` workers in parallel; the serial tail
+  // (chunk-log append, ts-index append, watermark publish) is applied in
+  // global seal order via a ticket, so on-disk bytes and query results are
+  // bit-identical for any shard count. Chunk seals are distributed
+  // round-robin; ts record markers are routed by source hash so each
+  // source's marker chain stays on one worker. Validate() clamps to [1, 32].
+  size_t seal_shards = 1;
+
+  // Durability policy of the record log's flusher (see
+  // src/hybridlog/hybrid_log.h): kNone syncs only at close, kGroup batches
+  // fdatasync over many flushed blocks (bounding data-at-risk to the group
+  // window below), kEveryBlock syncs each flush. Index logs always use
+  // kNone — they are reconstructible from the record log.
+  SyncPolicy sync_policy = SyncPolicy::kNone;
+
+  // Group-commit window (sync_policy = kGroup): a sync is issued when this
+  // many bytes have been flushed unsynced, or this much time has passed
+  // since the oldest unsynced byte, whichever comes first.
+  uint64_t group_commit_bytes = 1 << 20;
+  uint64_t group_commit_interval_ms = 50;
 
   // Bound on sealed-but-unfinalized chunks: ingest stalls (counted in
   // loom_ingest_finalize_stall_seconds_total) rather than letting the
@@ -454,31 +479,52 @@ class Loom {
 
   // --- Ingest pipeline (pipelined_ingest; see DESIGN.md) -------------------
   //
-  // In pipelined mode the sealing thread is the *only* writer of the chunk
-  // and ts logs (both are single-writer): the ingest thread routes chunk
-  // seals and ts record markers through one SPSC queue, which preserves
-  // their relative (monotone-timestamp) order, and the sealing thread
-  // publishes chunk log, then ts log, then published_indexed_tail_ — the
-  // §5.4 order — after each applied seal.
+  // In pipelined mode the sealing workers are the *only* writers of the
+  // chunk and ts logs (both are single-writer). The ingest thread assigns
+  // every seal event a global sequence number and routes it to one of
+  // `seal_shards` SPSC queues: chunk seals round-robin by sequence, ts
+  // record markers by source hash (each source's marker chain stays on one
+  // worker). Workers run the expensive per-event work — summary
+  // materialization and frame encode — in parallel, then apply the serial
+  // tail (append + publish chunk log, then ts log, then
+  // published_indexed_tail_ — the §5.4 order) strictly in sequence order
+  // via a ticket: seal_seq_applied_ is the low-water-mark across shards,
+  // and its release/acquire hand-off transfers the single-writer log state
+  // between workers. Per-shard queues are FIFO in sequence, so the globally
+  // smallest unapplied sequence is always at some shard's head: the ticket
+  // never deadlocks, and tickets advance even for skipped (post-error)
+  // events.
   struct SealEvent {
     enum class Kind : uint8_t { kChunk, kMarker, kStop };
     Kind kind = Kind::kChunk;
-    ChunkSummary summary;      // kChunk: finalized summary to encode + append
+    uint64_t seq = 0;          // global apply order (all kinds; not kStop)
+    // kChunk: detached builder state; the worker materializes + encodes it.
+    ChunkSummaryBuilder::Pending pending;
     uint32_t source_id = 0;    // kMarker
     uint64_t record_addr = 0;  // kMarker
     TimestampNanos ts = 0;     // event timestamp (monotone in queue order)
   };
-  void FinalizerMain();
-  Status ApplyChunkSeal(SealEvent& ev, std::vector<uint8_t>& buf);
+  struct SealShard {
+    std::unique_ptr<SpscQueue<SealEvent>> queue;
+    std::thread worker;
+  };
+  void SealShardMain(size_t shard_idx);
+  // Spins until `seq` holds the apply ticket. The acquire pairs with the
+  // previous applier's release store, handing over the chunk/ts log state.
+  void WaitSealTurn(uint64_t seq);
+  Status ApplyChunkSeal(const ChunkSummary& summary, TimestampNanos ts,
+                        const std::vector<uint8_t>& buf);
   Status ApplyMarker(const SealEvent& ev, std::unordered_map<uint32_t, uint64_t>& chains);
-  // Blocks (counted as finalize stall) while the seal budget or queue is
-  // full, then enqueues. Returns the sticky pipeline error, if any.
+  // Blocks (counted as finalize stall) while the seal budget or the target
+  // shard's queue is full, then stamps the next sequence number and
+  // enqueues. Returns the sticky pipeline error, if any.
   Status EnqueueSealEvent(SealEvent&& ev, bool is_chunk);
   // Ingest thread: waits until every queued event has been applied.
   void DrainIngestPipeline();
-  // Destructor: drains, stops, and joins the sealing thread.
+  // Destructor: drains, stops, and joins the sealing workers.
   void StopIngestPipeline();
-  // First error the sealing thread hit (Ok when healthy).
+  // First error any sealing worker hit (Ok when healthy), annotated with the
+  // shard that hit it.
   Status PipelineStatus() const;
 
   // Query internals. Public query operators are thin wrappers that install a
@@ -775,18 +821,20 @@ class Loom {
   std::vector<IndexState*> staged_indexes_;
   std::vector<uint32_t> stage_bins_;
 
-  // Ingest pipeline state (pipelined_ingest). The queue/thread exist only
-  // when active. Counters pair up ingest-side (enqueued/sealed, relaxed) with
-  // finalizer-side (applied, release) so DrainIngestPipeline and the
-  // finalize-lag gauge need no lock.
+  // Ingest pipeline state (pipelined_ingest). The shards exist only when
+  // active. Counters pair up ingest-side (enqueued/sealed, relaxed) with
+  // worker-side (applied, release) so DrainIngestPipeline and the
+  // finalize-lag gauge need no lock. seal_seq_next_ is ingest-thread-only;
+  // seal_seq_applied_ is the apply ticket (see the SealEvent comment).
   bool pipeline_active_ = false;
-  std::unique_ptr<SpscQueue<SealEvent>> finalize_queue_;
-  std::thread finalizer_;
+  std::vector<std::unique_ptr<SealShard>> seal_shards_;
+  uint64_t seal_seq_next_ = 0;
+  std::atomic<uint64_t> seal_seq_applied_{0};
   std::atomic<uint64_t> events_enqueued_{0};
   std::atomic<uint64_t> events_applied_{0};
   std::atomic<uint64_t> chunks_sealed_{0};
   std::atomic<uint64_t> chunks_finalize_applied_{0};
-  // Sticky first finalizer error: the flag is checked (relaxed) on every
+  // Sticky first worker error: the flag is checked (relaxed) on every
   // enqueue and by Sync(); the Status itself is behind pipeline_mu_.
   std::atomic<bool> pipeline_failed_{false};
   mutable std::mutex pipeline_mu_;

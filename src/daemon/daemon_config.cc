@@ -65,6 +65,15 @@ Status ApplyDaemonConfigOption(DaemonOptions* options, std::string_view raw_key,
     loom.archive_dir = std::string(value);
     return Status::Ok();
   }
+  if (key == "sync_policy") {
+    const std::optional<SyncPolicy> parsed = ParseSyncPolicy(value);
+    if (!parsed.has_value()) {
+      return Status::InvalidArgument("bad sync_policy (none|group|every_block): " +
+                                     std::string(value));
+    }
+    loom.sync_policy = *parsed;
+    return Status::Ok();
+  }
 
   struct UintField {
     const char* name;
@@ -84,6 +93,9 @@ Status ApplyDaemonConfigOption(DaemonOptions* options, std::string_view raw_key,
       {"prefetch_depth", nullptr, &loom.prefetch_depth, nullptr},
       {"finalize_inflight_chunks", nullptr, &loom.finalize_inflight_chunks, nullptr},
       {"flush_inflight_blocks", nullptr, &loom.flush_inflight_blocks, nullptr},
+      {"seal_shards", nullptr, &loom.seal_shards, nullptr},
+      {"group_commit_bytes", &loom.group_commit_bytes, nullptr, nullptr},
+      {"group_commit_interval_ms", &loom.group_commit_interval_ms, nullptr, nullptr},
       {"summary_stage_records", nullptr, &loom.summary_stage_records, nullptr},
       {"ts_marker_period", nullptr, nullptr, &loom.ts_marker_period},
       {"channel_capacity", nullptr, &options->channel_capacity, nullptr},

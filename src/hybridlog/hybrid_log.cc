@@ -38,12 +38,43 @@ uint64_t SteadyNowNanos() {
 
 }  // namespace
 
+std::optional<SyncPolicy> ParseSyncPolicy(std::string_view s) {
+  if (s == "none") {
+    return SyncPolicy::kNone;
+  }
+  if (s == "group") {
+    return SyncPolicy::kGroup;
+  }
+  if (s == "every_block") {
+    return SyncPolicy::kEveryBlock;
+  }
+  return std::nullopt;
+}
+
+const char* SyncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kNone:
+      return "none";
+    case SyncPolicy::kGroup:
+      return "group";
+    case SyncPolicy::kEveryBlock:
+      return "every_block";
+  }
+  return "unknown";
+}
+
 Result<std::unique_ptr<HybridLog>> HybridLog::Create(const std::string& file_path,
                                                      const HybridLogOptions& options) {
   if (options.block_size == 0 || options.num_blocks < 2) {
     return Status::InvalidArgument("hybrid log needs block_size > 0 and num_blocks >= 2");
   }
   HybridLogOptions normalized = options;
+  if (normalized.sync_on_flush) {
+    normalized.sync_policy = SyncPolicy::kEveryBlock;  // legacy alias
+  }
+  if (normalized.group_commit_bytes == 0) {
+    normalized.group_commit_bytes = normalized.block_size;
+  }
   // The writer must always have a block to fill while a batch is in flight,
   // so the coalescing budget cannot cover every slot.
   normalized.flush_inflight_blocks =
@@ -83,6 +114,17 @@ HybridLog::HybridLog(File file, const HybridLogOptions& options)
     disk_reads_metric_ = reg->AddCounter(p + "_disk_reads_total");
     memory_reads_metric_ = reg->AddCounter(p + "_memory_reads_total");
     snapshot_fallbacks_metric_ = reg->AddCounter(p + "_snapshot_fallbacks_total");
+  }
+  if (options_.register_buffers) {
+    // Offer the slot ring to the backend as fixed buffers (WRITE_FIXED).
+    // Runs before the flusher starts, so the writer's fixed/plain decision is
+    // settled before any submission. Failure just keeps the vectored path.
+    std::vector<struct iovec> bufs;
+    bufs.reserve(slots_.size());
+    for (const auto& slot : slots_) {
+      bufs.push_back({slot.get(), options_.block_size});
+    }
+    (void)block_writer_->RegisterBuffers(bufs.data(), static_cast<unsigned>(bufs.size()));
   }
   flusher_ = std::thread([this] { FlusherMain(); });
 }
@@ -178,9 +220,35 @@ void HybridLog::FlusherMain() {
   batch.reserve(budget);
   iov.reserve(budget);
   bool stopping = false;
+  // Group-commit state (sync_policy = kGroup): bytes flushed but not yet
+  // covered by an fdatasync, and when the oldest of them was flushed.
+  uint64_t unsynced_bytes = 0;
+  uint64_t first_unsynced_nanos = 0;
+  const uint64_t group_interval_nanos = options_.group_commit_interval_ms * 1'000'000ULL;
+  const auto group_commit = [&] {
+    if (file_.Sync().ok()) {
+      synced_bytes_.store(flushed_bytes_.load(std::memory_order_relaxed),
+                          std::memory_order_release);
+      group_commits_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.group_commits_metric != nullptr) {
+        options_.group_commits_metric->Increment();
+      }
+      if (options_.group_commit_bytes_metric != nullptr) {
+        options_.group_commit_bytes_metric->Increment(unsynced_bytes);
+      }
+      unsynced_bytes = 0;
+      first_unsynced_nanos = 0;
+    }
+  };
   while (!stopping) {
     std::optional<uint64_t> item = flush_queue_.TryPop();
     if (!item.has_value()) {
+      // Idle tick: an interval-expired group commit drains here so a paused
+      // ingest stream still reaches disk within the configured window.
+      if (options_.sync_policy == SyncPolicy::kGroup && unsynced_bytes > 0 &&
+          SteadyNowNanos() - first_unsynced_nanos >= group_interval_nanos) {
+        group_commit();
+      }
       // Idle: sleep briefly rather than spin so the flusher does not compete
       // with the ingest thread for CPU (keeping probe effect low).
       std::this_thread::sleep_for(std::chrono::microseconds(100));
@@ -221,8 +289,24 @@ void HybridLog::FlusherMain() {
     // reader protocol: only count the batch as flushed on success, which
     // stalls the writer rather than serving bad reads.
     if (st.ok()) {
-      if (options_.sync_on_flush) {
-        (void)file_.Sync();
+      // Publish the flushed tail first (the writer's recycle wait and the
+      // durability watermark both key off it), then apply the sync policy so
+      // the flush-latency histogram keeps covering write + sync.
+      flushed_bytes_.store((last + 1) * bs, std::memory_order_release);
+      flushed_block_count_.store(last + 1, std::memory_order_release);
+      if (options_.sync_policy == SyncPolicy::kEveryBlock) {
+        if (file_.Sync().ok()) {
+          synced_bytes_.store((last + 1) * bs, std::memory_order_release);
+        }
+      } else if (options_.sync_policy == SyncPolicy::kGroup) {
+        if (unsynced_bytes == 0) {
+          first_unsynced_nanos = SteadyNowNanos();
+        }
+        unsynced_bytes += batch.size() * bs;
+        if (unsynced_bytes >= options_.group_commit_bytes ||
+            SteadyNowNanos() - first_unsynced_nanos >= group_interval_nanos) {
+          group_commit();
+        }
       }
       if (flush_seconds_ != nullptr) {
         flush_seconds_->ObserveNanos(SteadyNowNanos() - flush_t0);
@@ -238,8 +322,6 @@ void HybridLog::FlusherMain() {
           options_.coalesced_write_bytes_metric->Increment(batch.size() * bs);
         }
       }
-      flushed_bytes_.store((last + 1) * bs, std::memory_order_release);
-      flushed_block_count_.store(last + 1, std::memory_order_release);
       // Retention: drop whole blocks that fall out of the retained window
       // and return their disk space. Readers observe the floor first (and
       // re-validate after copying), so a concurrent punch is never served as
@@ -320,6 +402,7 @@ Status HybridLog::Close() {
   // whole published log is on disk".
   if (tail > 0) {
     LOOM_RETURN_IF_ERROR(file_.Sync());
+    synced_bytes_.store(tail, std::memory_order_release);
   }
   return Status::Ok();
 }

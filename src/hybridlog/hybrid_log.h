@@ -46,6 +46,26 @@ namespace loom {
 // Address value meaning "no such address" (end of a back-pointer chain).
 inline constexpr uint64_t kNullAddr = ~0ULL;
 
+// When flushed bytes become *durable* (fdatasync), between the two historical
+// endpoints (§4.5: nothing until Close vs sync_on_flush on every batch):
+//   kNone       durability only at Close(); data-at-risk = everything since
+//               open (the paper's default — bounded by design, not by fsync).
+//   kGroup      group commit: the flusher batches fdatasync across coalesced
+//               flushes and issues one when either `group_commit_bytes` of
+//               unsynced data accumulate or `group_commit_interval_ms` passed
+//               since the oldest unsynced byte (checked on flush and on idle
+//               ticks, so a stalled ingest still drains to disk). Data-at-risk
+//               is bounded by the configured window at a small fraction of
+//               every-block cost.
+//   kEveryBlock fdatasync after every flush submission; minimum risk, maximum
+//               write amplification.
+enum class SyncPolicy : uint8_t { kNone, kGroup, kEveryBlock };
+
+// Parses "none" / "group" / "every_block" (exact, lower-case) — nullopt
+// otherwise — and the lower-case name of a policy, for config and bench JSON.
+std::optional<SyncPolicy> ParseSyncPolicy(std::string_view s);
+const char* SyncPolicyName(SyncPolicy policy);
+
 struct HybridLogOptions {
   // Size of each in-memory staging block. The paper uses 64 MiB; tests use
   // much smaller blocks to exercise flush/recycle paths cheaply.
@@ -53,8 +73,20 @@ struct HybridLogOptions {
   // Number of in-memory blocks (>= 2). Two gives the paper's double buffering.
   size_t num_blocks = 2;
   // fdatasync after each block flush. Off by default (§4.5: durability is
-  // bounded by the in-memory blocks by design).
+  // bounded by the in-memory blocks by design). Legacy alias: true is folded
+  // into sync_policy = kEveryBlock by Create.
   bool sync_on_flush = false;
+  // Durability policy for flushed bytes (see SyncPolicy above). The group
+  // thresholds apply only under kGroup.
+  SyncPolicy sync_policy = SyncPolicy::kNone;
+  uint64_t group_commit_bytes = 1 << 20;
+  uint64_t group_commit_interval_ms = 50;
+  // Register the in-memory block slots with the I/O backend as fixed buffers
+  // (io_uring WRITE_FIXED). Purely a submission-path optimization: when the
+  // runtime probe fails (no io_uring, locked-memory limits, seccomp) the
+  // flusher keeps the plain vectored path. The engine enables this for the
+  // record log only; index logs flush too rarely to matter.
+  bool register_buffers = false;
   // Retention: keep at most this many bytes of log addressable; older data
   // is dropped (the file range is hole-punched where the filesystem supports
   // it, so disk space is reclaimed). 0 = retain everything. Retention is
@@ -81,6 +113,10 @@ struct HybridLogOptions {
   // record log at them). Counted only for multi-block writes.
   Counter* coalesced_writes_metric = nullptr;
   Counter* coalesced_write_bytes_metric = nullptr;
+  // Optional counters for group commits (sync_policy = kGroup): submissions
+  // and the bytes each one made durable. Same engine-owned pattern as above.
+  Counter* group_commits_metric = nullptr;
+  Counter* group_commit_bytes_metric = nullptr;
 };
 
 struct HybridLogStats {
@@ -145,6 +181,14 @@ class HybridLog {
   // Bytes durably handed to the backing file.
   uint64_t flushed_tail() const { return flushed_bytes_.load(std::memory_order_acquire); }
 
+  // Bytes known durable (covered by an fdatasync). Advances per flush under
+  // kEveryBlock, per group commit under kGroup, and only at Close under
+  // kNone. flushed_tail() - durable_tail() is the current data-at-risk.
+  uint64_t durable_tail() const { return synced_bytes_.load(std::memory_order_acquire); }
+
+  // Group commits issued so far (sync_policy = kGroup only).
+  uint64_t group_commits() const { return group_commits_.load(std::memory_order_relaxed); }
+
   // Lowest readable address. 0 unless retention dropped older data; reads
   // below this fail with OutOfRange.
   uint64_t retained_floor() const { return retained_floor_.load(std::memory_order_acquire); }
@@ -182,8 +226,9 @@ class HybridLog {
     return writer_stall_nanos_.load(std::memory_order_relaxed);
   }
 
-  // Resolved flush submission backend ("sync" or "io_uring").
-  const char* io_backend_name() const { return IoBackendName(options_.io_backend); }
+  // Resolved flush submission backend: "sync", "io_uring", or
+  // "io_uring_fixed" when the block slots are registered for WRITE_FIXED.
+  const char* io_backend_name() const { return block_writer_->name(); }
 
   size_t block_size() const { return options_.block_size; }
   // Fraction of the published log currently resident in memory.
@@ -224,6 +269,9 @@ class HybridLog {
 
   std::atomic<uint64_t> queryable_tail_{0};
   std::atomic<uint64_t> flushed_bytes_{0};
+  // Durability watermark + group-commit count (see durable_tail()).
+  std::atomic<uint64_t> synced_bytes_{0};
+  std::atomic<uint64_t> group_commits_{0};
   std::atomic<uint64_t> flushed_block_count_{0};
   std::atomic<uint64_t> retained_floor_{0};
   // Tiered retention: the floor never passes the barrier (kNullAddr = no

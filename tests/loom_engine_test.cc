@@ -633,6 +633,9 @@ TEST_F(LoomEngineTest, RepeatedAggregatesHitSummaryCache) {
     values[i] = static_cast<double>(i % 100);
   }
   PushValues(1, values);
+  // Drain the seal pipeline so the finalized-chunk set is frozen: a chunk
+  // sealing between the cold and warm queries would add fresh cold misses.
+  ASSERT_TRUE(loom_->Sync(1).ok());
 
   // First query decodes summaries cold and populates the cache.
   auto first = loom_->IndexedAggregate(1, idx.value(), {0, ~0ULL}, AggregateMethod::kCount);

@@ -1,0 +1,360 @@
+// Sharded parallel sealing: drained query results and on-disk log bytes are
+// bit-identical for any seal_shards count and either seal mode (the apply
+// ticket serializes the §5.4 tail in global seal order, so sharding only
+// parallelizes the materialize + encode stage). Also: Sync() drains every
+// shard, a failing shard surfaces a sticky annotated error, the LOOM_INGEST
+// override plumbs through Open, and concurrent ingest + queries stay
+// race-free (this suite is part of the TSan smoke).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/file.h"
+#include "src/core/loom.h"
+
+namespace loom {
+namespace {
+
+constexpr uint32_t kSources = 4;  // source ids 1..kSources
+
+std::vector<uint8_t> ValuePayload(double v) {
+  std::vector<uint8_t> buf(48, 0);
+  std::memcpy(buf.data(), &v, sizeof(v));
+  return buf;
+}
+
+std::optional<double> ValueIndex(std::span<const uint8_t> p) {
+  if (p.size() < sizeof(double)) {
+    return std::nullopt;
+  }
+  double v;
+  std::memcpy(&v, p.data(), sizeof(v));
+  return v;
+}
+
+double WorkloadValue(uint32_t source, int i) {
+  return static_cast<double>((i * 37 + source * 101) % 1000) + 0.25;
+}
+
+LoomOptions ShardOptions(const std::string& dir, ManualClock* clock, size_t shards,
+                         bool pipelined = true) {
+  LoomOptions opts;
+  opts.dir = dir;
+  opts.chunk_size = 1024;
+  opts.record_block_size = 4096;
+  opts.ts_marker_period = 8;
+  opts.pipelined_ingest = pipelined;
+  opts.seal_shards = shards;
+  opts.clock = clock;
+  return opts;
+}
+
+// Defines sources 1..kSources, each with a 32-bin uniform value index.
+// Returns index ids keyed by source.
+std::map<uint32_t, uint32_t> DefineSources(Loom* loom) {
+  std::map<uint32_t, uint32_t> ids;
+  auto spec = HistogramSpec::Uniform(0, 1000, 32).value();
+  for (uint32_t s = 1; s <= kSources; ++s) {
+    EXPECT_TRUE(loom->DefineSource(s).ok());
+    auto idx = loom->DefineIndex(s, ValueIndex, spec);
+    EXPECT_TRUE(idx.ok());
+    ids[s] = idx.value();
+  }
+  return ids;
+}
+
+// Interleaved multi-source workload: record i goes to source (i % kSources)+1,
+// 1ms apart, so every engine fed by this sees one identical record stream.
+void IngestMultiSource(Loom* loom, ManualClock* clock, int n) {
+  for (int i = 0; i < n; ++i) {
+    clock->AdvanceNanos(1'000'000);
+    const uint32_t source = static_cast<uint32_t>(i % kSources) + 1;
+    ASSERT_TRUE(loom->Push(source, ValuePayload(WorkloadValue(source, i))).ok());
+  }
+  for (uint32_t s = 1; s <= kSources; ++s) {
+    ASSERT_TRUE(loom->Sync(s).ok());
+  }
+}
+
+struct SourceFingerprint {
+  uint64_t count = 0;
+  double sum = 0, min = 0, max = 0, p50 = 0;
+  std::vector<uint64_t> histogram;
+  std::vector<std::pair<uint64_t, double>> scan;  // (addr, value), log order
+
+  bool operator==(const SourceFingerprint& o) const {
+    return count == o.count && sum == o.sum && min == o.min && max == o.max && p50 == o.p50 &&
+           histogram == o.histogram && scan == o.scan;
+  }
+};
+
+SourceFingerprint Fingerprint(Loom* loom, uint32_t source, uint32_t index_id,
+                              TimestampNanos end) {
+  SourceFingerprint fp;
+  const TimeRange all{0, end};
+  fp.count = loom->CountRecords(source, all).value();
+  fp.sum = loom->IndexedAggregate(source, index_id, all, AggregateMethod::kSum).value();
+  fp.min = loom->IndexedAggregate(source, index_id, all, AggregateMethod::kMin).value();
+  fp.max = loom->IndexedAggregate(source, index_id, all, AggregateMethod::kMax).value();
+  fp.p50 =
+      loom->IndexedAggregate(source, index_id, all, AggregateMethod::kPercentile, 50).value();
+  fp.histogram = loom->IndexedHistogram(source, index_id, all).value();
+  EXPECT_TRUE(loom->IndexedScanValues(source, index_id, all, ValueRange{0, 1000},
+                                      [&fp](double v, const RecordView& r) {
+                                        fp.scan.emplace_back(r.addr, v);
+                                        return true;
+                                      })
+                  .ok());
+  return fp;
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+// The tentpole equivalence: 1, 2, and 4 seal shards and the inline path all
+// produce the same drained query results AND byte-identical logs — the apply
+// ticket keeps chunk frames, ts entries, and watermark advances in one global
+// seal order regardless of how many workers materialized them.
+TEST(SealShardsTest, ShardCountBitIdentity) {
+  constexpr int kRecords = 4000;
+  TempDir dir;
+  struct Config {
+    const char* name;
+    bool pipelined;
+    size_t shards;
+  };
+  const Config configs[] = {
+      {"inline", false, 1}, {"s1", true, 1}, {"s2", true, 2}, {"s4", true, 4}};
+  std::vector<std::map<uint32_t, SourceFingerprint>> fps;
+  for (const Config& cfg : configs) {
+    ManualClock clock{1};
+    LoomOptions opts = ShardOptions(dir.FilePath(cfg.name), &clock, cfg.shards, cfg.pipelined);
+    auto loom = Loom::Open(opts);
+    ASSERT_TRUE(loom.ok());
+    auto ids = DefineSources(loom->get());
+    IngestMultiSource(loom->get(), &clock, kRecords);
+    std::map<uint32_t, SourceFingerprint> fp;
+    for (uint32_t s = 1; s <= kSources; ++s) {
+      fp[s] = Fingerprint(loom->get(), s, ids[s], clock.NowNanos());
+    }
+    EXPECT_EQ(fp[1].count, static_cast<uint64_t>(kRecords / kSources));
+    fps.push_back(std::move(fp));
+  }
+  for (size_t i = 1; i < fps.size(); ++i) {
+    for (uint32_t s = 1; s <= kSources; ++s) {
+      EXPECT_TRUE(fps[0][s] == fps[i][s])
+          << configs[i].name << " diverges from inline on source " << s;
+    }
+  }
+  // Engines closed: all three logs must be byte-identical across every config.
+  for (const char* f : {"/record.log", "/chunk.idx", "/ts.idx"}) {
+    const auto golden = ReadFileBytes(dir.FilePath(configs[0].name) + f);
+    EXPECT_FALSE(golden.empty()) << f;
+    for (size_t i = 1; i < std::size(configs); ++i) {
+      EXPECT_EQ(golden, ReadFileBytes(dir.FilePath(configs[i].name) + f))
+          << configs[i].name << f;
+    }
+  }
+}
+
+// Standing-query windows ride the seal path: with the apply ticket they must
+// emit the same windows with bit-identical results at any shard count.
+TEST(SealShardsTest, StandingWindowsIdenticalAcrossShardCounts) {
+  constexpr int kRecords = 3000;
+  TempDir dir;
+  std::vector<std::vector<std::pair<TimestampNanos, double>>> emitted;  // per config
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    ManualClock clock{1};
+    LoomOptions opts =
+        ShardOptions(dir.FilePath("st" + std::to_string(shards)), &clock, shards);
+    auto loom = Loom::Open(opts);
+    ASSERT_TRUE(loom.ok());
+    auto ids = DefineSources(loom->get());
+    StandingQuerySpec spec;
+    spec.name = "sum_1";
+    spec.source_id = 1;
+    spec.index_id = ids[1];
+    spec.aggregate = StandingAggregate::kSum;
+    spec.window_nanos = 50'000'000;  // 50ms of 1ms-spaced records
+    auto qid = (*loom)->RegisterStandingQuery(spec);
+    ASSERT_TRUE(qid.ok());
+    auto sub = (*loom)->SubscribeStanding(qid.value());
+    IngestMultiSource(loom->get(), &clock, kRecords);
+    std::vector<std::pair<TimestampNanos, double>> windows;
+    for (;;) {
+      auto batch = sub->Poll(256, 0);
+      if (batch.empty()) {
+        break;
+      }
+      for (const StandingEvent& ev : batch) {
+        if (ev.kind == StandingEvent::Kind::kWindow && ev.window.has_value) {
+          windows.emplace_back(ev.window.window_start, ev.window.value);
+        }
+      }
+    }
+    EXPECT_GT(windows.size(), 10u);
+    emitted.push_back(std::move(windows));
+  }
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(emitted[0], emitted[1]);
+}
+
+// Demotion walks the chunk log in frame order; sharded sealing must not
+// perturb that order, so tiered counts match across shard counts.
+TEST(SealShardsTest, DemotionInterplayAcrossShardCounts) {
+  constexpr int kRecords = 6000;
+  TempDir dir;
+  std::vector<uint64_t> counts;
+  std::vector<size_t> archives;
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    ManualClock clock{1};
+    const std::string tag = "tier" + std::to_string(shards);
+    LoomOptions opts = ShardOptions(dir.FilePath(tag), &clock, shards);
+    opts.archive_dir = dir.FilePath(tag + "_cold");
+    opts.record_retain_bytes = 16 << 10;
+    auto loom = Loom::Open(opts);
+    ASSERT_TRUE(loom.ok());
+    DefineSources(loom->get());
+    IngestMultiSource(loom->get(), &clock, kRecords);
+    ASSERT_TRUE((*loom)->DemoteNow().ok());
+    archives.push_back((*loom)->ArchiveCount());
+    auto count = (*loom)->CountRecords(1, TimeRange{0, clock.NowNanos()});
+    ASSERT_TRUE(count.ok());
+    counts.push_back(count.value());
+  }
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], static_cast<uint64_t>(kRecords / kSources));
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_GT(archives[0], 0u);
+  EXPECT_EQ(archives[0], archives[1]);
+}
+
+// Sync() drains every shard: right after it returns, all sealed chunks are
+// indexed, so a full-range query considers exactly the finalized set.
+TEST(SealShardsTest, SyncDrainsAllShards) {
+  TempDir dir;
+  ManualClock clock{1};
+  LoomOptions opts = ShardOptions(dir.FilePath("loom"), &clock, 4);
+  opts.finalize_inflight_chunks = 8;
+  auto loom = Loom::Open(opts);
+  ASSERT_TRUE(loom.ok());
+  auto ids = DefineSources(loom->get());
+  IngestMultiSource(loom->get(), &clock, 4000);
+  const uint64_t finalized = (*loom)->stats().chunks_finalized;
+  EXPECT_GT(finalized, 10u);
+  QueryTrace trace;
+  auto agg = (*loom)->IndexedAggregate(1, ids[1], TimeRange{0, clock.NowNanos()},
+                                       AggregateMethod::kCount, 0.0, &trace);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg.value(), 1000.0);
+  EXPECT_EQ(trace.chunks_considered, finalized);
+  EXPECT_EQ(trace.chunks_pruned + trace.chunks_scanned, trace.chunks_considered);
+}
+
+// A shard hitting an append failure (chunk frame larger than the index log's
+// block) surfaces a sticky error naming the shard; later pushes fail fast and
+// tickets keep advancing so nothing deadlocks.
+TEST(SealShardsTest, StickyShardErrorSurfaces) {
+  TempDir dir;
+  ManualClock clock{1};
+  LoomOptions opts = ShardOptions(dir.FilePath("loom"), &clock, 4);
+  opts.chunk_index_block_size = 128;  // every summary frame overflows this
+  auto loom = Loom::Open(opts);
+  ASSERT_TRUE(loom.ok());
+  DefineSources(loom->get());
+  Status last = Status::Ok();
+  for (int i = 0; i < 5000 && last.ok(); ++i) {
+    clock.AdvanceNanos(1'000'000);
+    const uint32_t source = static_cast<uint32_t>(i % kSources) + 1;
+    last = (*loom)->Push(source, ValuePayload(WorkloadValue(source, i)));
+    if (last.ok()) {
+      last = (*loom)->Sync(source);  // surfaces the async failure promptly
+    }
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), StatusCode::kInvalidArgument) << last.ToString();
+  EXPECT_NE(last.message().find("seal shard "), std::string::npos) << last.ToString();
+  // Sticky: the same annotated error, immediately, with no new appends.
+  Status again = (*loom)->Push(1, ValuePayload(1.0));
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.message(), last.message());
+}
+
+// LOOM_INGEST=inline overrides a pipelined configuration at Open (the ctest
+// variant loom_seal_shards_inline runs this whole suite that way).
+TEST(SealShardsTest, EnvOverrideForcesInline) {
+  TempDir dir;
+  ManualClock clock{1};
+  ::setenv("LOOM_INGEST", "inline", 1);
+  LoomOptions opts = ShardOptions(dir.FilePath("loom"), &clock, 4);
+  auto loom = Loom::Open(opts);
+  ::unsetenv("LOOM_INGEST");
+  ASSERT_TRUE(loom.ok());
+  EXPECT_FALSE((*loom)->options().pipelined_ingest);
+  auto ids = DefineSources(loom->get());
+  IngestMultiSource(loom->get(), &clock, 400);
+  auto count = (*loom)->IndexedAggregate(1, ids[1], TimeRange{0, clock.NowNanos()},
+                                         AggregateMethod::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 100.0);
+}
+
+// Concurrent ingest + queries with 4 shards: snapshot isolation holds (counts
+// are monotone, trace accounting balances) while four workers seal in
+// parallel. Exercised under TSan by tools/run_tsan_smoke.sh.
+TEST(SealShardsTest, ConcurrentIngestAndQueriesWithShards) {
+  TempDir dir;
+  ManualClock clock{1};
+  LoomOptions opts = ShardOptions(dir.FilePath("loom"), &clock, 4);
+  auto loom = Loom::Open(opts);
+  ASSERT_TRUE(loom.ok());
+  auto ids = DefineSources(loom->get());
+  std::atomic<bool> done{false};
+  std::thread ingest([&] {
+    for (int i = 0; i < 12000; ++i) {
+      clock.AdvanceNanos(100'000);
+      const uint32_t source = static_cast<uint32_t>(i % kSources) + 1;
+      ASSERT_TRUE((*loom)->Push(source, ValuePayload(WorkloadValue(source, i))).ok());
+    }
+    done.store(true);
+  });
+  std::vector<uint64_t> last(kSources + 1, 0);
+  uint64_t rounds = 0;
+  while (!done.load()) {
+    for (uint32_t s = 1; s <= kSources; ++s) {
+      const TimeRange all{0, clock.NowNanos()};
+      auto count = (*loom)->CountRecords(s, all);
+      ASSERT_TRUE(count.ok());
+      EXPECT_GE(count.value(), last[s]);
+      last[s] = count.value();
+      QueryTrace trace;
+      auto sum = (*loom)->IndexedAggregate(s, ids[s], all, AggregateMethod::kSum, 0.0, &trace);
+      ASSERT_TRUE(sum.ok());
+      EXPECT_EQ(trace.chunks_pruned + trace.chunks_scanned, trace.chunks_considered);
+    }
+    ++rounds;
+  }
+  ingest.join();
+  EXPECT_GT(rounds, 0u);
+  for (uint32_t s = 1; s <= kSources; ++s) {
+    ASSERT_TRUE((*loom)->Sync(s).ok());
+    auto count = (*loom)->CountRecords(s, TimeRange{0, clock.NowNanos()});
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count.value(), 3000u);
+  }
+}
+
+}  // namespace
+}  // namespace loom

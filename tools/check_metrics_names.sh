@@ -102,6 +102,11 @@ loom_ingest_flush_queue_depth
 loom_ingest_finalize_queue_depth
 loom_ingest_finalize_lag_chunks
 loom_ingest_io_backend_mode
+loom_ingest_seal_shards
+loom_ingest_seal_shard_queue_depth_max
+loom_ingest_group_commits_total
+loom_ingest_group_commit_bytes
+loom_ingest_io_write_fixed_mode
 "
 all_names="$( (extract Counter; extract Gauge; extract Histogram) | sort -u)"
 for name in $required_ingest; do
